@@ -1,0 +1,539 @@
+package uavres
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation section on a reduced-but-representative slice (benchmarks
+// must finish in minutes; the full 850-case campaign lives in
+// cmd/campaign). Each Benchmark prints the same rows the paper reports
+// and exposes the headline quantities as benchmark metrics.
+//
+//	go test -bench=Table -benchtime=1x     # Tables II-IV
+//	go test -bench=Fig -benchtime=1x       # Figures 3-5
+//	go test -bench=Ablation -benchtime=1x  # design-choice ablations
+//	go test -bench=Micro                   # substrate micro-benchmarks
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"uavres/internal/bubble"
+	"uavres/internal/core"
+	"uavres/internal/ekf"
+	"uavres/internal/faultinject"
+	"uavres/internal/mathx"
+	"uavres/internal/mission"
+	"uavres/internal/mitigation"
+	"uavres/internal/physics"
+	"uavres/internal/sensors"
+	"uavres/internal/sim"
+	"uavres/internal/telemetry"
+)
+
+// benchSlice runs the campaign restricted to the given missions.
+func benchSlice(b *testing.B, missions []mission.Mission) []core.CaseResult {
+	b.Helper()
+	runner := core.NewRunner()
+	runner.Missions = missions
+	cases := core.Plan(missions, 1)
+	results := runner.RunAll(context.Background(), cases)
+	for _, r := range results {
+		if r.Err != "" {
+			b.Fatalf("case %s: %s", r.Case.ID, r.Err)
+		}
+	}
+	return results
+}
+
+// BenchmarkTableII regenerates the paper's Table II (metrics grouped by
+// injection duration) on a two-mission slice: mission 4 (straight
+// courier) and mission 5 (turning courier).
+func BenchmarkTableII(b *testing.B) {
+	ms := mission.Valencia()[3:5]
+	for i := 0; i < b.N; i++ {
+		results := benchSlice(b, ms)
+		if i == b.N-1 {
+			b.Log("\n" + core.RenderTableII(results))
+			rows := core.ByDuration(results)
+			b.ReportMetric(rows[0].CompletedPct, "completed2s_%")
+			b.ReportMetric(rows[len(rows)-1].CompletedPct, "completed30s_%")
+			b.ReportMetric(core.GoldStats(results).DurationSec, "gold_duration_s")
+		}
+	}
+}
+
+// BenchmarkTableIII regenerates the paper's Table III (metrics grouped by
+// the 21 fault types) on the same slice.
+func BenchmarkTableIII(b *testing.B) {
+	ms := mission.Valencia()[3:5]
+	for i := 0; i < b.N; i++ {
+		results := benchSlice(b, ms)
+		if i == b.N-1 {
+			b.Log("\n" + core.RenderTableIII(results))
+			rows := core.ByFault(results)
+			if acc, exists := core.Find(rows, "Acc Zeros"); exists {
+				b.ReportMetric(acc.CompletedPct, "accZeros_%")
+			}
+			if gyro, exists := core.Find(rows, "Gyro Min"); exists {
+				b.ReportMetric(gyro.CompletedPct, "gyroMin_%")
+			}
+		}
+	}
+}
+
+// BenchmarkTableIV regenerates the paper's Table IV (failure analysis by
+// duration and by component).
+func BenchmarkTableIV(b *testing.B) {
+	ms := mission.Valencia()[3:5]
+	for i := 0; i < b.N; i++ {
+		results := benchSlice(b, ms)
+		if i == b.N-1 {
+			b.Log("\n" + core.RenderTableIV(results))
+			comp := core.ByComponent(results)
+			for _, row := range comp {
+				b.ReportMetric(row.FailedPct, row.Label+"_failed_%")
+			}
+		}
+	}
+}
+
+// figureRun executes one of the paper's figure scenarios and summarizes
+// the trajectory.
+func figureRun(b *testing.B, m mission.Mission, inj faultinject.Injection) sim.Result {
+	b.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.RecordTrajectory = true
+	cfg.Seed = 42
+	res, err := sim.Run(cfg, m, &inj, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func logTrajectory(b *testing.B, m mission.Mission, res sim.Result) {
+	b.Helper()
+	b.Logf("%s on mission %d: outcome=%v (%s%s) after %.1f s",
+		res.Label(), m.ID, res.Outcome, res.FailsafeCause, res.CrashReason, res.FlightDurationSec)
+	var maxDev float64
+	for _, p := range res.Trajectory {
+		if d := m.CrossTrackDistance(p.TruePos); d > maxDev {
+			maxDev = d
+		}
+	}
+	b.Logf("max deviation from assigned volume: %.1f m over %d trajectory points",
+		maxDev, len(res.Trajectory))
+	// Print the figure's "series": a sparse trail around the injection.
+	for _, p := range res.Trajectory {
+		if p.T >= 85 && int(p.T)%3 == 0 {
+			b.Logf("  t=%5.1fs pos=(%7.1f, %7.1f) alt=%5.1fm tilt=%5.1f°",
+				p.T, p.TruePos.X, p.TruePos.Y, -p.TruePos.Z, p.TiltDeg)
+		}
+	}
+}
+
+// BenchmarkFig3 reproduces Figure 3: a fixed (random constant) value
+// injected into the accelerometer of the fastest drone (mission 10,
+// 25 km/h) for 30 s mid-leg — the paper observes the drone leaving its
+// trajectory and crashing.
+func BenchmarkFig3(b *testing.B) {
+	m := mission.Valencia()[9]
+	inj := faultinject.Injection{
+		Primitive: faultinject.FixedValue, Target: faultinject.TargetAccel,
+		Start: 90 * time.Second, Duration: 30 * time.Second, Seed: 2,
+	}
+	var res sim.Result
+	for i := 0; i < b.N; i++ {
+		res = figureRun(b, m, inj)
+	}
+	logTrajectory(b, m, res)
+	if res.Outcome != sim.OutcomeCrash {
+		b.Errorf("Fig. 3 outcome = %v, paper reports a crash", res.Outcome)
+	}
+	b.ReportMetric(res.FlightDurationSec, "flight_s")
+}
+
+// BenchmarkFig4 reproduces Figure 4: random values injected into the
+// gyrometer for 30 s just before a waypoint (mission 5's turn) — the
+// paper observes the drone failing to stabilize for the turn and
+// engaging failsafe.
+func BenchmarkFig4(b *testing.B) {
+	m := mission.Valencia()[4]
+	inj := faultinject.Injection{
+		Primitive: faultinject.Random, Target: faultinject.TargetGyro,
+		Start: 90 * time.Second, Duration: 30 * time.Second, Seed: 4,
+	}
+	var res sim.Result
+	for i := 0; i < b.N; i++ {
+		res = figureRun(b, m, inj)
+	}
+	logTrajectory(b, m, res)
+	if res.Outcome != sim.OutcomeFailsafe {
+		b.Errorf("Fig. 4 outcome = %v, paper reports failsafe", res.Outcome)
+	}
+	b.ReportMetric(res.FlightDurationSec, "flight_s")
+}
+
+// BenchmarkFig5 reproduces Figure 5: random values injected into the
+// whole IMU for 30 s — the paper observes a fast, violent crash since
+// neither sensor can stabilize the vehicle.
+func BenchmarkFig5(b *testing.B) {
+	m := mission.Valencia()[4]
+	inj := faultinject.Injection{
+		Primitive: faultinject.Random, Target: faultinject.TargetIMU,
+		Start: 90 * time.Second, Duration: 30 * time.Second, Seed: 5,
+	}
+	var res sim.Result
+	for i := 0; i < b.N; i++ {
+		res = figureRun(b, m, inj)
+	}
+	logTrajectory(b, m, res)
+	// The paper's run impacted the ground; ours is terminated by the
+	// failure detector ~2.4 s after onset while tumbling. Both are a
+	// quick violent loss of the vehicle — assert that shape.
+	if res.Outcome == sim.OutcomeCompleted {
+		b.Error("Fig. 5 scenario completed; the paper reports a violent crash")
+	}
+	if res.FlightDurationSec > 120 {
+		b.Errorf("Fig. 5 failure at %.1f s; the paper reports a very quick loss", res.FlightDurationSec)
+	}
+	b.ReportMetric(res.FlightDurationSec, "flight_s")
+}
+
+// BenchmarkAblationRateSource is the factorial fault-path ablation: where
+// does gyro-fault damage enter — the raw-gyro rate loop, the EKF, or
+// both? (DESIGN.md ablation #1.)
+func BenchmarkAblationRateSource(b *testing.B) {
+	m := mission.Valencia()[4]
+	inj := &faultinject.Injection{
+		Primitive: faultinject.Zeros, Target: faultinject.TargetGyro,
+		Start: 90 * time.Second, Duration: 10 * time.Second, Seed: 1,
+	}
+	arms := []struct {
+		name                  string
+		shieldRate, shieldEKF bool
+	}{
+		{"exposed", false, false},
+		{"shield-rate-loop", true, false},
+		{"shield-ekf", false, true},
+		{"shield-both", true, true},
+	}
+	for i := 0; i < b.N; i++ {
+		for _, arm := range arms {
+			cfg := sim.DefaultConfig()
+			cfg.ShieldRateLoop = arm.shieldRate
+			cfg.ShieldEKF = arm.shieldEKF
+			res, err := sim.Run(cfg, m, inj, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				b.Logf("%-18s -> %v (%.1f s)", arm.name, res.Outcome, res.FlightDurationSec)
+				completed := 0.0
+				if res.Outcome.Completed() {
+					completed = 1
+				}
+				b.ReportMetric(completed, arm.name+"_completed")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationGyroThreshold sweeps the failsafe gyro threshold (the
+// paper quotes PX4's 60 deg/s default as configurable) and reports how
+// detection latency and outcome change. (DESIGN.md ablation #2.)
+func BenchmarkAblationGyroThreshold(b *testing.B) {
+	m := mission.Valencia()[4]
+	// Gyro Noise (±200 °/s perturbation) straddles realistic thresholds;
+	// a full-scale fault would trip every setting identically.
+	inj := &faultinject.Injection{
+		Primitive: faultinject.Noise, Target: faultinject.TargetGyro,
+		Start: 90 * time.Second, Duration: 30 * time.Second, Seed: 1,
+	}
+	for i := 0; i < b.N; i++ {
+		for _, degS := range []float64{30, 60, 120, 240} {
+			cfg := sim.DefaultConfig()
+			cfg.Failsafe.GyroRateThreshold = mathx.Deg2Rad(degS)
+			res, err := sim.Run(cfg, m, inj, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				b.Logf("threshold %3.0f°/s -> %v at %.1f s (%s%s)",
+					degS, res.Outcome, res.FlightDurationSec, res.FailsafeCause, res.CrashReason)
+				b.ReportMetric(res.FlightDurationSec, fmt.Sprintf("t%.0fdegs_flight_s", degS))
+			}
+		}
+	}
+}
+
+// BenchmarkAblationIsolationDelay varies the redundant-sensor isolation
+// stage (the paper: failsafe takes >= 1900 ms because isolation runs
+// first) and reports the time from fault onset to failsafe.
+// (DESIGN.md ablation #3.)
+func BenchmarkAblationIsolationDelay(b *testing.B) {
+	m := mission.Valencia()[4]
+	inj := &faultinject.Injection{
+		Primitive: faultinject.MinValue, Target: faultinject.TargetGyro,
+		Start: 90 * time.Second, Duration: 30 * time.Second, Seed: 1,
+	}
+	for i := 0; i < b.N; i++ {
+		for _, delay := range []float64{0, 1.9, 5.0} {
+			cfg := sim.DefaultConfig()
+			cfg.Failsafe.IsolationDelaySec = delay
+			res, err := sim.Run(cfg, m, inj, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				latency := res.FlightDurationSec - 90
+				b.Logf("isolation %.1fs -> %v, %.2f s after onset", delay, res.Outcome, latency)
+				b.ReportMetric(latency, fmt.Sprintf("iso%.1fs_latency_s", delay))
+			}
+		}
+	}
+}
+
+// BenchmarkAblationInnovationGate toggles the EKF innovation gate to show
+// why "Zeros were better handled than Min and Max": without gating, a
+// full-scale accelerometer fault feeds straight into the state.
+// (DESIGN.md ablation #4.)
+func BenchmarkAblationInnovationGate(b *testing.B) {
+	m := mission.Valencia()[4]
+	inj := &faultinject.Injection{
+		Primitive: faultinject.Zeros, Target: faultinject.TargetAccel,
+		Start: 90 * time.Second, Duration: 10 * time.Second, Seed: 1,
+	}
+	for i := 0; i < b.N; i++ {
+		for _, gate := range []float64{0, 5} {
+			cfg := sim.DefaultConfig()
+			cfg.EKF.GateSigma = gate
+			res, err := sim.Run(cfg, m, inj, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				name := "gate-off"
+				if gate > 0 {
+					name = "gate-5sigma"
+				}
+				b.Logf("%s -> %v, %d inner violations, %.1f s", name, res.Outcome, res.InnerViolations, res.FlightDurationSec)
+				b.ReportMetric(float64(res.InnerViolations), name+"_inner")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationRedundancy challenges the paper's all-units fault
+// assumption (DESIGN.md ablation notes): the same gyro faults strike all
+// three IMUs (the paper's setup) vs. only one, with cross-unit
+// consistency voting active. Metrics: 1 = completed, 0 = lost.
+func BenchmarkAblationRedundancy(b *testing.B) {
+	m := mission.Valencia()[4]
+	prims := []faultinject.Primitive{faultinject.MinValue, faultinject.Zeros, faultinject.Freeze, faultinject.Random}
+	for i := 0; i < b.N; i++ {
+		for _, p := range prims {
+			for _, scope := range []faultinject.Scope{faultinject.ScopeAllUnits, faultinject.ScopePrimaryUnit} {
+				inj := &faultinject.Injection{
+					Primitive: p, Target: faultinject.TargetGyro,
+					Start: 90 * time.Second, Duration: 30 * time.Second, Seed: 3,
+					Scope: scope,
+				}
+				res, err := sim.Run(sim.DefaultConfig(), m, inj, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.Logf("gyro %-12v %-13v -> %v (%.1f s)", p, scope, res.Outcome, res.FlightDurationSec)
+					v := 0.0
+					if res.Outcome.Completed() {
+						v = 1
+					}
+					b.ReportMetric(v, fmt.Sprintf("%v_%v", p, scope))
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkMitigation evaluates the software mitigation stack (the
+// paper's proposed future work, DESIGN.md section 8): representative
+// faults with the pipeline off vs. on. Metrics report 1 for completed,
+// 0.5 for controlled failsafe, 0 for crash — higher is safer.
+func BenchmarkMitigation(b *testing.B) {
+	m := mission.Valencia()[4]
+	faults := []struct {
+		name string
+		p    faultinject.Primitive
+		tg   faultinject.Target
+	}{
+		{"gyro-noise", faultinject.Noise, faultinject.TargetGyro},
+		{"gyro-freeze", faultinject.Freeze, faultinject.TargetGyro},
+		{"gyro-min", faultinject.MinValue, faultinject.TargetGyro},
+		{"acc-min", faultinject.MinValue, faultinject.TargetAccel},
+		{"imu-freeze", faultinject.Freeze, faultinject.TargetIMU},
+	}
+	score := func(o sim.Outcome) float64 {
+		switch o {
+		case sim.OutcomeCompleted:
+			return 1
+		case sim.OutcomeFailsafe:
+			return 0.5
+		default:
+			return 0
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		for _, f := range faults {
+			inj := &faultinject.Injection{
+				Primitive: f.p, Target: f.tg,
+				Start: 90 * time.Second, Duration: 10 * time.Second, Seed: 3,
+			}
+			for _, on := range []bool{false, true} {
+				cfg := sim.DefaultConfig()
+				if on {
+					cfg.Mitigation = mitigation.DefaultConfig()
+				}
+				res, err := sim.Run(cfg, m, inj, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					label := f.name + "_baseline"
+					if on {
+						label = f.name + "_mitigated"
+					}
+					b.Logf("%-24s -> %v (%s%s)", label, res.Outcome, res.FailsafeCause, res.CrashReason)
+					b.ReportMetric(score(res.Outcome), label)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkMicroMitigation measures the pipeline's per-sample overhead —
+// it must be deployable at the 250 Hz IMU rate.
+func BenchmarkMicroMitigation(b *testing.B) {
+	p, err := mitigation.NewPipeline(mitigation.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := sensors.IMUSample{Accel: mathx.V3(0.01, -0.02, -9.81), Gyro: mathx.V3(0.02, 0, 0.01)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Accel.X += 1e-9 // defeat the stuck guard: nominal streams are noisy
+		_, _ = p.Apply(s)
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+// BenchmarkMicroPhysicsStep measures one rigid-body integration step.
+func BenchmarkMicroPhysicsStep(b *testing.B) {
+	body, err := physics.NewBody(physics.DefaultParams(), physics.CalmWind())
+	if err != nil {
+		b.Fatal(err)
+	}
+	hover := physics.DefaultParams().HoverThrustFraction()
+	body.SetMotorCommands([4]float64{hover, hover, hover, hover})
+	st := body.State()
+	st.Pos.Z = -20
+	body.SetState(st)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body.Step(0.002)
+	}
+}
+
+// BenchmarkMicroEKFPredict measures one 15-state EKF prediction.
+func BenchmarkMicroEKFPredict(b *testing.B) {
+	f := ekf.New(ekf.DefaultConfig())
+	s := sensors.IMUSample{Accel: mathx.V3(0, 0, -physics.Gravity)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.T = float64(i) * 0.004
+		f.Predict(s, 0.004)
+	}
+}
+
+// BenchmarkMicroEKFFuseGPS measures one GPS fusion (6 scalar updates).
+func BenchmarkMicroEKFFuseGPS(b *testing.B) {
+	f := ekf.New(ekf.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.FuseGPS(sensors.GPSSample{T: float64(i) * 0.2, Valid: true})
+	}
+}
+
+// BenchmarkMicroInjectorApply measures fault-corruption overhead per IMU
+// sample inside the fault window.
+func BenchmarkMicroInjectorApply(b *testing.B) {
+	j, err := faultinject.New(faultinject.Injection{
+		Primitive: faultinject.Random, Target: faultinject.TargetIMU,
+		Start: 0, Duration: time.Hour, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := sensors.IMUSample{T: 1, Accel: mathx.V3(0, 0, -9.8)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = j.Apply(s)
+	}
+}
+
+// BenchmarkMicroMixerAllocate measures control allocation.
+func BenchmarkMicroMixerAllocate(b *testing.B) {
+	m := physics.NewMixer(physics.DefaultParams())
+	for i := 0; i < b.N; i++ {
+		_ = m.Allocate(14.7, mathx.V3(0.1, -0.1, 0.01))
+	}
+}
+
+// BenchmarkMicroBubbleObserve measures one tracker observation (nearest
+// point on route + dynamic outer bubble).
+func BenchmarkMicroBubbleObserve(b *testing.B) {
+	m := mission.Valencia()[4]
+	tr, err := bubble.NewTracker(m, 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := mathx.V3(2100, 900, -15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Observe(float64(i), p, 3.3)
+	}
+}
+
+// BenchmarkMicroCodecRoundTrip measures telemetry encode+decode.
+func BenchmarkMicroCodecRoundTrip(b *testing.B) {
+	pos := telemetry.Position{TimeSec: 1, X: 2, Y: 3, Z: -15, VX: 1}
+	for i := 0; i < b.N; i++ {
+		f, err := telemetry.EncodePosition(uint8(i), 1, pos)
+		if err != nil {
+			b.Fatal(err)
+		}
+		raw, err := f.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := telemetry.ReadFrameBytes(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroSimTenSeconds measures ten full simulated vehicle-seconds
+// (physics + sensing + EKF + control + monitoring) per iteration — the
+// cost unit behind the campaign's wall-clock time.
+func BenchmarkMicroSimTenSeconds(b *testing.B) {
+	cfg := sim.DefaultConfig()
+	cfg.MaxSimTime = 10 // the mission cannot finish in 10 s: fixed work
+	m := mission.Valencia()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(cfg, m, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Command campaign runs the paper's full fault-injection campaign — 21
+// injection types x 10 Valencia missions x 4 durations plus 10 gold runs
+// (850 cases) — and regenerates Tables I-IV. Results are also written as
+// JSON for later re-rendering with cmd/tables.
+//
+// Usage:
+//
+//	campaign [-workers N] [-seed S] [-out results.json] [-subset mNN]
+//	campaign -print-faultmodel
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"uavres/internal/core"
+	"uavres/internal/faultinject"
+	"uavres/internal/mission"
+	"uavres/internal/paperdata"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		seed       = flag.Int64("seed", 1, "campaign base seed")
+		out        = flag.String("out", "campaign_results.json", "JSON results output path (empty = skip)")
+		subset     = flag.String("subset", "", "only run cases whose ID contains this substring (e.g. \"m04\" or \"gyro\")")
+		scope      = flag.String("scope", "all", "fault scope: all (paper assumption: every redundant IMU) | primary (unit 0 only — redundancy ablation)")
+		faultmodel = flag.Bool("print-faultmodel", false, "print Table I (the fault model) and exit")
+		quiet      = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if *faultmodel {
+		fmt.Print(core.RenderFaultModel())
+		return 0
+	}
+
+	cases := core.Plan(mission.Valencia(), *seed)
+	switch *scope {
+	case "all":
+	case "primary":
+		for i := range cases {
+			if cases[i].Injection != nil {
+				cases[i].Injection.Scope = faultinject.ScopePrimaryUnit
+			}
+		}
+		fmt.Println("campaign: redundancy ablation — faults strike only IMU unit 0")
+	default:
+		fmt.Fprintf(os.Stderr, "campaign: unknown scope %q\n", *scope)
+		return 1
+	}
+	if *subset != "" {
+		var filtered []core.Case
+		for _, c := range cases {
+			if strings.Contains(c.ID, *subset) {
+				filtered = append(filtered, c)
+			}
+		}
+		cases = filtered
+	}
+	if len(cases) == 0 {
+		fmt.Fprintln(os.Stderr, "campaign: no cases selected")
+		return 1
+	}
+	fmt.Printf("campaign: %d cases, seed %d\n", len(cases), *seed)
+
+	runner := core.NewRunner()
+	runner.Workers = *workers
+	if !*quiet {
+		start := time.Now()
+		runner.Progress = func(done, total int) {
+			if done%50 == 0 || done == total {
+				elapsed := time.Since(start).Seconds()
+				fmt.Printf("  %4d/%d (%.0f%%, %.1fs elapsed, ~%.0fs left)\n",
+					done, total, 100*float64(done)/float64(total), elapsed,
+					elapsed/float64(done)*float64(total-done))
+			}
+		}
+	}
+
+	results := runner.RunAll(context.Background(), cases)
+
+	var failures int
+	for _, r := range results {
+		if r.Err != "" {
+			failures++
+			fmt.Fprintf(os.Stderr, "campaign: case %s failed: %s\n", r.Case.ID, r.Err)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println(core.RenderTableII(results))
+	fmt.Println(core.RenderTableIII(results))
+	fmt.Println(core.RenderTableIV(results))
+	if *subset == "" && *scope == "all" {
+		// Shape comparison is only meaningful on the paper's setup.
+		fmt.Println(paperdata.Render(paperdata.Compare(results)))
+	}
+
+	if *out != "" {
+		if err := core.SaveResultsFile(*out, results); err != nil {
+			fmt.Fprintf(os.Stderr, "campaign: saving results: %v\n", err)
+			return 1
+		}
+		fmt.Printf("results written to %s\n", *out)
+	}
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,158 @@
+// Command figures regenerates every figure of the paper's evaluation as
+// SVG files:
+//
+//   - fig2_bubble.svg — the two-layer bubble concept as a time series
+//     (deviation vs. inner/outer radii) for a faulty flight,
+//   - fig3_acc_fixed.svg — Acc Fixed Value, 30 s, fastest drone (paper:
+//     off-trajectory then crash),
+//   - fig4_gyro_random.svg — Gyro Random, 30 s, before a turning point
+//     (paper: cannot stabilize for the turn, failsafe),
+//   - fig5_imu_random.svg — IMU Random, 30 s (paper: fast violent loss),
+//
+// plus altitude companions for figures 3-5.
+//
+// Usage:
+//
+//	figures [-outdir figures/]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"uavres/internal/faultinject"
+	"uavres/internal/mission"
+	"uavres/internal/plot"
+	"uavres/internal/sim"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+type figureSpec struct {
+	name      string
+	missionIx int
+	inj       faultinject.Injection
+	simSeed   int64
+}
+
+func run() int {
+	outdir := flag.String("outdir", "figures", "output directory for SVGs")
+	flag.Parse()
+
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		return 1
+	}
+	missions := mission.Valencia()
+
+	specs := []figureSpec{
+		{
+			name: "fig3_acc_fixed", missionIx: 9,
+			inj: faultinject.Injection{
+				Primitive: faultinject.FixedValue, Target: faultinject.TargetAccel,
+				Start: 90 * time.Second, Duration: 30 * time.Second, Seed: 2,
+			},
+			simSeed: 42,
+		},
+		{
+			name: "fig4_gyro_random", missionIx: 4,
+			inj: faultinject.Injection{
+				Primitive: faultinject.Random, Target: faultinject.TargetGyro,
+				Start: 90 * time.Second, Duration: 30 * time.Second, Seed: 4,
+			},
+			simSeed: 42,
+		},
+		{
+			name: "fig5_imu_random", missionIx: 4,
+			inj: faultinject.Injection{
+				Primitive: faultinject.Random, Target: faultinject.TargetIMU,
+				Start: 90 * time.Second, Duration: 30 * time.Second, Seed: 5,
+			},
+			simSeed: 42,
+		},
+	}
+
+	for _, spec := range specs {
+		m := missions[spec.missionIx]
+		cfg := sim.DefaultConfig()
+		cfg.Seed = spec.simSeed
+		cfg.RecordTrajectory = true
+		res, err := sim.Run(cfg, m, &spec.inj, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			return 1
+		}
+		fmt.Printf("%s: %s on mission %d -> %v (%s%s) at %.1f s\n",
+			spec.name, spec.inj.Label(), m.ID, res.Outcome,
+			res.FailsafeCause, res.CrashReason, res.FlightDurationSec)
+
+		trajPath := filepath.Join(*outdir, spec.name+".svg")
+		if err := writeFigure(trajPath, func(f *os.File) error {
+			return plot.TrajectoryFigure(f, m, res, spec.inj.Start.Seconds())
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			return 1
+		}
+		altPath := filepath.Join(*outdir, spec.name+"_alt.svg")
+		if err := writeFigure(altPath, func(f *os.File) error {
+			return plot.AltitudeFigure(f, res,
+				spec.inj.Start.Seconds(), (spec.inj.Start + spec.inj.Duration).Seconds())
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			return 1
+		}
+	}
+
+	// Figure 2: bubble layers over time during a survivable fault (Acc
+	// Zeros deviates far but completes, exercising both layers).
+	m := missions[4]
+	inj := faultinject.Injection{
+		Primitive: faultinject.Zeros, Target: faultinject.TargetAccel,
+		Start: 90 * time.Second, Duration: 30 * time.Second, Seed: 6,
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Seed = 42
+	var times, devs, inner, outer []float64
+	res, err := sim.Run(cfg, m, &inj, func(tel sim.Telemetry) {
+		times = append(times, tel.T)
+		devs = append(devs, tel.Bubble.Deviation)
+		inner = append(inner, tel.Bubble.InnerRadius)
+		outer = append(outer, tel.Bubble.OuterRadius)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		return 1
+	}
+	fmt.Printf("fig2_bubble: %s on mission %d -> %v, %d/%d violations\n",
+		inj.Label(), m.ID, res.Outcome, res.InnerViolations, res.OuterViolations)
+	bubblePath := filepath.Join(*outdir, "fig2_bubble.svg")
+	if err := writeFigure(bubblePath, func(f *os.File) error {
+		return plot.BubbleFigure(f, times, devs, inner, outer)
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		return 1
+	}
+
+	fmt.Printf("figures written to %s/\n", *outdir)
+	return 0
+}
+
+func writeFigure(path string, render func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = render(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("rendering %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+// Command replay reads a binary flight log written by cmd/uavsim (or the
+// library's flightlog package), prints a summary, and optionally exports
+// CSV or an SVG figure — offline analysis of recorded flights, the same
+// role the paper's platform's log review plays.
+//
+// Usage:
+//
+//	replay -in flight.bin
+//	replay -in flight.bin -csv flight.csv -svg flight.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"uavres/internal/flightlog"
+	"uavres/internal/plot"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		in      = flag.String("in", "", "binary flight log path (required)")
+		csvPath = flag.String("csv", "", "export records as CSV")
+		svgPath = flag.String("svg", "", "export altitude/deviation figure as SVG")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "replay: -in is required")
+		flag.Usage()
+		return 1
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "replay:", err)
+		return 1
+	}
+	hdr, records, err := flightlog.Read(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "replay:", err)
+		return 1
+	}
+
+	fmt.Printf("flight log: mission %d, %q, %d records\n", hdr.MissionID, hdr.Label, len(records))
+	if len(records) == 0 {
+		return 0
+	}
+
+	var (
+		maxAlt, maxDev, maxTilt float64
+		innerViol, outerViol    int
+		faultSamples            int
+		dist                    float64
+	)
+	for i, r := range records {
+		maxAlt = math.Max(maxAlt, -r.TrueZ)
+		maxDev = math.Max(maxDev, r.DeviationM)
+		maxTilt = math.Max(maxTilt, r.TiltDeg)
+		if r.Flags&flightlog.FlagInnerViolation != 0 {
+			innerViol++
+		}
+		if r.Flags&flightlog.FlagOuterViolation != 0 {
+			outerViol++
+		}
+		if r.Flags&flightlog.FlagFaultActive != 0 {
+			faultSamples++
+		}
+		if i > 0 {
+			p := records[i-1]
+			dx, dy, dz := r.TrueX-p.TrueX, r.TrueY-p.TrueY, r.TrueZ-p.TrueZ
+			dist += math.Sqrt(dx*dx + dy*dy + dz*dz)
+		}
+	}
+	span := records[len(records)-1].TimeSec - records[0].TimeSec
+	fmt.Printf("  duration:         %.1f s\n", span)
+	fmt.Printf("  distance (truth): %.3f km\n", dist/1000)
+	fmt.Printf("  max altitude:     %.1f m\n", maxAlt)
+	fmt.Printf("  max deviation:    %.1f m\n", maxDev)
+	fmt.Printf("  max tilt:         %.1f deg\n", maxTilt)
+	fmt.Printf("  violations:       inner=%d outer=%d\n", innerViol, outerViol)
+	if faultSamples > 0 {
+		fmt.Printf("  fault window:     %d samples flagged\n", faultSamples)
+	}
+
+	if *csvPath != "" {
+		out, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "replay:", err)
+			return 1
+		}
+		err = flightlog.WriteCSV(out, records)
+		if cerr := out.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "replay:", err)
+			return 1
+		}
+		fmt.Printf("csv written to %s\n", *csvPath)
+	}
+
+	if *svgPath != "" {
+		times := make([]float64, len(records))
+		alts := make([]float64, len(records))
+		devs := make([]float64, len(records))
+		for i, r := range records {
+			times[i] = r.TimeSec
+			alts[i] = -r.TrueZ
+			devs[i] = r.DeviationM
+		}
+		chart := plot.Chart{
+			Title:  fmt.Sprintf("mission %d — %s", hdr.MissionID, hdr.Label),
+			XLabel: "time (s)",
+			YLabel: "meters",
+			Series: []plot.Series{
+				{Name: "altitude (m)", X: times, Y: alts},
+				{Name: "deviation from route (m)", X: times, Y: devs},
+			},
+		}
+		out, err := os.Create(*svgPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "replay:", err)
+			return 1
+		}
+		err = chart.WriteSVG(out)
+		if cerr := out.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "replay:", err)
+			return 1
+		}
+		fmt.Printf("figure written to %s\n", *svgPath)
+	}
+	return 0
+}

@@ -1,0 +1,68 @@
+// Command report builds the full Markdown analysis report from saved
+// campaign results: the paper's Tables II-IV, the paper-vs-measured shape
+// comparison, and the secondary breakdowns (per-mission, per-speed,
+// failure latency, outcome composition).
+//
+// Usage:
+//
+//	report -in campaign_results.json -out report.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"uavres/internal/analysis"
+	"uavres/internal/core"
+	"uavres/internal/mission"
+	"uavres/internal/paperdata"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		in  = flag.String("in", "campaign_results.json", "campaign results JSON")
+		out = flag.String("out", "", "output Markdown path (default: stdout)")
+	)
+	flag.Parse()
+
+	results, err := core.LoadResultsFile(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		return 1
+	}
+
+	var b strings.Builder
+	b.WriteString("# IMU fault-injection campaign report\n\n")
+	fmt.Fprintf(&b, "Input: %s (%d cases)\n\n", *in, len(results))
+
+	b.WriteString("## Paper tables (measured)\n\n```\n")
+	b.WriteString(core.RenderTableII(results))
+	b.WriteString("\n")
+	b.WriteString(core.RenderTableIII(results))
+	b.WriteString("\n")
+	b.WriteString(core.RenderTableIV(results))
+	b.WriteString("```\n\n")
+
+	b.WriteString("## Paper-vs-measured shape checks\n\n```\n")
+	b.WriteString(paperdata.Render(paperdata.Compare(results)))
+	b.WriteString("```\n\n")
+
+	b.WriteString(analysis.RenderMarkdown(results, mission.Valencia()))
+
+	if *out == "" {
+		fmt.Print(b.String())
+		return 0
+	}
+	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		return 1
+	}
+	fmt.Printf("report written to %s\n", *out)
+	return 0
+}

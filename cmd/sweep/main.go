@@ -1,0 +1,117 @@
+// Command sweep runs one-dimensional parameter sweeps around the paper's
+// fixed design and prints one table per sweep:
+//
+//   - start: injection start time (the paper pins T+90 s) — phase
+//     sensitivity across takeoff, cruise, turns, and landing approach,
+//   - duration: a finer grid than the paper's {2, 5, 10, 30} s,
+//   - threshold: the failsafe gyro-rate threshold (paper default 60 °/s),
+//   - risk: the outer-bubble risk factor R (paper uses 1).
+//
+// Usage:
+//
+//	sweep -kind start -fault gyro:zeros -values 30,60,90,200,420
+//	sweep -kind duration -fault acc:freeze -values 1,2,5,10,20,30
+//	sweep -kind threshold -fault gyro:noise -values 30,60,120,240
+//	sweep -kind risk -fault acc:zeros -values 1,1.5,2,3
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"uavres/internal/faultinject"
+	"uavres/internal/sweep"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		kind      = flag.String("kind", "start", "sweep kind: start | duration | threshold | risk")
+		faultSpec = flag.String("fault", "gyro:zeros", "fault as target:primitive")
+		valuesCSV = flag.String("values", "", "comma-separated sweep values (required)")
+		dur       = flag.Duration("dur", 10*time.Second, "injection duration (fixed unless swept)")
+		start     = flag.Duration("start", 90*time.Second, "injection start (fixed unless swept)")
+		seed      = flag.Int64("seed", 1, "base seed")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	values, err := parseValues(*valuesCSV)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		return 1
+	}
+
+	parts := strings.SplitN(*faultSpec, ":", 2)
+	if len(parts) != 2 {
+		fmt.Fprintf(os.Stderr, "sweep: fault must be target:primitive, got %q\n", *faultSpec)
+		return 1
+	}
+	target, err := faultinject.ParseTarget(parts[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		return 1
+	}
+	prim, err := faultinject.ParsePrimitive(parts[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		return 1
+	}
+
+	cfg := sweep.Config{
+		Primitive: prim, Target: target,
+		Start: *start, Duration: *dur,
+		Seed: *seed, Workers: *workers,
+	}
+	label := fmt.Sprintf("%s %s, 10 missions per value", target, prim)
+
+	ctx := context.Background()
+	var (
+		points []sweep.Point
+		unit   string
+	)
+	switch *kind {
+	case "start":
+		points = sweep.StartTimes(ctx, cfg, values)
+		unit = "start (s)"
+	case "duration":
+		points = sweep.Durations(ctx, cfg, values)
+		unit = "duration (s)"
+	case "threshold":
+		points = sweep.GyroThresholds(ctx, cfg, values)
+		unit = "thresh (°/s)"
+	case "risk":
+		points = sweep.RiskFactors(ctx, cfg, values)
+		unit = "risk R"
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: unknown kind %q\n", *kind)
+		return 1
+	}
+
+	fmt.Print(sweep.Render(label, unit, points))
+	return 0
+}
+
+func parseValues(csv string) ([]float64, error) {
+	if strings.TrimSpace(csv) == "" {
+		return nil, fmt.Errorf("-values is required (e.g. -values 30,60,90)")
+	}
+	parts := strings.Split(csv, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

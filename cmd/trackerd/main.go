@@ -1,0 +1,82 @@
+// Command trackerd runs the U-space tracking service: a telemetry broker
+// plus a tracker that consumes position and bubble reports from every
+// connected vehicle, maintains the airspace picture, and logs separation
+// conflicts — the standalone counterpart of the tracking system in the
+// paper's platform (Fig. 1).
+//
+// Usage:
+//
+//	trackerd -addr 127.0.0.1:14550 [-interval 5s]
+//
+// Vehicles publish frames to the same address (see examples/bubblemonitor
+// for an end-to-end wiring).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"uavres/internal/telemetry"
+	"uavres/internal/uspace"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:14550", "broker listen address")
+		interval = flag.Duration("interval", 5*time.Second, "airspace summary print interval")
+	)
+	flag.Parse()
+
+	broker, err := telemetry.NewBroker(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trackerd:", err)
+		return 1
+	}
+	defer broker.Close()
+	fmt.Printf("trackerd: broker listening on %s\n", broker.Addr())
+
+	tracker := uspace.NewTracker()
+
+	sub, err := telemetry.NewSubscriber(broker.Addr())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trackerd:", err)
+		return 1
+	}
+	defer sub.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = uspace.Pump(sub, tracker)
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+
+	for {
+		select {
+		case <-ticker.C:
+			fmt.Print(tracker.Summary())
+			st := broker.Stats()
+			fmt.Printf("  broker: in=%d out=%d dropped=%d subs=%d pubs=%d\n",
+				st.FramesIn, st.FramesOut, st.Dropped, st.Subscribers, st.Publishers)
+		case <-sig:
+			fmt.Println("trackerd: shutting down")
+			broker.Close()
+			<-done
+			return 0
+		case <-done:
+			return 0
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Acoustic attack scenario: the paper's fault model maps acoustic
+// injection attacks on MEMS gyroscopes (Son et al., USENIX Security'15)
+// to the Random primitive. This example recreates the paper's Figure 4
+// setup — random gyro values injected for 30 seconds just before a
+// turning point — and prints a timeline of the attack's effect on the
+// flight.
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"uavres"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "acousticattack:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Mission 5 turns ~110 s into the flight; an attack window opening at
+	// T+90 s covers the approach to the waypoint and the turn itself.
+	cfg := uavres.DefaultConfig()
+	m := uavres.ValenciaMissions()[4]
+
+	attack := &uavres.Injection{
+		Primitive: uavres.Random, // acoustic resonance: garbage rate output
+		Target:    uavres.TargetGyro,
+		Start:     90 * time.Second,
+		Duration:  30 * time.Second,
+		Seed:      2024,
+	}
+
+	fmt.Printf("acoustic attack on mission %d (%s)\n", m.ID, m.Name)
+	fmt.Printf("attack window: %v + %v (covers the turning point)\n\n", attack.Start, attack.Duration)
+	fmt.Println("   time   deviation   inner-bubble   status")
+
+	res, err := uavres.RunMission(cfg, m, attack, func(tel uavres.Telemetry) {
+		// Print a sparse timeline around the attack window.
+		t := tel.T
+		if t < 80 || t > 135 || int(math.Round(t))%5 != 0 {
+			return
+		}
+		status := "nominal"
+		switch {
+		case attack.Start.Seconds() <= t && t < (attack.Start+attack.Duration).Seconds():
+			status = "UNDER ATTACK"
+		case tel.Bubble.InnerViolated:
+			status = "inner bubble violated"
+		}
+		fmt.Printf("  %5.0fs   %7.2fm   %9.2fm     %s\n",
+			t, tel.Bubble.Deviation, tel.Bubble.InnerRadius, status)
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println()
+	fmt.Printf("outcome: %v", res.Outcome)
+	if res.FailsafeCause != "" {
+		fmt.Printf(" — failsafe engaged (%s), as in the paper's Fig. 4", res.FailsafeCause)
+	}
+	if res.CrashReason != "" {
+		fmt.Printf(" — %s", res.CrashReason)
+	}
+	fmt.Println()
+	fmt.Printf("flight lasted %.1f s of a ~475 s nominal mission\n", res.FlightDurationSec)
+	return nil
+}

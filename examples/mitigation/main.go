@@ -1,0 +1,90 @@
+// Mitigation: the paper's discussion calls for "software-based mitigation
+// techniques in addition to hardware redundancies". This example runs a
+// small head-to-head — representative IMU faults with and without the
+// mitigation pipeline (gyro plausibility clamp, spike-median filter,
+// stuck-sensor guard) — and prints what each mechanism buys, including
+// the one thing it must never do: mask a fault from the failsafe.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"uavres"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mitigation:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	m := uavres.ValenciaMissions()[4]
+	faults := []struct {
+		label string
+		p     uavres.Primitive
+		tg    uavres.Target
+	}{
+		{"frozen gyro (Constant output)", uavres.Freeze, uavres.TargetGyro},
+		{"dead gyro (Gyro failure)", uavres.Zeros, uavres.TargetGyro},
+		{"full-scale gyro (OS attack)", uavres.MinValue, uavres.TargetGyro},
+		{"dead accel (Acc failure)", uavres.Zeros, uavres.TargetAccel},
+	}
+
+	fmt.Printf("mission %d, 10-second faults at T+90 s\n\n", m.ID)
+	fmt.Printf("%-32s %-28s %-28s\n", "fault", "baseline", "with mitigation")
+
+	for _, f := range faults {
+		inj := &uavres.Injection{
+			Primitive: f.p, Target: f.tg,
+			Start: 90 * time.Second, Duration: 10 * time.Second, Seed: 3,
+		}
+		baseline, err := flyOnce(m, inj, false)
+		if err != nil {
+			return err
+		}
+		protected, err := flyOnce(m, inj, true)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-32s %-28s %-28s\n", f.label, describe(baseline), describe(protected))
+	}
+
+	fmt.Println()
+	fmt.Println("the stuck-sensor guard detects constant output (Freeze/Zeros/")
+	fmt.Println("full-scale constants) within ~100 ms — an order of magnitude")
+	fmt.Println("before the 60°/s-threshold path — and converts uncontrolled")
+	fmt.Println("crashes into controlled terminations.")
+	fmt.Println()
+	fmt.Println("two sharp edges, both kept deliberately:")
+	fmt.Println(" 1. the guard is conservative — it also aborts missions the stack")
+	fmt.Println("    could have ridden out (the dead-accelerometer row above")
+	fmt.Println("    completes unprotected). abort policy is a per-sensor decision.")
+	fmt.Println(" 2. detection must read the RAW stream: run")
+	fmt.Println("    `go test -run TestMitigationMaskingHazard ./internal/sim/`")
+	fmt.Println("    to see a smoothing stage mask a fault from the failsafe.")
+	return nil
+}
+
+func flyOnce(m uavres.Mission, inj *uavres.Injection, mitigated bool) (uavres.Result, error) {
+	cfg := uavres.DefaultConfig()
+	cfg.Seed = 3
+	if mitigated {
+		cfg.Mitigation = uavres.DefaultMitigation()
+	}
+	return uavres.RunMission(cfg, m, inj)
+}
+
+func describe(r uavres.Result) string {
+	switch {
+	case r.Outcome == uavres.OutcomeCompleted:
+		return fmt.Sprintf("completed (%.0f s)", r.FlightDurationSec)
+	case r.CrashReason != "":
+		return fmt.Sprintf("CRASH: %s (%.1f s)", r.CrashReason, r.FlightDurationSec)
+	default:
+		return fmt.Sprintf("failsafe: %s (%.1f s)", r.FailsafeCause, r.FlightDurationSec)
+	}
+}

@@ -1,0 +1,3 @@
+module uavres
+
+go 1.24

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"uavres/internal/core"
+	"uavres/internal/faultinject"
+	"uavres/internal/mission"
+	"uavres/internal/sim"
+)
+
+func mk(missionID int, outcome sim.Outcome, inner int, dur float64, crashReason, fsCause string) core.CaseResult {
+	inj := &faultinject.Injection{
+		Primitive: faultinject.Zeros, Target: faultinject.TargetGyro,
+		Start: 90 * time.Second, Duration: 2 * time.Second,
+	}
+	return core.CaseResult{
+		Case: core.Case{ID: "x", MissionID: missionID, Injection: inj},
+		Result: sim.Result{
+			MissionID: missionID, Outcome: outcome,
+			InnerViolations: inner, FlightDurationSec: dur,
+			CrashReason: crashReason, FailsafeCause: fsCause,
+		},
+	}
+}
+
+func sample() []core.CaseResult {
+	return []core.CaseResult{
+		mk(1, sim.OutcomeCompleted, 2, 470, "", ""),
+		mk(1, sim.OutcomeCrash, 5, 95, "hard impact", ""),
+		mk(2, sim.OutcomeFailsafe, 1, 100, "", "gyro-rate"),
+		mk(2, sim.OutcomeCrash, 3, 92, "flip-over", ""),
+		mk(10, sim.OutcomeCompleted, 0, 460, "", ""),
+		// Gold and errored cases must be excluded everywhere.
+		{Case: core.Case{ID: "gold", MissionID: 1}, Result: sim.Result{Outcome: sim.OutcomeCompleted}},
+		{Case: core.Case{ID: "err", MissionID: 3}, Err: "boom"},
+	}
+}
+
+func TestByMission(t *testing.T) {
+	rows := ByMission(sample(), mission.Valencia())
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	m1 := rows[0]
+	if m1.MissionID != 1 || m1.N != 2 || m1.CompletedPct != 50 || m1.CrashPct != 50 {
+		t.Errorf("mission 1 breakdown = %+v", m1)
+	}
+	if m1.MeanInner != 3.5 {
+		t.Errorf("mission 1 mean inner = %v, want 3.5", m1.MeanInner)
+	}
+	if m1.SpeedKmh != 5 {
+		t.Errorf("mission 1 speed = %v, want 5 km/h", m1.SpeedKmh)
+	}
+	m10 := rows[2]
+	if m10.MissionID != 10 || m10.SpeedKmh != 25 || !m10.HasTurns {
+		t.Errorf("mission 10 breakdown = %+v", m10)
+	}
+}
+
+func TestBySpeed(t *testing.T) {
+	rows := BySpeed(sample(), mission.Valencia())
+	// Missions 1 (5 km/h), 2 (5 km/h), 10 (25 km/h) -> two speed classes.
+	if len(rows) != 2 {
+		t.Fatalf("speed rows = %d, want 2", len(rows))
+	}
+	if rows[0].SpeedKmh != 5 || rows[0].Missions != 2 || rows[0].N != 4 {
+		t.Errorf("5 km/h row = %+v", rows[0])
+	}
+	if rows[1].SpeedKmh != 25 || rows[1].CompletedPct != 100 {
+		t.Errorf("25 km/h row = %+v", rows[1])
+	}
+}
+
+func TestFailureLatency(t *testing.T) {
+	lat := FailureLatency(sample())
+	// Failed runs at 95, 100, 92 s with onset 90 -> latencies 5, 10, 2.
+	if lat.N != 3 {
+		t.Fatalf("latency N = %d", lat.N)
+	}
+	if lat.OnsetS != 90 {
+		t.Errorf("onset = %v", lat.OnsetS)
+	}
+	wantMean := (5.0 + 10 + 2) / 3
+	if lat.MeanS != wantMean {
+		t.Errorf("mean = %v, want %v", lat.MeanS, wantMean)
+	}
+	if lat.P50S != 5 || lat.MaxS != 10 {
+		t.Errorf("p50/max = %v/%v", lat.P50S, lat.MaxS)
+	}
+}
+
+func TestFailureLatencyEmpty(t *testing.T) {
+	if got := FailureLatency(nil); got.N != 0 {
+		t.Errorf("empty latency = %+v", got)
+	}
+}
+
+func TestCauseComposition(t *testing.T) {
+	comp := CauseComposition(sample())
+	if comp["completed"] != 2 {
+		t.Errorf("completed = %d", comp["completed"])
+	}
+	if comp["crash: hard impact"] != 1 || comp["crash: flip-over"] != 1 {
+		t.Errorf("crash causes = %+v", comp)
+	}
+	if comp["failsafe: gyro-rate"] != 1 {
+		t.Errorf("failsafe causes = %+v", comp)
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	md := RenderMarkdown(sample(), mission.Valencia())
+	for _, want := range []string{
+		"# Campaign secondary analysis",
+		"Per-mission sensitivity",
+		"Per-speed-class sensitivity",
+		"Failure latency",
+		"Outcome composition",
+		"north-south slow survey", // mission 1's name
+		"crash: hard impact",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+}

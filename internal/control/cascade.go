@@ -1,0 +1,233 @@
+package control
+
+import (
+	"math"
+
+	"uavres/internal/mathx"
+	"uavres/internal/physics"
+)
+
+// Gains collects the cascade's tuning constants.
+type Gains struct {
+	// PosP is the position-error → velocity-setpoint gain (horizontal,
+	// horizontal, vertical).
+	PosP mathx.Vec3
+	// VelP/VelI are the velocity-loop PID gains producing an acceleration
+	// setpoint.
+	VelP mathx.Vec3
+	VelI mathx.Vec3
+	// AttP is the attitude-error → rate-setpoint gain.
+	AttP mathx.Vec3
+	// RateP/RateI/RateD are the body-rate loop gains producing an angular
+	// acceleration setpoint (multiplied by inertia into torque).
+	RateP mathx.Vec3
+	RateI mathx.Vec3
+	RateD mathx.Vec3
+	// MaxTiltRad limits commanded tilt.
+	MaxTiltRad float64
+	// MaxRate limits commanded body rates (roll/pitch X,Y; yaw Z), rad/s.
+	MaxRate mathx.Vec3
+	// MaxAccel limits the commanded horizontal acceleration (m/s^2).
+	MaxAccel float64
+}
+
+// DefaultGains returns tuning for the physics.DefaultParams airframe.
+func DefaultGains() Gains {
+	return Gains{
+		PosP:       mathx.V3(0.95, 0.95, 1.2),
+		VelP:       mathx.V3(3.0, 3.0, 4.0),
+		VelI:       mathx.V3(0.6, 0.6, 1.2),
+		AttP:       mathx.V3(7.0, 7.0, 3.0),
+		RateP:      mathx.V3(18, 18, 10),
+		RateI:      mathx.V3(6, 6, 4),
+		RateD:      mathx.V3(0.12, 0.12, 0),
+		MaxTiltRad: mathx.Deg2Rad(35),
+		MaxRate:    mathx.V3(3.8, 3.8, 1.6),
+		MaxAccel:   6,
+	}
+}
+
+// Estimate is the navigation solution the outer loops consume (from the
+// EKF; never ground truth).
+type Estimate struct {
+	Att mathx.Quat
+	Vel mathx.Vec3
+	Pos mathx.Vec3
+}
+
+// Setpoint is the guidance command for one control cycle.
+type Setpoint struct {
+	// Pos is the position target (NED m).
+	Pos mathx.Vec3
+	// VelFF is a feed-forward velocity added to the position loop output
+	// (used for trajectory tracking and forced descent during landing).
+	VelFF mathx.Vec3
+	// Yaw is the heading target (rad).
+	Yaw float64
+	// CruiseSpeed limits horizontal speed (m/s).
+	CruiseSpeed float64
+	// MaxClimb and MaxDescend limit vertical speed (m/s, both positive).
+	MaxClimb   float64
+	MaxDescend float64
+}
+
+// Diag exposes intermediate cascade quantities for logging and tests.
+type Diag struct {
+	VelSp    mathx.Vec3
+	AccSp    mathx.Vec3
+	AttSp    mathx.Quat
+	RateSp   mathx.Vec3
+	ThrustN  float64
+	TorqueNm mathx.Vec3
+}
+
+// Controller is the cascaded flight controller. Not safe for concurrent
+// use; each vehicle owns one.
+type Controller struct {
+	gains  Gains
+	params physics.Params
+	mixer  physics.Mixer
+
+	velPID  *PID3
+	ratePID *PID3
+}
+
+// New returns a controller for the given airframe, with loops running
+// every dt seconds.
+func New(gains Gains, params physics.Params, dt float64) *Controller {
+	return &Controller{
+		gains:  gains,
+		params: params,
+		mixer:  physics.NewMixer(params),
+		velPID: NewPID3(
+			gains.VelP, gains.VelI, mathx.Zero3,
+			mathx.V3(3, 3, 4),  // integral clamp (m/s^2)
+			mathx.V3(8, 8, 12), // acceleration clamp (m/s^2)
+			10, dt,
+		),
+		ratePID: NewPID3(
+			gains.RateP, gains.RateI, gains.RateD,
+			mathx.V3(8, 8, 4),    // integral clamp (rad/s^2)
+			mathx.V3(80, 80, 40), // angular accel clamp (rad/s^2)
+			30, dt,
+		),
+	}
+}
+
+// Reset clears all integrators (rearm / mode change).
+func (c *Controller) Reset() {
+	c.velPID.Reset()
+	c.ratePID.Reset()
+}
+
+// Update runs one full cascade cycle and returns normalized motor
+// commands. est comes from the EKF; gyroRaw is the raw (possibly
+// fault-corrupted) gyro stream feeding the innermost loop.
+func (c *Controller) Update(dt float64, est Estimate, gyroRaw mathx.Vec3, sp Setpoint) ([4]float64, Diag) {
+	var d Diag
+
+	// --- Position loop: position error -> velocity setpoint.
+	posErr := sp.Pos.Sub(est.Pos)
+	velSp := posErr.Hadamard(c.gains.PosP).Add(sp.VelFF)
+	// Horizontal speed limit.
+	cruise := sp.CruiseSpeed
+	if cruise <= 0 {
+		cruise = 5
+	}
+	if h := velSp.NormXY(); h > cruise {
+		scale := cruise / h
+		velSp.X *= scale
+		velSp.Y *= scale
+	}
+	maxClimb, maxDescend := sp.MaxClimb, sp.MaxDescend
+	if maxClimb <= 0 {
+		maxClimb = 3
+	}
+	if maxDescend <= 0 {
+		maxDescend = 1.5
+	}
+	velSp.Z = mathx.Clamp(velSp.Z, -maxClimb, maxDescend) // NED: -Z is up
+	d.VelSp = velSp
+
+	// --- Velocity loop: velocity error -> acceleration setpoint.
+	accSp := c.velPID.Update(velSp.Sub(est.Vel), dt)
+	if h := accSp.NormXY(); h > c.gains.MaxAccel {
+		scale := c.gains.MaxAccel / h
+		accSp.X *= scale
+		accSp.Y *= scale
+	}
+	d.AccSp = accSp
+
+	// --- Acceleration -> thrust vector and attitude setpoint.
+	// Desired specific force (thrust/mass) must provide accSp and cancel
+	// gravity: f = accSp - g_NED, pointing mostly up (-Z).
+	fSp := accSp.Sub(mathx.V3(0, 0, physics.Gravity))
+	if fSp.Z > -1 {
+		fSp.Z = -1 // never command a downward or zero thrust vector
+	}
+	fSp = limitTilt(fSp, c.gains.MaxTiltRad)
+	attSp := attitudeFromThrust(fSp, sp.Yaw)
+	d.AttSp = attSp
+
+	// Thrust magnitude: project the desired specific force on the CURRENT
+	// body up-axis so tilt transients do not lose altitude. Both vectors
+	// point "up" (negative NED Z), so the projection is positive.
+	bodyUp := est.Att.Rotate(mathx.V3(0, 0, -1))
+	thrustN := c.params.MassKg * math.Max(0.5, fSp.Dot(bodyUp))
+	maxThrust := 4 * c.params.MaxThrustPerRotorN * 0.95
+	thrustN = mathx.Clamp(thrustN, 0.05*maxThrust, maxThrust)
+	d.ThrustN = thrustN
+
+	// --- Attitude loop: quaternion error -> body rate setpoint.
+	qErr := est.Att.Conj().Mul(attSp)
+	if qErr.W < 0 { // shortest rotation
+		qErr = mathx.Quat{W: -qErr.W, X: -qErr.X, Y: -qErr.Y, Z: -qErr.Z}
+	}
+	attErrVec := mathx.V3(qErr.X, qErr.Y, qErr.Z).Scale(2)
+	rateSp := attErrVec.Hadamard(c.gains.AttP).ClampVec(c.gains.MaxRate)
+	d.RateSp = rateSp
+
+	// --- Rate loop on RAW gyro: rate error -> angular accel -> torque.
+	alphaSp := c.ratePID.Update(rateSp.Sub(gyroRaw), dt)
+	torque := alphaSp.Hadamard(c.params.Inertia)
+	d.TorqueNm = torque
+
+	return c.mixer.Allocate(thrustN, torque), d
+}
+
+// limitTilt restricts the thrust vector's angle from vertical while
+// preserving its vertical component.
+func limitTilt(f mathx.Vec3, maxTilt float64) mathx.Vec3 {
+	up := -f.Z // positive
+	if up <= 0 {
+		return f
+	}
+	maxHoriz := up * math.Tan(maxTilt)
+	if h := f.NormXY(); h > maxHoriz {
+		scale := maxHoriz / h
+		f.X *= scale
+		f.Y *= scale
+	}
+	return f
+}
+
+// attitudeFromThrust builds the attitude whose body -Z axis aligns with
+// the desired thrust direction and whose heading is yaw.
+func attitudeFromThrust(fSp mathx.Vec3, yaw float64) mathx.Quat {
+	zB := fSp.Neg().Normalized() // body +Z (down) opposes thrust
+	xC := mathx.V3(math.Cos(yaw), math.Sin(yaw), 0)
+	yB := zB.Cross(xC)
+	if yB.Norm() < 1e-6 {
+		// Degenerate: thrust nearly horizontal along heading; fall back.
+		yB = mathx.V3(-math.Sin(yaw), math.Cos(yaw), 0)
+	}
+	yB = yB.Normalized()
+	xB := yB.Cross(zB)
+	var m mathx.Mat3
+	for i, col := range []mathx.Vec3{xB, yB, zB} {
+		m.M[0][i] = col.X
+		m.M[1][i] = col.Y
+		m.M[2][i] = col.Z
+	}
+	return mathx.QuatFromMatrix(m)
+}

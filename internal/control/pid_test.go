@@ -1,0 +1,76 @@
+package control
+
+import (
+	"math"
+	"testing"
+
+	"uavres/internal/mathx"
+)
+
+func TestPIDProportional(t *testing.T) {
+	c := NewPID(2, 0, 0, 0, 0, 30, 0.01)
+	if got := c.Update(3, 0.01); got != 6 {
+		t.Errorf("P-only output = %v, want 6", got)
+	}
+}
+
+func TestPIDIntegralAccumulatesAndClamps(t *testing.T) {
+	c := NewPID(0, 1, 0, 0.5, 0, 30, 0.01)
+	var out float64
+	for i := 0; i < 1000; i++ {
+		out = c.Update(1, 0.01)
+	}
+	if math.Abs(out-0.5) > 1e-9 {
+		t.Errorf("integral output = %v, want clamped at 0.5", out)
+	}
+	if got := c.Integral(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("Integral() = %v", got)
+	}
+}
+
+func TestPIDOutputLimit(t *testing.T) {
+	c := NewPID(100, 0, 0, 0, 5, 30, 0.01)
+	if got := c.Update(10, 0.01); got != 5 {
+		t.Errorf("output = %v, want clamped 5", got)
+	}
+	if got := c.Update(-10, 0.01); got != -5 {
+		t.Errorf("output = %v, want clamped -5", got)
+	}
+}
+
+func TestPIDDerivativeOpposesChange(t *testing.T) {
+	c := NewPID(0, 0, 1, 0, 0, 50, 0.01)
+	c.Update(0, 0.01)
+	// Error jumping upward gives a positive derivative term.
+	got := c.Update(1, 0.01)
+	if got <= 0 {
+		t.Errorf("derivative response = %v, want > 0", got)
+	}
+}
+
+func TestPIDReset(t *testing.T) {
+	c := NewPID(1, 1, 1, 10, 0, 30, 0.01)
+	for i := 0; i < 100; i++ {
+		c.Update(2, 0.01)
+	}
+	c.Reset()
+	if c.Integral() != 0 {
+		t.Error("Reset did not clear integral")
+	}
+	// After reset, a zero error yields zero output.
+	if got := c.Update(0, 0.01); got != 0 {
+		t.Errorf("output after reset = %v, want 0", got)
+	}
+}
+
+func TestPID3IndependentAxes(t *testing.T) {
+	c := NewPID3(
+		mathx.V3(1, 2, 3), mathx.Zero3, mathx.Zero3,
+		mathx.V3(1, 1, 1), mathx.Zero3, 30, 0.01,
+	)
+	got := c.Update(mathx.V3(1, 1, 1), 0.01)
+	want := mathx.V3(1, 2, 3)
+	if got != want {
+		t.Errorf("PID3 output = %v, want %v", got, want)
+	}
+}

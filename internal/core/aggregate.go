@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"uavres/internal/faultinject"
+	"uavres/internal/sim"
+)
+
+// GroupStats aggregates one table row: the mean metrics over a group of
+// runs, in the paper's units.
+type GroupStats struct {
+	// Label names the group ("Gold Run", "2 seconds", "Gyro Freeze", ...).
+	Label string `json:"label"`
+	// N is the number of runs aggregated.
+	N int `json:"n"`
+	// InnerViolations and OuterViolations are mean per-run counts.
+	InnerViolations float64 `json:"inner_violations"`
+	OuterViolations float64 `json:"outer_violations"`
+	// CompletedPct is the percentage of missions completed.
+	CompletedPct float64 `json:"completed_pct"`
+	// DurationSec and DistanceKm are mean flight duration and distance.
+	DurationSec float64 `json:"duration_sec"`
+	DistanceKm  float64 `json:"distance_km"`
+	// FailedPct is 100 - CompletedPct.
+	FailedPct float64 `json:"failed_pct"`
+	// CrashPct and FailsafePct split the FAILED runs (timeouts are
+	// grouped with failsafe: an operator would have terminated them).
+	CrashPct    float64 `json:"crash_pct"`
+	FailsafePct float64 `json:"failsafe_pct"`
+}
+
+func aggregate(label string, runs []sim.Result) GroupStats {
+	g := GroupStats{Label: label, N: len(runs)}
+	if len(runs) == 0 {
+		return g
+	}
+	var completed, crashed, failsafed int
+	for _, r := range runs {
+		g.InnerViolations += float64(r.InnerViolations)
+		g.OuterViolations += float64(r.OuterViolations)
+		g.DurationSec += r.FlightDurationSec
+		g.DistanceKm += r.DistanceKm
+		switch r.Outcome {
+		case sim.OutcomeCompleted:
+			completed++
+		case sim.OutcomeCrash:
+			crashed++
+		default: // failsafe and timeout
+			failsafed++
+		}
+	}
+	n := float64(len(runs))
+	g.InnerViolations /= n
+	g.OuterViolations /= n
+	g.DurationSec /= n
+	g.DistanceKm /= n
+	g.CompletedPct = 100 * float64(completed) / n
+	g.FailedPct = 100 - g.CompletedPct
+	if failed := crashed + failsafed; failed > 0 {
+		g.CrashPct = 100 * float64(crashed) / float64(failed)
+		g.FailsafePct = 100 * float64(failsafed) / float64(failed)
+	}
+	return g
+}
+
+// ok filters out infrastructure failures and returns the flight results.
+func ok(results []CaseResult) (gold, faulty []CaseResult) {
+	for _, cr := range results {
+		if cr.Err != "" {
+			continue
+		}
+		if cr.Case.Injection == nil {
+			gold = append(gold, cr)
+		} else {
+			faulty = append(faulty, cr)
+		}
+	}
+	return gold, faulty
+}
+
+func sims(crs []CaseResult) []sim.Result {
+	out := make([]sim.Result, 0, len(crs))
+	for _, cr := range crs {
+		out = append(out, cr.Result)
+	}
+	return out
+}
+
+// GoldStats aggregates the fault-free reference runs.
+func GoldStats(results []CaseResult) GroupStats {
+	gold, _ := ok(results)
+	return aggregate("Gold Run", sims(gold))
+}
+
+// ByDuration groups faulty runs by injection duration (Table II rows).
+// Rows are ordered by increasing duration.
+func ByDuration(results []CaseResult) []GroupStats {
+	_, faulty := ok(results)
+	groups := map[time.Duration][]sim.Result{}
+	for _, cr := range faulty {
+		d := cr.Case.Injection.Duration
+		groups[d] = append(groups[d], cr.Result)
+	}
+	durs := make([]time.Duration, 0, len(groups))
+	for d := range groups {
+		durs = append(durs, d)
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	out := make([]GroupStats, 0, len(durs))
+	for _, d := range durs {
+		out = append(out, aggregate(fmt.Sprintf("%d seconds", int(d.Seconds())), groups[d]))
+	}
+	return out
+}
+
+// ByFault groups faulty runs by the 21 injection labels (Table III rows).
+// Rows are grouped by component (Acc, Gyro, IMU) and sorted by descending
+// completion within each component, matching the paper's presentation.
+func ByFault(results []CaseResult) []GroupStats {
+	_, faulty := ok(results)
+	groups := map[string][]sim.Result{}
+	for _, cr := range faulty {
+		label := cr.Case.Injection.Label()
+		groups[label] = append(groups[label], cr.Result)
+	}
+	var out []GroupStats
+	for _, target := range faultinject.Targets() {
+		var rows []GroupStats
+		for label, runs := range groups {
+			if strings.HasPrefix(label, target.String()+" ") {
+				rows = append(rows, aggregate(label, runs))
+			}
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].CompletedPct != rows[j].CompletedPct {
+				return rows[i].CompletedPct > rows[j].CompletedPct
+			}
+			return rows[i].Label < rows[j].Label
+		})
+		out = append(out, rows...)
+	}
+	return out
+}
+
+// ByComponent groups faulty runs by injection target (Table IV, bottom).
+func ByComponent(results []CaseResult) []GroupStats {
+	_, faulty := ok(results)
+	groups := map[faultinject.Target][]sim.Result{}
+	for _, cr := range faulty {
+		tg := cr.Case.Injection.Target
+		groups[tg] = append(groups[tg], cr.Result)
+	}
+	out := make([]GroupStats, 0, 3)
+	for _, tg := range faultinject.Targets() {
+		if runs, exists := groups[tg]; exists {
+			out = append(out, aggregate(tg.String(), runs))
+		}
+	}
+	return out
+}
+
+// Find returns the stats row with the given label, if present.
+func Find(rows []GroupStats, label string) (GroupStats, bool) {
+	for _, r := range rows {
+		if r.Label == label {
+			return r, true
+		}
+	}
+	return GroupStats{}, false
+}

@@ -1,0 +1,6 @@
+package core
+
+import "uavres/internal/faultinject"
+
+// registryFunc forwards to the fault-model registry.
+func registryFunc() []faultinject.FaultClass { return faultinject.Registry() }

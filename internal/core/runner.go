@@ -1,0 +1,128 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"uavres/internal/mission"
+	"uavres/internal/sim"
+)
+
+// Runner executes campaign cases over a worker pool. Each case is an
+// independent, deterministic simulation, so the pool scales linearly.
+type Runner struct {
+	// Config is the per-run simulation configuration (the Seed field is
+	// overridden per case).
+	Config sim.Config
+	// Workers is the pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// Missions indexes the scenario by mission ID; nil means the
+	// Valencia scenario.
+	Missions []mission.Mission
+	// Progress, if non-nil, is called after every completed case with
+	// (done, total). Calls are serialized.
+	Progress func(done, total int)
+}
+
+// NewRunner returns a runner with the default campaign configuration.
+func NewRunner() *Runner {
+	return &Runner{Config: sim.DefaultConfig()}
+}
+
+// missionByID resolves a mission from the runner's scenario.
+func (r *Runner) missionByID(id int) (mission.Mission, error) {
+	ms := r.Missions
+	if ms == nil {
+		ms = mission.Valencia()
+	}
+	for _, m := range ms {
+		if m.ID == id {
+			return m, nil
+		}
+	}
+	return mission.Mission{}, fmt.Errorf("core: unknown mission id %d", id)
+}
+
+// RunAll executes every case and returns results in the input order.
+// Individual case failures are recorded in CaseResult.Err rather than
+// aborting the campaign; ctx cancellation stops scheduling new cases.
+func (r *Runner) RunAll(ctx context.Context, cases []Case) []CaseResult {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cases) {
+		workers = len(cases)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	results := make([]CaseResult, len(cases))
+	indexCh := make(chan int)
+
+	var (
+		wg       sync.WaitGroup
+		doneMu   sync.Mutex
+		doneObs  int
+		progress = r.Progress
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range indexCh {
+				results[idx] = r.runCase(cases[idx])
+				if progress != nil {
+					doneMu.Lock()
+					doneObs++
+					progress(doneObs, len(cases))
+					doneMu.Unlock()
+				}
+			}
+		}()
+	}
+
+feed:
+	for i := range cases {
+		select {
+		case <-ctx.Done():
+			break feed
+		case indexCh <- i:
+		}
+	}
+	close(indexCh)
+	wg.Wait()
+
+	// Cases never scheduled (cancelled) are marked explicitly.
+	for i := range results {
+		if results[i].Case.ID == "" {
+			results[i] = CaseResult{Case: cases[i], Err: "cancelled"}
+		}
+	}
+	return results
+}
+
+func (r *Runner) runCase(c Case) CaseResult {
+	m, err := r.missionByID(c.MissionID)
+	if err != nil {
+		return CaseResult{Case: c, Err: err.Error()}
+	}
+	cfg := r.Config
+	cfg.Seed = c.Seed
+	res, err := sim.Run(cfg, m, c.Injection, nil)
+	if err != nil {
+		return CaseResult{Case: c, Err: err.Error()}
+	}
+	return CaseResult{Case: c, Result: res}
+}
+
+// SortByID orders results by case ID (stable presentation for reports).
+func SortByID(results []CaseResult) {
+	sort.Slice(results, func(i, j int) bool {
+		return results[i].Case.ID < results[j].Case.ID
+	})
+}

@@ -1,0 +1,473 @@
+package ekf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"uavres/internal/mathx"
+	"uavres/internal/physics"
+	"uavres/internal/sensors"
+)
+
+// stationarySample is the ideal IMU output of a vehicle at rest: gravity
+// reaction along body -Z, zero rates.
+func stationarySample(t float64) sensors.IMUSample {
+	return sensors.IMUSample{
+		T:     t,
+		Accel: mathx.V3(0, 0, -physics.Gravity),
+		Gyro:  mathx.Zero3,
+	}
+}
+
+func TestStationaryFilterStaysPut(t *testing.T) {
+	f := New(DefaultConfig())
+	const dt = 0.004
+	for i := 0; i < 5000; i++ { // 20 s
+		tm := float64(i) * dt
+		f.Predict(stationarySample(tm), dt)
+		if i%50 == 0 { // 5 Hz GPS
+			f.FuseGPS(sensors.GPSSample{T: tm, Valid: true})
+		}
+		if i%10 == 0 { // 25 Hz baro
+			f.FuseBaro(sensors.BaroSample{T: tm, AltM: 0})
+		}
+	}
+	st := f.State()
+	if st.Pos.Norm() > 0.2 {
+		t.Errorf("stationary position drifted to %v", st.Pos)
+	}
+	if st.Vel.Norm() > 0.1 {
+		t.Errorf("stationary velocity drifted to %v", st.Vel)
+	}
+	if st.Att.TiltAngle() > 0.02 {
+		t.Errorf("stationary tilt drifted to %v rad", st.Att.TiltAngle())
+	}
+	if f.Health().Diverged {
+		t.Error("filter diverged on clean stationary data")
+	}
+}
+
+func TestCovarianceContractsWithAiding(t *testing.T) {
+	f := New(DefaultConfig())
+	before := f.Covariance(idxPos)
+	const dt = 0.004
+	for i := 0; i < 2500; i++ {
+		tm := float64(i) * dt
+		f.Predict(stationarySample(tm), dt)
+		if i%50 == 0 {
+			f.FuseGPS(sensors.GPSSample{T: tm, Valid: true})
+		}
+	}
+	after := f.Covariance(idxPos)
+	if after >= before {
+		t.Errorf("position variance did not contract: %v -> %v", before, after)
+	}
+}
+
+func TestCovarianceGrowsWithoutAiding(t *testing.T) {
+	f := New(DefaultConfig())
+	const dt = 0.004
+	start := f.Covariance(idxPos)
+	for i := 0; i < 2500; i++ {
+		f.Predict(stationarySample(float64(i)*dt), dt)
+	}
+	if got := f.Covariance(idxPos); got <= start {
+		t.Errorf("dead-reckoning variance did not grow: %v -> %v", start, got)
+	}
+}
+
+func TestGyroBiasEstimation(t *testing.T) {
+	f := New(DefaultConfig())
+	bias := mathx.V3(0.02, -0.015, 0)
+	const dt = 0.004
+	for i := 0; i < 25000; i++ { // 100 s
+		tm := float64(i) * dt
+		s := stationarySample(tm)
+		s.Gyro = s.Gyro.Add(bias) // sensor reads true rate + bias
+		f.Predict(s, dt)
+		if i%50 == 0 {
+			f.FuseGPS(sensors.GPSSample{T: tm, Valid: true})
+		}
+		if i%10 == 0 {
+			f.FuseBaro(sensors.BaroSample{T: tm, AltM: 0})
+		}
+	}
+	got := f.State().GyroBias
+	// X/Y gyro bias is observable through gravity leveling + GPS.
+	if math.Abs(got.X-bias.X) > 0.006 || math.Abs(got.Y-bias.Y) > 0.006 {
+		t.Errorf("gyro bias estimate %v, want ~%v", got, bias)
+	}
+}
+
+func TestTrackingConstantVelocityFlight(t *testing.T) {
+	f := New(DefaultConfig())
+	vel := mathx.V3(4, 3, 0)
+	f.Reset(State{Att: mathx.QuatIdentity(), Vel: vel, Pos: mathx.Zero3})
+	const dt = 0.004
+	for i := 0; i < 12500; i++ { // 50 s of level cruise
+		tm := float64(i) * dt
+		truePos := vel.Scale(tm)
+		f.Predict(stationarySample(tm), dt) // level flight: same specific force as rest
+		if i%50 == 0 {
+			f.FuseGPS(sensors.GPSSample{T: tm, PosNED: truePos, VelNED: vel, Valid: true})
+		}
+		if i%10 == 0 {
+			f.FuseBaro(sensors.BaroSample{T: tm, AltM: 0})
+		}
+	}
+	st := f.State()
+	wantPos := vel.Scale(12500 * dt)
+	if st.Pos.Sub(wantPos).Norm() > 1 {
+		t.Errorf("tracked position %v, want ~%v", st.Pos, wantPos)
+	}
+	if st.Vel.Sub(vel).Norm() > 0.2 {
+		t.Errorf("tracked velocity %v, want %v", st.Vel, vel)
+	}
+}
+
+func TestYawCourseAiding(t *testing.T) {
+	f := New(DefaultConfig())
+	// Vehicle actually flying north-east (course 45°) but filter believes
+	// yaw 0; course aiding must pull yaw toward 45°.
+	vel := mathx.V3(4, 4, 0)
+	f.Reset(State{Att: mathx.QuatIdentity(), Vel: vel})
+	const dt = 0.004
+	for i := 0; i < 12500; i++ {
+		tm := float64(i) * dt
+		f.Predict(stationarySample(tm), dt)
+		if i%50 == 0 {
+			f.FuseGPS(sensors.GPSSample{T: tm, PosNED: vel.Scale(tm), VelNED: vel, Valid: true})
+		}
+	}
+	_, _, yaw := f.State().Att.Euler()
+	if math.Abs(mathx.WrapPi(yaw-math.Pi/4)) > 0.1 {
+		t.Errorf("yaw after course aiding = %v rad, want ~pi/4", yaw)
+	}
+}
+
+func TestYawAidingSkippedWhenSlow(t *testing.T) {
+	f := New(DefaultConfig())
+	// Hovering: course is meaningless and must not be fused.
+	const dt = 0.004
+	for i := 0; i < 2500; i++ {
+		tm := float64(i) * dt
+		f.Predict(stationarySample(tm), dt)
+		if i%50 == 0 {
+			f.FuseGPS(sensors.GPSSample{T: tm, VelNED: mathx.V3(0.2, 0.3, 0), Valid: true})
+		}
+	}
+	_, _, yaw := f.State().Att.Euler()
+	if math.Abs(yaw) > 0.05 {
+		t.Errorf("hover yaw pulled to %v by bogus course", yaw)
+	}
+}
+
+func TestInnovationGateRejectsOutlier(t *testing.T) {
+	f := New(DefaultConfig())
+	const dt = 0.004
+	// Settle first.
+	for i := 0; i < 2500; i++ {
+		tm := float64(i) * dt
+		f.Predict(stationarySample(tm), dt)
+		if i%50 == 0 {
+			f.FuseGPS(sensors.GPSSample{T: tm, Valid: true})
+		}
+	}
+	before := f.State()
+	// A 500 m jump is far outside any gate.
+	f.FuseGPS(sensors.GPSSample{T: 10.0, PosNED: mathx.V3(500, 500, -500), Valid: true})
+	after := f.State()
+	if after.Pos.Sub(before.Pos).Norm() > 0.5 {
+		t.Errorf("outlier moved estimate by %v m", after.Pos.Sub(before.Pos).Norm())
+	}
+	if f.Health().LastGPSRatio <= 1 {
+		t.Errorf("outlier test ratio = %v, want > 1", f.Health().LastGPSRatio)
+	}
+}
+
+func TestGPSRejectionTimeAccumulates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GPSResetSec = 0 // isolate the rejection clock from resets
+	f := New(cfg)
+	const dt = 0.004
+	for i := 0; i < 2500; i++ {
+		tm := float64(i) * dt
+		f.Predict(stationarySample(tm), dt)
+		if i%50 == 0 {
+			f.FuseGPS(sensors.GPSSample{T: tm, Valid: true})
+		}
+	}
+	// Feed outliers for 3 seconds of GPS time.
+	for i := 0; i < 15; i++ {
+		tm := 10 + float64(i)*0.2
+		f.Predict(stationarySample(tm), dt)
+		f.FuseGPS(sensors.GPSSample{T: tm, PosNED: mathx.V3(900, 0, 0), Valid: true})
+	}
+	if got := f.Health().GPSRejectSec; got < 2.0 {
+		t.Errorf("GPSRejectSec = %v, want >= ~2.8", got)
+	}
+	// A good fix clears the rejection clock.
+	f.FuseGPS(sensors.GPSSample{T: 13.2, Valid: true})
+	if got := f.Health().GPSRejectSec; got != 0 {
+		t.Errorf("GPSRejectSec after good fix = %v, want 0", got)
+	}
+}
+
+func TestBaroRejectionHealth(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BaroResetSec = 0 // isolate the rejection clock from resets
+	f := New(cfg)
+	const dt = 0.004
+	for i := 0; i < 2500; i++ {
+		tm := float64(i) * dt
+		f.Predict(stationarySample(tm), dt)
+		if i%10 == 0 {
+			f.FuseBaro(sensors.BaroSample{T: tm, AltM: 0})
+		}
+	}
+	for i := 0; i < 50; i++ {
+		tm := 10 + float64(i)*0.04
+		f.FuseBaro(sensors.BaroSample{T: tm, AltM: 500})
+	}
+	if got := f.Health().BaroRejectSec; got < 1.5 {
+		t.Errorf("BaroRejectSec = %v, want >= ~1.9", got)
+	}
+}
+
+func TestGPSResetOnTimeout(t *testing.T) {
+	f := New(DefaultConfig())
+	const dt = 0.004
+	for i := 0; i < 2500; i++ {
+		tm := float64(i) * dt
+		f.Predict(stationarySample(tm), dt)
+		if i%50 == 0 {
+			f.FuseGPS(sensors.GPSSample{T: tm, Valid: true})
+		}
+	}
+	// A persistent 900 m offset: first rejected, then — after the reset
+	// timeout — adopted wholesale.
+	target := mathx.V3(900, 0, 0)
+	for i := 0; i < 35; i++ { // 7 s of rejected fixes at 5 Hz
+		tm := 10 + float64(i)*0.2
+		f.Predict(stationarySample(tm), dt)
+		f.FuseGPS(sensors.GPSSample{T: tm, PosNED: target, Valid: true})
+	}
+	if f.Health().Resets == 0 {
+		t.Fatal("no reset despite persistent GPS rejection")
+	}
+	if d := f.State().Pos.Dist(target); d > 1 {
+		t.Errorf("position after reset %v, want ~%v", f.State().Pos, target)
+	}
+	// Covariance reopened: the next fix fuses normally.
+	if f.Health().GPSRejectSec != 0 {
+		t.Errorf("rejection clock not cleared: %v", f.Health().GPSRejectSec)
+	}
+}
+
+func TestBaroResetOnTimeout(t *testing.T) {
+	f := New(DefaultConfig())
+	const dt = 0.004
+	for i := 0; i < 2500; i++ {
+		tm := float64(i) * dt
+		f.Predict(stationarySample(tm), dt)
+		if i%10 == 0 {
+			f.FuseBaro(sensors.BaroSample{T: tm, AltM: 0})
+		}
+	}
+	for i := 0; i < 150; i++ { // 6 s of rejected samples at 25 Hz
+		tm := 10 + float64(i)*0.04
+		f.FuseBaro(sensors.BaroSample{T: tm, AltM: 400})
+	}
+	if f.Health().Resets == 0 {
+		t.Fatal("no baro reset despite persistent rejection")
+	}
+	if alt := -f.State().Pos.Z; math.Abs(alt-400) > 1 {
+		t.Errorf("altitude after reset = %v, want ~400", alt)
+	}
+}
+
+func TestDivergenceLatch(t *testing.T) {
+	f := New(DefaultConfig())
+	// Full-scale accelerometer output (what a Min/Max fault injects)
+	// integrated long enough exceeds the physical velocity bound.
+	s := sensors.IMUSample{Accel: mathx.V3(-sensors.AccelRange, -sensors.AccelRange, -sensors.AccelRange)}
+	for i := 0; i < 4000 && !f.Health().Diverged; i++ {
+		s.T = float64(i) * 0.05
+		f.Predict(s, 0.05)
+	}
+	if !f.Health().Diverged {
+		t.Fatal("filter did not latch divergence under full-scale accel")
+	}
+	// Once diverged, predictions and updates are inert.
+	st := f.State()
+	f.Predict(stationarySample(999), 0.004)
+	f.FuseGPS(sensors.GPSSample{T: 999, Valid: true})
+	if f.State() != st {
+		t.Error("diverged filter kept mutating state")
+	}
+}
+
+func TestResetClearsDivergence(t *testing.T) {
+	f := New(DefaultConfig())
+	f.health.Diverged = true
+	f.Reset(State{Att: mathx.QuatIdentity()})
+	if f.Health().Diverged {
+		t.Error("Reset did not clear divergence latch")
+	}
+}
+
+func TestNaNMeasurementRejected(t *testing.T) {
+	f := New(DefaultConfig())
+	before := f.State()
+	f.FuseBaro(sensors.BaroSample{T: 1, AltM: math.NaN()})
+	if f.State() != before {
+		t.Error("NaN measurement mutated state")
+	}
+}
+
+func TestZeroQuatStateRepairedOnReset(t *testing.T) {
+	f := New(DefaultConfig())
+	f.Reset(State{}) // zero attitude quaternion
+	if f.State().Att != mathx.QuatIdentity() {
+		t.Errorf("Reset left invalid attitude %v", f.State().Att)
+	}
+}
+
+// Property: the covariance stays symmetric with positive diagonal through
+// arbitrary interleavings of predicts and updates.
+func TestCovarianceSymmetryProperty(t *testing.T) {
+	prop := func(seed int64, ops []uint8) bool {
+		f := New(DefaultConfig())
+		tm := 0.0
+		for _, op := range ops {
+			tm += 0.02
+			switch op % 4 {
+			case 0, 1:
+				f.Predict(stationarySample(tm), 0.02)
+			case 2:
+				f.FuseGPS(sensors.GPSSample{T: tm, PosNED: mathx.V3(float64(op), 0, 0), Valid: true})
+			case 3:
+				f.FuseBaro(sensors.BaroSample{T: tm, AltM: float64(op % 16)})
+			}
+		}
+		for i := 0; i < dim; i++ {
+			if f.p[i][i] <= 0 {
+				return false
+			}
+			for j := i + 1; j < dim; j++ {
+				if math.Abs(f.p[i][j]-f.p[j][i]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMagYawFusion(t *testing.T) {
+	f := New(DefaultConfig())
+	// Filter believes yaw 0; magnetometer says 0.8 rad.
+	const dt = 0.004
+	for i := 0; i < 2500; i++ {
+		tm := float64(i) * dt
+		f.Predict(stationarySample(tm), dt)
+		if i%25 == 0 { // 10 Hz
+			f.FuseMag(sensors.MagSample{T: tm, YawRad: 0.8})
+		}
+	}
+	_, _, yaw := f.State().Att.Euler()
+	if math.Abs(mathx.WrapPi(yaw-0.8)) > 0.05 {
+		t.Errorf("yaw after mag fusion = %v, want 0.8", yaw)
+	}
+}
+
+func TestGravityFusionLevelsRollError(t *testing.T) {
+	f := New(DefaultConfig())
+	// Start with a 0.2 rad roll error; gravity aiding must level it.
+	f.Reset(State{Att: mathx.QuatFromEuler(0.2, 0, 0)})
+	const dt = 0.004
+	for i := 0; i < 25000; i++ { // 100 s (gravity aiding is a slow trim)
+		tm := float64(i) * dt
+		f.Predict(stationarySample(tm), dt)
+		if i%10 == 0 { // 25 Hz
+			f.FuseGravity(stationarySample(tm))
+		}
+	}
+	roll, _, _ := f.State().Att.Euler()
+	if math.Abs(roll) > 0.05 {
+		t.Errorf("roll after gravity aiding = %v, want ~0", roll)
+	}
+}
+
+func TestGravityFusionSkippedWhenDynamic(t *testing.T) {
+	f := New(DefaultConfig())
+	f.Reset(State{Att: mathx.QuatFromEuler(0.2, 0, 0)})
+	before := f.State().Att
+	// |a| far from 1 g: quasi-static gate must reject.
+	s := sensors.IMUSample{Accel: mathx.V3(5, 0, -15)}
+	f.FuseGravity(s)
+	if f.State().Att != before {
+		t.Error("dynamic sample fused as gravity reference")
+	}
+}
+
+func TestNotifySensorSwitchReopensCovariance(t *testing.T) {
+	f := New(DefaultConfig())
+	const dt = 0.004
+	for i := 0; i < 2500; i++ {
+		tm := float64(i) * dt
+		f.Predict(stationarySample(tm), dt)
+		if i%50 == 0 {
+			f.FuseGPS(sensors.GPSSample{T: tm, Valid: true})
+		}
+	}
+	before := f.Covariance(idxTheta)
+	f.NotifySensorSwitch()
+	if got := f.Covariance(idxTheta); got < 0.25 {
+		t.Errorf("attitude variance after switch = %v, want >= 0.25 (was %v)", got, before)
+	}
+	if got := f.Covariance(idxVel); got < 4 {
+		t.Errorf("velocity variance after switch = %v, want >= 4", got)
+	}
+}
+
+func TestRealignLevelRepairsAttitude(t *testing.T) {
+	f := New(DefaultConfig())
+	// Estimate is badly tilted; the true vehicle is level and hovering.
+	f.Reset(State{Att: mathx.QuatFromEuler(0.9, -0.7, 1.1)})
+	f.RealignLevel(mathx.V3(0, 0, -physics.Gravity))
+	roll, pitch, yaw := f.State().Att.Euler()
+	if math.Abs(roll) > 1e-6 || math.Abs(pitch) > 1e-6 {
+		t.Errorf("realigned roll/pitch = %v/%v, want 0", roll, pitch)
+	}
+	// Yaw is preserved (the magnetometer owns heading).
+	if math.Abs(mathx.WrapPi(yaw-1.1)) > 1e-6 {
+		t.Errorf("realigned yaw = %v, want preserved 1.1", yaw)
+	}
+}
+
+func TestRealignLevelRespectsTrueTilt(t *testing.T) {
+	f := New(DefaultConfig())
+	f.Reset(State{Att: mathx.QuatIdentity()})
+	// True vehicle rolled 0.3 rad: hovering specific force tilts in body Y/Z.
+	trueAtt := mathx.QuatFromEuler(0.3, 0, 0)
+	accelBody := trueAtt.RotateInv(mathx.V3(0, 0, -physics.Gravity))
+	f.RealignLevel(accelBody)
+	roll, pitch, _ := f.State().Att.Euler()
+	if math.Abs(roll-0.3) > 1e-6 || math.Abs(pitch) > 1e-6 {
+		t.Errorf("realigned attitude = %v/%v, want 0.3/0", roll, pitch)
+	}
+}
+
+func TestRealignLevelSkipsDynamicSample(t *testing.T) {
+	f := New(DefaultConfig())
+	before := f.State().Att
+	f.RealignLevel(mathx.V3(40, 0, -40)) // |a| far from g
+	if f.State().Att != before {
+		t.Error("dynamic sample used for realignment")
+	}
+}

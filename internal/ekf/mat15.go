@@ -1,0 +1,93 @@
+package ekf
+
+// dim is the error-state dimension: attitude (3), velocity (3), position
+// (3), gyro bias (3), accelerometer bias (3).
+const dim = 15
+
+// Error-state block offsets.
+const (
+	idxTheta = 0  // attitude error (rotation vector)
+	idxVel   = 3  // velocity error
+	idxPos   = 6  // position error
+	idxBg    = 9  // gyro bias error
+	idxBa    = 12 // accel bias error
+)
+
+// mat is a dense dim x dim matrix in row-major order. The EKF's covariance
+// and transition matrices are small and fixed-size, so plain arrays beat a
+// general matrix library and allocate nothing.
+type mat [dim][dim]float64
+
+// matIdentity returns the identity matrix.
+func matIdentity() mat {
+	var m mat
+	for i := 0; i < dim; i++ {
+		m[i][i] = 1
+	}
+	return m
+}
+
+// mul returns a*b.
+func (a *mat) mul(b *mat) mat {
+	var out mat
+	for i := 0; i < dim; i++ {
+		for k := 0; k < dim; k++ {
+			aik := a[i][k]
+			if aik == 0 {
+				continue
+			}
+			for j := 0; j < dim; j++ {
+				out[i][j] += aik * b[k][j]
+			}
+		}
+	}
+	return out
+}
+
+// mulT returns a*bᵀ.
+func (a *mat) mulT(b *mat) mat {
+	var out mat
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			var s float64
+			for k := 0; k < dim; k++ {
+				s += a[i][k] * b[j][k]
+			}
+			out[i][j] = s
+		}
+	}
+	return out
+}
+
+// addDiag adds d[i] to the diagonal.
+func (a *mat) addDiag(d [dim]float64) {
+	for i := 0; i < dim; i++ {
+		a[i][i] += d[i]
+	}
+}
+
+// symmetrize replaces a with (a + aᵀ)/2, containing the numerical
+// asymmetry that accumulates over thousands of predict/update cycles.
+func (a *mat) symmetrize() {
+	for i := 0; i < dim; i++ {
+		for j := i + 1; j < dim; j++ {
+			v := (a[i][j] + a[j][i]) / 2
+			a[i][j] = v
+			a[j][i] = v
+		}
+	}
+}
+
+// clampDiag bounds diagonal entries to [lo, hi], keeping the filter
+// responsive (variance cannot collapse to zero or blow up to Inf under a
+// fault that starves or floods a measurement channel).
+func (a *mat) clampDiag(lo, hi float64) {
+	for i := 0; i < dim; i++ {
+		if a[i][i] < lo {
+			a[i][i] = lo
+		}
+		if a[i][i] > hi {
+			a[i][i] = hi
+		}
+	}
+}

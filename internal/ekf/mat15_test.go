@@ -1,0 +1,96 @@
+package ekf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMatIdentityMul(t *testing.T) {
+	id := matIdentity()
+	var a mat
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			a[i][j] = float64(i*dim + j)
+		}
+	}
+	left := id.mul(&a)
+	right := a.mul(&id)
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			if left[i][j] != a[i][j] || right[i][j] != a[i][j] {
+				t.Fatalf("identity mul broke at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestMatMulTMatchesExplicitTranspose(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		var a, b mat
+		sa, sb := uint64(seedA), uint64(seedB)
+		next := func(s *uint64) float64 {
+			*s = *s*6364136223846793005 + 1442695040888963407
+			return float64(int64(*s>>33)) / float64(1<<30)
+		}
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				a[i][j] = next(&sa)
+				b[i][j] = next(&sb)
+			}
+		}
+		// a.mulT(b) must equal a.mul(transpose(b)).
+		var bt mat
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				bt[i][j] = b[j][i]
+			}
+		}
+		viaT := a.mulT(&b)
+		viaMul := a.mul(&bt)
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				d := viaT[i][j] - viaMul[i][j]
+				if d > 1e-9 || d < -1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatSymmetrizeAndClamp(t *testing.T) {
+	var a mat
+	a[0][1] = 2
+	a[1][0] = 4
+	a[2][2] = -5
+	a[3][3] = 1e12
+	a.symmetrize()
+	if a[0][1] != 3 || a[1][0] != 3 {
+		t.Errorf("symmetrize: %v, %v", a[0][1], a[1][0])
+	}
+	a.clampDiag(1e-12, 1e8)
+	if a[2][2] != 1e-12 {
+		t.Errorf("clamp low: %v", a[2][2])
+	}
+	if a[3][3] != 1e8 {
+		t.Errorf("clamp high: %v", a[3][3])
+	}
+}
+
+func TestMatAddDiag(t *testing.T) {
+	var a mat
+	var d [dim]float64
+	for i := range d {
+		d[i] = float64(i)
+	}
+	a.addDiag(d)
+	for i := 0; i < dim; i++ {
+		if a[i][i] != float64(i) {
+			t.Errorf("diag %d = %v", i, a[i][i])
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package ekf
+
+import (
+	"math"
+
+	"uavres/internal/mathx"
+	"uavres/internal/physics"
+	"uavres/internal/sensors"
+)
+
+// updateScalar performs one scalar measurement update with measurement row
+// h, innovation y, and noise variance r. It returns whether the innovation
+// passed the gate (rejected measurements leave the filter untouched).
+// Vector measurements with diagonal noise are fused as sequential scalar
+// updates, the standard trick that avoids matrix inversion entirely.
+func (f *Filter) updateScalar(h [dim]float64, y, r float64) (accepted bool, ratio float64) {
+	if f.health.Diverged || math.IsNaN(y) || math.IsInf(y, 0) {
+		return false, math.Inf(1)
+	}
+	// ph = P hᵀ, s = h P hᵀ + r.
+	var ph [dim]float64
+	var s float64
+	for i := 0; i < dim; i++ {
+		var acc float64
+		for j := 0; j < dim; j++ {
+			hj := h[j]
+			if hj != 0 {
+				acc += f.p[i][j] * hj
+			}
+		}
+		ph[i] = acc
+		if h[i] != 0 {
+			s += h[i] * acc
+		}
+	}
+	s += r
+	if s <= 0 {
+		return false, math.Inf(1)
+	}
+	gate := f.cfg.GateSigma
+	ratio = math.Abs(y) / math.Sqrt(s)
+	if gate > 0 {
+		ratio /= gate
+		if ratio > 1 {
+			return false, ratio
+		}
+	} else {
+		ratio = 0
+	}
+
+	// K = P hᵀ / s; error-state correction dx = K y.
+	var dx [dim]float64
+	for i := 0; i < dim; i++ {
+		dx[i] = ph[i] / s * y
+	}
+	// Covariance: P = (I - K h) P, then symmetrize.
+	var next mat
+	for i := 0; i < dim; i++ {
+		k := ph[i] / s
+		for j := 0; j < dim; j++ {
+			next[i][j] = f.p[i][j] - k*ph[j]
+		}
+	}
+	f.p = next
+	f.p.symmetrize()
+	f.p.clampDiag(1e-12, 1e8)
+
+	f.injectError(dx)
+	return true, ratio
+}
+
+// injectError folds the error-state correction into the nominal state and
+// implicitly resets the error to zero.
+func (f *Filter) injectError(dx [dim]float64) {
+	dTheta := mathx.V3(dx[idxTheta], dx[idxTheta+1], dx[idxTheta+2])
+	f.st.Att = f.st.Att.Mul(mathx.QuatFromRotVec(dTheta)).Normalized()
+	f.st.Vel = f.st.Vel.Add(mathx.V3(dx[idxVel], dx[idxVel+1], dx[idxVel+2]))
+	f.st.Pos = f.st.Pos.Add(mathx.V3(dx[idxPos], dx[idxPos+1], dx[idxPos+2]))
+	f.st.GyroBias = f.st.GyroBias.Add(mathx.V3(dx[idxBg], dx[idxBg+1], dx[idxBg+2]))
+	f.st.AccelBias = f.st.AccelBias.Add(mathx.V3(dx[idxBa], dx[idxBa+1], dx[idxBa+2]))
+
+	// Bias estimates are physically bounded; a fault that drags them to
+	// absurd values would otherwise poison every later prediction.
+	f.st.GyroBias = f.st.GyroBias.Clamp(0.5)
+	f.st.AccelBias = f.st.AccelBias.Clamp(3.0)
+}
+
+func selectorRow(offset int) [3][dim]float64 {
+	var rows [3][dim]float64
+	for i := 0; i < 3; i++ {
+		rows[i][offset+i] = 1
+	}
+	return rows
+}
+
+// FuseGPS fuses one GPS position+velocity fix and updates aiding health.
+func (f *Filter) FuseGPS(s sensors.GPSSample) {
+	if !s.Valid {
+		return
+	}
+	posRows := selectorRow(idxPos)
+	velRows := selectorRow(idxVel)
+	posInnov := s.PosNED.Sub(f.st.Pos)
+	velInnov := s.VelNED.Sub(f.st.Vel)
+	f.health.LastGPSPosInnov = posInnov
+	f.health.LastGPSVelInnov = velInnov
+
+	// GPS counts as healthy only when every axis passes its gate: a single
+	// diverging channel (e.g. runaway velocity under an accel fault) must
+	// surface in the health report even while the other axes still agree.
+	allAccepted := true
+	worst := 0.0
+	for i, y := range []float64{posInnov.X, posInnov.Y, posInnov.Z} {
+		ok, ratio := f.updateScalar(posRows[i], y, f.cfg.GPSPosStd*f.cfg.GPSPosStd)
+		allAccepted = allAccepted && ok
+		worst = math.Max(worst, ratio)
+	}
+	for i, y := range []float64{velInnov.X, velInnov.Y, velInnov.Z} {
+		ok, ratio := f.updateScalar(velRows[i], y, f.cfg.GPSVelStd*f.cfg.GPSVelStd)
+		allAccepted = allAccepted && ok
+		worst = math.Max(worst, ratio)
+	}
+	f.health.LastGPSRatio = worst
+
+	if allAccepted {
+		f.health.GPSRejectSec = 0
+	} else if f.lastGPST > 0 {
+		f.health.GPSRejectSec += s.T - f.lastGPST
+	}
+	f.lastGPST = s.T
+
+	// Reset-on-timeout: dead-reckoning has drifted so far that the gate
+	// keeps rejecting a live reference. Trust the reference, snap the
+	// velocity and position states to it, and reopen the covariance so
+	// fusion resumes (what PX4's EKF2 does instead of failing forever).
+	if f.cfg.GPSResetSec > 0 && f.health.GPSRejectSec >= f.cfg.GPSResetSec && !f.health.Diverged {
+		f.st.Vel = s.VelNED
+		f.st.Pos = s.PosNED
+		for i := 0; i < 3; i++ {
+			f.p[idxVel+i][idxVel+i] = 4
+			f.p[idxPos+i][idxPos+i] = 25
+		}
+		f.p.symmetrize()
+		f.health.GPSRejectSec = 0
+		f.health.Resets++
+	}
+
+	f.fuseCourseYaw(s)
+}
+
+// fuseCourseYaw aids heading from the GPS ground course when moving fast
+// enough — the mag-free yaw aiding path (the paper's study excludes the
+// magnetometer). The controller flies nose-along-track, making ground
+// course a valid heading reference in nominal flight.
+func (f *Filter) fuseCourseYaw(s sensors.GPSSample) {
+	if s.VelNED.NormXY() < f.cfg.CourseMinSpeed {
+		return
+	}
+	course := math.Atan2(s.VelNED.Y, s.VelNED.X)
+	_, _, yaw := f.st.Att.Euler()
+	y := mathx.WrapPi(course - yaw)
+
+	// A world-Z rotation error maps to the local error state through the
+	// attitude: dψ = e_z · (R dθ)  ⇒  h = third row of R on the θ block.
+	rot := f.st.Att.RotationMatrix()
+	var h [dim]float64
+	h[idxTheta] = rot.M[2][0]
+	h[idxTheta+1] = rot.M[2][1]
+	h[idxTheta+2] = rot.M[2][2]
+	f.updateScalar(h, y, f.cfg.YawStd*f.cfg.YawStd)
+}
+
+// FuseMag fuses one magnetometer heading measurement. The magnetometer is
+// the vehicle's absolute yaw reference; without it yaw error is
+// unobservable in coordinated flight (the controller slaves true yaw to
+// estimated yaw, so GPS course can never expose the error).
+func (f *Filter) FuseMag(s sensors.MagSample) {
+	_, _, yaw := f.st.Att.Euler()
+	y := mathx.WrapPi(s.YawRad - yaw)
+	rot := f.st.Att.RotationMatrix()
+	var h [dim]float64
+	h[idxTheta] = rot.M[2][0]
+	h[idxTheta+1] = rot.M[2][1]
+	h[idxTheta+2] = rot.M[2][2]
+	f.updateScalar(h, y, f.cfg.MagYawStd*f.cfg.MagYawStd)
+}
+
+// FuseGravity performs accelerometer leveling: when the vehicle is
+// quasi-static (measured specific force within GravityMaxDev of 1 g) the
+// measured direction is fused as an observation of "up" in the body
+// frame, correcting roll/pitch drift. This is how MEMS attitude filters
+// stay level without absolute attitude references — and, faithfully to
+// the real failure mode, it is driven by the (possibly corrupted)
+// accelerometer stream.
+func (f *Filter) FuseGravity(s sensors.IMUSample) {
+	if f.cfg.GravityStd <= 0 {
+		return
+	}
+	accel := s.Accel.Sub(f.st.AccelBias)
+	norm := accel.Norm()
+	if math.Abs(norm-physics.Gravity) > f.cfg.GravityMaxDev || norm == 0 {
+		return
+	}
+	// Measured and predicted "up" directions in the body frame. For a
+	// local attitude error dθ: u_true ≈ u_pred + [u_pred]x dθ, so the
+	// measurement rows are the skew matrix of the predicted direction.
+	uMeas := accel.Scale(-1 / norm)
+	uPred := f.st.Att.RotateInv(mathx.V3(0, 0, -1))
+	hMat := mathx.Skew(uPred)
+	innov := uMeas.Sub(uPred)
+	r := f.cfg.GravityStd * f.cfg.GravityStd
+	for row, y := range []float64{innov.X, innov.Y, innov.Z} {
+		var h [dim]float64
+		h[idxTheta] = hMat.M[row][0]
+		h[idxTheta+1] = hMat.M[row][1]
+		h[idxTheta+2] = hMat.M[row][2]
+		f.updateScalar(h, y, r)
+	}
+}
+
+// FuseBaro fuses one barometric altitude sample (altitude = -posZ).
+func (f *Filter) FuseBaro(s sensors.BaroSample) {
+	var h [dim]float64
+	h[idxPos+2] = -1
+	y := s.AltM - (-f.st.Pos.Z)
+	ok, ratio := f.updateScalar(h, y, f.cfg.BaroStd*f.cfg.BaroStd)
+	f.health.LastBaroRatio = ratio
+	if ok {
+		f.health.BaroRejectSec = 0
+	} else if f.lastBarT > 0 {
+		f.health.BaroRejectSec += s.T - f.lastBarT
+	}
+	f.lastBarT = s.T
+
+	// Height reset-on-timeout, mirroring the GPS path.
+	if f.cfg.BaroResetSec > 0 && f.health.BaroRejectSec >= f.cfg.BaroResetSec && !f.health.Diverged {
+		f.st.Pos.Z = -s.AltM
+		f.p[idxPos+2][idxPos+2] = 25
+		f.p.symmetrize()
+		f.health.BaroRejectSec = 0
+		f.health.Resets++
+	}
+}

@@ -1,0 +1,137 @@
+package faultinject
+
+// FaultClass is one surveyed real-world IMU fault or attack from the
+// paper's Table I, together with the injection primitives that represent
+// it and the targets it can strike.
+type FaultClass struct {
+	// Name is the Table I fault label.
+	Name string
+	// Description summarizes the fault's cause.
+	Description string
+	// Primitives are the injection primitives representing this class.
+	Primitives []Primitive
+	// Targets are the components the class can affect.
+	Targets []Target
+	// References cite the Table I sources (bracketed reference numbers).
+	References []string
+}
+
+// Registry returns the paper's complete Table I fault model: fourteen
+// fault classes spanning hardware malfunctions, aging, environmental
+// effects, and deliberate attacks, each mapped to injection primitives.
+func Registry() []FaultClass {
+	all := []Target{TargetAccel, TargetGyro, TargetIMU}
+	return []FaultClass{
+		{
+			Name:        "Instability",
+			Description: "Random output values due to factors like radiation or temperature",
+			Primitives:  []Primitive{Random},
+			Targets:     all,
+			References:  []string{"[19]", "[20]", "[21]", "[22]"},
+		},
+		{
+			Name:        "Bias error",
+			Description: "Noise-sourced error from old sensors or temperature",
+			Primitives:  []Primitive{Noise},
+			Targets:     all,
+			References:  []string{"[19]", "[22]", "[23]", "[24]"},
+		},
+		{
+			Name:        "Gyro drift",
+			Description: "Constant measurement error from aging, noise, or thermal bias",
+			Primitives:  []Primitive{Noise},
+			Targets:     []Target{TargetGyro},
+			References:  []string{"[19]", "[20]", "[25]", "[26]"},
+		},
+		{
+			Name:        "Acc drift",
+			Description: "Constant measurement error from aging, noise, or thermal bias",
+			Primitives:  []Primitive{Noise},
+			Targets:     []Target{TargetAccel},
+			References:  []string{"[19]", "[20]", "[27]", "[28]"},
+		},
+		{
+			Name:        "Constant output",
+			Description: "Update lag delivering the same frozen values constantly",
+			Primitives:  []Primitive{Freeze},
+			Targets:     all,
+			References:  []string{"[19]"},
+		},
+		{
+			Name:        "Damaged IMU",
+			Description: "Age or external damage failing all IMU sensors",
+			Primitives:  []Primitive{Zeros},
+			Targets:     []Target{TargetIMU},
+			References:  []string{"[29]", "[30]"},
+		},
+		{
+			Name:        "Gyro failure",
+			Description: "Damaged or failed gyroscope",
+			Primitives:  []Primitive{Zeros},
+			Targets:     []Target{TargetGyro},
+			References:  []string{"[30]", "[31]", "[32]", "[33]"},
+		},
+		{
+			Name:        "Acc failure",
+			Description: "Damaged or failed accelerometer",
+			Primitives:  []Primitive{Zeros},
+			Targets:     []Target{TargetAccel},
+			References:  []string{"[30]", "[31]", "[34]"},
+		},
+		{
+			Name:        "Acoustic attack",
+			Description: "Broadband pulsed or CW acoustic energy destabilizing MEMS sensors",
+			Primitives:  []Primitive{Random},
+			Targets:     all,
+			References:  []string{"[35]", "[36]"},
+		},
+		{
+			Name:        "False data injection",
+			Description: "Fake data series injected into the sensor stream",
+			Primitives:  []Primitive{FixedValue},
+			Targets:     all,
+			References:  []string{"[37]", "[38]", "[39]"},
+		},
+		{
+			Name:        "Physical isolation",
+			Description: "One or all sensors attacked to stop responding",
+			Primitives:  []Primitive{Zeros},
+			Targets:     all,
+			References:  []string{"[40]"},
+		},
+		{
+			Name:        "Hardware trojan",
+			Description: "Modified electronic hardware (tampered circuit, resized logic gate)",
+			Primitives:  []Primitive{FixedValue},
+			Targets:     all,
+			References:  []string{"[41]"},
+		},
+		{
+			Name:        "Malicious software",
+			Description: "Compromised GCS or flight controller software",
+			Primitives:  []Primitive{Zeros, Random},
+			Targets:     all,
+			References:  []string{"[35]"},
+		},
+		{
+			Name:        "OS system attack",
+			Description: "Attacks through the flight controller's system software",
+			Primitives:  []Primitive{MinValue, MaxValue, FixedValue},
+			Targets:     all,
+			References:  []string{"[42]"},
+		},
+	}
+}
+
+// PrimitiveCoverage returns, for each primitive, the fault-class names it
+// represents. Every primitive in the model is grounded in at least one
+// surveyed real-world fault.
+func PrimitiveCoverage() map[Primitive][]string {
+	cov := make(map[Primitive][]string)
+	for _, fc := range Registry() {
+		for _, p := range fc.Primitives {
+			cov[p] = append(cov[p], fc.Name)
+		}
+	}
+	return cov
+}

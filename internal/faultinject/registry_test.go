@@ -1,0 +1,88 @@
+package faultinject
+
+import "testing"
+
+// TestFaultRegistryCoversTableI checks the registry reproduces the paper's
+// Table I: all fourteen surveyed fault classes are present and each maps to
+// valid primitives and targets with citations.
+func TestFaultRegistryCoversTableI(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 14 {
+		t.Fatalf("registry has %d classes, Table I lists 14", len(reg))
+	}
+	wantNames := map[string]Primitive{
+		"Instability":          Random,
+		"Bias error":           Noise,
+		"Gyro drift":           Noise,
+		"Acc drift":            Noise,
+		"Constant output":      Freeze,
+		"Damaged IMU":          Zeros,
+		"Gyro failure":         Zeros,
+		"Acc failure":          Zeros,
+		"Acoustic attack":      Random,
+		"False data injection": FixedValue,
+		"Physical isolation":   Zeros,
+		"Hardware trojan":      FixedValue,
+		"Malicious software":   Zeros,
+		"OS system attack":     MinValue,
+	}
+	seen := map[string]bool{}
+	for _, fc := range reg {
+		seen[fc.Name] = true
+		wantFirst, ok := wantNames[fc.Name]
+		if !ok {
+			t.Errorf("unexpected fault class %q", fc.Name)
+			continue
+		}
+		if len(fc.Primitives) == 0 || fc.Primitives[0] != wantFirst {
+			t.Errorf("%s: first primitive = %v, want %v", fc.Name, fc.Primitives, wantFirst)
+		}
+		if len(fc.Targets) == 0 {
+			t.Errorf("%s: no targets", fc.Name)
+		}
+		if len(fc.References) == 0 {
+			t.Errorf("%s: no references", fc.Name)
+		}
+		if fc.Description == "" {
+			t.Errorf("%s: empty description", fc.Name)
+		}
+	}
+	for name := range wantNames {
+		if !seen[name] {
+			t.Errorf("missing fault class %q", name)
+		}
+	}
+}
+
+// TestEveryPrimitiveGrounded checks each of the seven primitives represents
+// at least one real-world fault class — the model has no synthetic
+// primitives without a surveyed counterpart.
+func TestEveryPrimitiveGrounded(t *testing.T) {
+	cov := PrimitiveCoverage()
+	for _, p := range Primitives() {
+		if len(cov[p]) == 0 {
+			t.Errorf("primitive %v maps to no fault class", p)
+		}
+	}
+}
+
+// TestComponentSpecificClasses checks the gyro/acc-specific classes do not
+// claim the other component.
+func TestComponentSpecificClasses(t *testing.T) {
+	for _, fc := range Registry() {
+		switch fc.Name {
+		case "Gyro drift", "Gyro failure":
+			if len(fc.Targets) != 1 || fc.Targets[0] != TargetGyro {
+				t.Errorf("%s targets = %v, want [Gyro]", fc.Name, fc.Targets)
+			}
+		case "Acc drift", "Acc failure":
+			if len(fc.Targets) != 1 || fc.Targets[0] != TargetAccel {
+				t.Errorf("%s targets = %v, want [Acc]", fc.Name, fc.Targets)
+			}
+		case "Damaged IMU":
+			if len(fc.Targets) != 1 || fc.Targets[0] != TargetIMU {
+				t.Errorf("%s targets = %v, want [IMU]", fc.Name, fc.Targets)
+			}
+		}
+	}
+}

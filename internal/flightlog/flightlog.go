@@ -1,0 +1,232 @@
+// Package flightlog records simulated flights to a compact binary log
+// (ULog-inspired: magic header, typed records, CRC-protected trailer) and
+// reads them back — the platform's "records all flights" capability. A CSV
+// exporter supports external trajectory analysis and the paper-style
+// figure generation.
+package flightlog
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// Format constants.
+var logMagic = [8]byte{'U', 'A', 'V', 'L', 'O', 'G', 0, 1}
+
+// Record is one timestamped flight-state sample.
+type Record struct {
+	// TimeSec is the simulation time.
+	TimeSec float64
+	// TrueX/Y/Z is the ground-truth NED position (m).
+	TrueX, TrueY, TrueZ float64
+	// EstX/Y/Z is the EKF NED position estimate (m).
+	EstX, EstY, EstZ float64
+	// TiltDeg is the true tilt angle (deg).
+	TiltDeg float64
+	// DeviationM is the distance from the assigned flight volume.
+	DeviationM float64
+	// Flags carries event bits.
+	Flags uint16
+}
+
+// Flag bits.
+const (
+	// FlagInnerViolation marks an inner-bubble violation at this sample.
+	FlagInnerViolation uint16 = 1 << iota
+	// FlagOuterViolation marks an outer-bubble violation.
+	FlagOuterViolation
+	// FlagFaultActive marks the injection window.
+	FlagFaultActive
+	// FlagFailsafe marks failsafe engagement.
+	FlagFailsafe
+)
+
+const recordLen = 9*8 + 2
+
+// Header describes the logged flight.
+type Header struct {
+	// MissionID is the Valencia mission number.
+	MissionID uint16
+	// Label is the injection label or "Gold Run" (max 64 bytes).
+	Label string
+}
+
+// Writer streams records to an io.Writer.
+type Writer struct {
+	w     *bufio.Writer
+	count uint32
+	crc   uint32 // running additive checksum of record bytes
+	done  bool
+}
+
+// NewWriter writes the log header and returns a record writer.
+func NewWriter(w io.Writer, hdr Header) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(logMagic[:]); err != nil {
+		return nil, fmt.Errorf("flightlog: header: %w", err)
+	}
+	label := hdr.Label
+	if len(label) > 64 {
+		label = label[:64]
+	}
+	var meta [2 + 1]byte
+	binary.LittleEndian.PutUint16(meta[:2], hdr.MissionID)
+	meta[2] = uint8(len(label))
+	if _, err := bw.Write(meta[:]); err != nil {
+		return nil, fmt.Errorf("flightlog: header: %w", err)
+	}
+	if _, err := bw.WriteString(label); err != nil {
+		return nil, fmt.Errorf("flightlog: header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Append writes one record.
+func (w *Writer) Append(r Record) error {
+	if w.done {
+		return errors.New("flightlog: writer already closed")
+	}
+	var buf [recordLen]byte
+	off := 0
+	for _, v := range []float64{
+		r.TimeSec, r.TrueX, r.TrueY, r.TrueZ, r.EstX, r.EstY, r.EstZ, r.TiltDeg, r.DeviationM,
+	} {
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+		off += 8
+	}
+	binary.LittleEndian.PutUint16(buf[off:], r.Flags)
+	if _, err := w.w.Write(buf[:]); err != nil {
+		return fmt.Errorf("flightlog: append: %w", err)
+	}
+	for _, b := range buf {
+		w.crc += uint32(b)
+	}
+	w.count++
+	return nil
+}
+
+// Close writes the trailer (record count + checksum) and flushes.
+func (w *Writer) Close() error {
+	if w.done {
+		return nil
+	}
+	w.done = true
+	var trailer [8]byte
+	binary.LittleEndian.PutUint32(trailer[:4], w.count)
+	binary.LittleEndian.PutUint32(trailer[4:], w.crc)
+	if _, err := w.w.Write(trailer[:]); err != nil {
+		return fmt.Errorf("flightlog: trailer: %w", err)
+	}
+	return w.w.Flush()
+}
+
+// Errors returned by the reader.
+var (
+	ErrBadMagic  = errors.New("flightlog: bad magic")
+	ErrTruncated = errors.New("flightlog: truncated log")
+	ErrChecksum  = errors.New("flightlog: checksum mismatch")
+)
+
+// Read parses a complete log: header, records, and verified trailer.
+func Read(r io.Reader) (Header, []Record, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return Header{}, nil, ErrBadMagic
+	}
+	if magic != logMagic {
+		return Header{}, nil, ErrBadMagic
+	}
+	var meta [3]byte
+	if _, err := io.ReadFull(br, meta[:]); err != nil {
+		return Header{}, nil, ErrTruncated
+	}
+	hdr := Header{MissionID: binary.LittleEndian.Uint16(meta[:2])}
+	label := make([]byte, meta[2])
+	if _, err := io.ReadFull(br, label); err != nil {
+		return Header{}, nil, ErrTruncated
+	}
+	hdr.Label = string(label)
+
+	// Records stream until exactly 8 bytes remain (the trailer). Since
+	// the reader cannot seek, read greedily and detect the trailer by
+	// the recorded count.
+	raw, err := io.ReadAll(br)
+	if err != nil {
+		return Header{}, nil, fmt.Errorf("flightlog: %w", err)
+	}
+	if len(raw) < 8 || (len(raw)-8)%recordLen != 0 {
+		return Header{}, nil, ErrTruncated
+	}
+	body, trailer := raw[:len(raw)-8], raw[len(raw)-8:]
+	count := binary.LittleEndian.Uint32(trailer[:4])
+	wantCRC := binary.LittleEndian.Uint32(trailer[4:])
+	if int(count)*recordLen != len(body) {
+		return Header{}, nil, ErrTruncated
+	}
+	var crc uint32
+	for _, b := range body {
+		crc += uint32(b)
+	}
+	if crc != wantCRC {
+		return Header{}, nil, ErrChecksum
+	}
+
+	records := make([]Record, 0, count)
+	for off := 0; off < len(body); off += recordLen {
+		records = append(records, decodeRecord(body[off:off+recordLen]))
+	}
+	return hdr, records, nil
+}
+
+func decodeRecord(b []byte) Record {
+	var r Record
+	off := 0
+	for _, dst := range []*float64{
+		&r.TimeSec, &r.TrueX, &r.TrueY, &r.TrueZ, &r.EstX, &r.EstY, &r.EstZ, &r.TiltDeg, &r.DeviationM,
+	} {
+		*dst = math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+	}
+	r.Flags = binary.LittleEndian.Uint16(b[off:])
+	return r
+}
+
+// WriteCSV exports records as CSV with a header row; the format the
+// paper-style trajectory figures are plotted from.
+func WriteCSV(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("t,true_x,true_y,true_z,est_x,est_y,est_z,tilt_deg,deviation_m,inner_viol,outer_viol,fault,failsafe\n"); err != nil {
+		return fmt.Errorf("flightlog: csv: %w", err)
+	}
+	for _, r := range records {
+		for i, v := range []float64{r.TimeSec, r.TrueX, r.TrueY, r.TrueZ, r.EstX, r.EstY, r.EstZ, r.TiltDeg, r.DeviationM} {
+			if i > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return fmt.Errorf("flightlog: csv: %w", err)
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+				return fmt.Errorf("flightlog: csv: %w", err)
+			}
+		}
+		for _, flag := range []uint16{FlagInnerViolation, FlagOuterViolation, FlagFaultActive, FlagFailsafe} {
+			bit := "0"
+			if r.Flags&flag != 0 {
+				bit = "1"
+			}
+			if _, err := bw.WriteString("," + bit); err != nil {
+				return fmt.Errorf("flightlog: csv: %w", err)
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("flightlog: csv: %w", err)
+		}
+	}
+	return bw.Flush()
+}

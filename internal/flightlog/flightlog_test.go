@@ -1,0 +1,189 @@
+package flightlog
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{TimeSec: 0, TrueZ: 0, EstZ: 0},
+		{TimeSec: 1, TrueX: 1.5, TrueY: -0.5, TrueZ: -3, EstX: 1.4, EstY: -0.4, EstZ: -3.1, TiltDeg: 2.5, DeviationM: 0.2},
+		{TimeSec: 2, TrueX: 3, TrueZ: -10, EstX: 3.1, EstZ: -10.1, DeviationM: 6.5, Flags: FlagInnerViolation | FlagFaultActive},
+		{TimeSec: 3, Flags: FlagFailsafe | FlagOuterViolation},
+	}
+}
+
+func writeLog(t *testing.T, hdr Header, records []Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range records {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	hdr := Header{MissionID: 7, Label: "Gyro Freeze"}
+	records := sampleRecords()
+	raw := writeLog(t, hdr, records)
+
+	gotHdr, gotRecords, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotHdr != hdr {
+		t.Errorf("header = %+v, want %+v", gotHdr, hdr)
+	}
+	if len(gotRecords) != len(records) {
+		t.Fatalf("records = %d, want %d", len(gotRecords), len(records))
+	}
+	for i := range records {
+		if gotRecords[i] != records[i] {
+			t.Errorf("record %d = %+v, want %+v", i, gotRecords[i], records[i])
+		}
+	}
+}
+
+func TestEmptyLog(t *testing.T) {
+	raw := writeLog(t, Header{MissionID: 1, Label: "Gold Run"}, nil)
+	hdr, records, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Label != "Gold Run" || len(records) != 0 {
+		t.Errorf("hdr=%+v records=%d", hdr, len(records))
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	if _, _, err := Read(strings.NewReader("definitely not a log")); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReadDetectsTruncation(t *testing.T) {
+	raw := writeLog(t, Header{MissionID: 1, Label: "x"}, sampleRecords())
+	if _, _, err := Read(bytes.NewReader(raw[:len(raw)-5])); !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestReadDetectsCorruption(t *testing.T) {
+	raw := writeLog(t, Header{MissionID: 1, Label: "x"}, sampleRecords())
+	raw[20] ^= 0x01 // flip a bit inside the first record
+	if _, _, err := Read(bytes.NewReader(raw)); !errors.Is(err, ErrChecksum) {
+		t.Errorf("err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestWriterCloseIdempotentAndSeals(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{MissionID: 1, Label: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+	if err := w.Append(Record{}); err == nil {
+		t.Error("append after close accepted")
+	}
+}
+
+func TestLongLabelTruncated(t *testing.T) {
+	long := strings.Repeat("y", 100)
+	raw := writeLog(t, Header{MissionID: 1, Label: long}, nil)
+	hdr, _, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hdr.Label) != 64 {
+		t.Errorf("label length = %d, want 64", len(hdr.Label))
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 { // header + 4 records
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "t,true_x") {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	// Record 2 carries inner-violation and fault flags.
+	if !strings.HasSuffix(lines[3], "1,0,1,0") {
+		t.Errorf("flag columns = %q", lines[3])
+	}
+	// Record 3 carries outer-violation and failsafe flags.
+	if !strings.HasSuffix(lines[4], "0,1,0,1") {
+		t.Errorf("flag columns = %q", lines[4])
+	}
+}
+
+// Property: any slice of records survives a write/read round trip
+// (NaN-free inputs; NaN never compares equal).
+func TestRoundTripProperty(t *testing.T) {
+	f := func(times []float64, flags []uint16) bool {
+		n := len(times)
+		if len(flags) < n {
+			n = len(flags)
+		}
+		if n > 50 {
+			n = 50
+		}
+		records := make([]Record, 0, n)
+		for i := 0; i < n; i++ {
+			v := times[i]
+			if v != v { // NaN
+				v = 0
+			}
+			records = append(records, Record{TimeSec: v, TrueX: v * 2, Flags: flags[i]})
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, Header{MissionID: 3, Label: "prop"})
+		if err != nil {
+			return false
+		}
+		for _, r := range records {
+			if err := w.Append(r); err != nil {
+				return false
+			}
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		_, got, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil || len(got) != len(records) {
+			return false
+		}
+		for i := range got {
+			if got[i] != records[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

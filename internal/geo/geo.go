@@ -1,0 +1,130 @@
+// Package geo provides geodetic coordinate handling for the simulated
+// U-space area: WGS-84 latitude/longitude/altitude positions, conversion to
+// and from a local north-east-down (NED) tangent frame, and great-circle
+// distances. Missions are authored in geographic coordinates (as in the
+// Valencia scenario the paper uses) while physics and estimation run in the
+// local NED frame.
+package geo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"uavres/internal/mathx"
+)
+
+// WGS-84 ellipsoid constants.
+const (
+	// EarthSemiMajorM is the WGS-84 semi-major axis in meters.
+	EarthSemiMajorM = 6378137.0
+	// EarthFlattening is the WGS-84 flattening.
+	EarthFlattening = 1 / 298.257223563
+)
+
+// FeetToMeters converts feet to meters (the paper states the Valencia
+// scenario's ceiling as 60 feet).
+func FeetToMeters(ft float64) float64 { return ft * 0.3048 }
+
+// LLA is a geodetic position: latitude/longitude in degrees, altitude in
+// meters above the reference ellipsoid.
+type LLA struct {
+	LatDeg float64 `json:"lat_deg"`
+	LonDeg float64 `json:"lon_deg"`
+	AltM   float64 `json:"alt_m"`
+}
+
+// String implements fmt.Stringer.
+func (p LLA) String() string {
+	return fmt.Sprintf("(%.6f°, %.6f°, %.1fm)", p.LatDeg, p.LonDeg, p.AltM)
+}
+
+// ErrInvalidLatitude is returned for latitudes outside [-90, 90].
+var ErrInvalidLatitude = errors.New("geo: latitude out of range [-90, 90]")
+
+// Validate reports whether the position is a plausible geodetic coordinate.
+func (p LLA) Validate() error {
+	if p.LatDeg < -90 || p.LatDeg > 90 || math.IsNaN(p.LatDeg) {
+		return fmt.Errorf("%w: %v", ErrInvalidLatitude, p.LatDeg)
+	}
+	if p.LonDeg < -180 || p.LonDeg > 180 || math.IsNaN(p.LonDeg) {
+		return fmt.Errorf("geo: longitude %v out of range [-180, 180]", p.LonDeg)
+	}
+	return nil
+}
+
+// Frame is a local NED tangent frame anchored at an origin LLA. Positions
+// within the 25 km^2 mission area are far below the distances where the
+// flat-earth approximation breaks down, matching the fidelity Gazebo's
+// default spherical-coordinates plugin provides.
+type Frame struct {
+	origin LLA
+	// Precomputed meters-per-degree at the origin latitude.
+	mPerDegLat float64
+	mPerDegLon float64
+}
+
+// NewFrame returns a local NED frame anchored at origin.
+func NewFrame(origin LLA) (*Frame, error) {
+	if err := origin.Validate(); err != nil {
+		return nil, fmt.Errorf("geo: invalid frame origin: %w", err)
+	}
+	latRad := mathx.Deg2Rad(origin.LatDeg)
+	// Radii of curvature on the WGS-84 ellipsoid.
+	e2 := EarthFlattening * (2 - EarthFlattening)
+	s2 := math.Sin(latRad) * math.Sin(latRad)
+	rm := EarthSemiMajorM * (1 - e2) / math.Pow(1-e2*s2, 1.5) // meridional
+	rn := EarthSemiMajorM / math.Sqrt(1-e2*s2)                // prime vertical
+	return &Frame{
+		origin:     origin,
+		mPerDegLat: mathx.Deg2Rad(1) * rm,
+		mPerDegLon: mathx.Deg2Rad(1) * rn * math.Cos(latRad),
+	}, nil
+}
+
+// Origin returns the frame's anchor position.
+func (f *Frame) Origin() LLA { return f.origin }
+
+// ToNED converts a geodetic position to local NED meters relative to the
+// frame origin. NED Z is positive down, so a point above the origin has a
+// negative Z.
+func (f *Frame) ToNED(p LLA) mathx.Vec3 {
+	return mathx.Vec3{
+		X: (p.LatDeg - f.origin.LatDeg) * f.mPerDegLat,
+		Y: (p.LonDeg - f.origin.LonDeg) * f.mPerDegLon,
+		Z: -(p.AltM - f.origin.AltM),
+	}
+}
+
+// ToLLA converts local NED meters back to a geodetic position.
+func (f *Frame) ToLLA(ned mathx.Vec3) LLA {
+	return LLA{
+		LatDeg: f.origin.LatDeg + ned.X/f.mPerDegLat,
+		LonDeg: f.origin.LonDeg + ned.Y/f.mPerDegLon,
+		AltM:   f.origin.AltM - ned.Z,
+	}
+}
+
+// Distance returns the great-circle surface distance in meters between two
+// positions (haversine on the WGS-84 mean sphere), ignoring altitude.
+func Distance(a, b LLA) float64 {
+	const meanRadius = 6371008.8
+	lat1 := mathx.Deg2Rad(a.LatDeg)
+	lat2 := mathx.Deg2Rad(b.LatDeg)
+	dLat := lat2 - lat1
+	dLon := mathx.Deg2Rad(b.LonDeg - a.LonDeg)
+	h := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * meanRadius * math.Asin(math.Min(1, math.Sqrt(h)))
+}
+
+// Bearing returns the initial bearing in radians from a to b, measured
+// clockwise from north in (-pi, pi].
+func Bearing(a, b LLA) float64 {
+	lat1 := mathx.Deg2Rad(a.LatDeg)
+	lat2 := mathx.Deg2Rad(b.LatDeg)
+	dLon := mathx.Deg2Rad(b.LonDeg - a.LonDeg)
+	y := math.Sin(dLon) * math.Cos(lat2)
+	x := math.Cos(lat1)*math.Sin(lat2) - math.Sin(lat1)*math.Cos(lat2)*math.Cos(dLon)
+	return math.Atan2(y, x)
+}

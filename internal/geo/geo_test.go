@@ -1,0 +1,188 @@
+package geo
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"uavres/internal/mathx"
+)
+
+// valencia is the approximate center of the paper's mission area.
+var valencia = LLA{LatDeg: 39.4699, LonDeg: -0.3763, AltM: 0}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       LLA
+		wantErr bool
+	}{
+		{"ok", valencia, false},
+		{"lat_high", LLA{LatDeg: 91}, true},
+		{"lat_low", LLA{LatDeg: -91}, true},
+		{"lat_nan", LLA{LatDeg: math.NaN()}, true},
+		{"lon_high", LLA{LonDeg: 181}, true},
+		{"lon_low", LLA{LonDeg: -181}, true},
+		{"poles", LLA{LatDeg: 90, LonDeg: 180}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.p.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate(%v) err = %v, wantErr %v", tt.p, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestValidateErrorIdentity(t *testing.T) {
+	err := LLA{LatDeg: 100}.Validate()
+	if !errors.Is(err, ErrInvalidLatitude) {
+		t.Errorf("error %v does not wrap ErrInvalidLatitude", err)
+	}
+}
+
+func TestNewFrameRejectsBadOrigin(t *testing.T) {
+	if _, err := NewFrame(LLA{LatDeg: 95}); err == nil {
+		t.Error("NewFrame accepted invalid origin")
+	}
+}
+
+func TestToNEDOriginIsZero(t *testing.T) {
+	f, err := NewFrame(valencia)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ned := f.ToNED(valencia)
+	if ned.Norm() > 1e-9 {
+		t.Errorf("origin maps to %v, want zero", ned)
+	}
+}
+
+func TestToNEDAxes(t *testing.T) {
+	f, err := NewFrame(valencia)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A point strictly north has +X, strictly east has +Y, above has -Z.
+	north := f.ToNED(LLA{LatDeg: valencia.LatDeg + 0.01, LonDeg: valencia.LonDeg})
+	if north.X <= 0 || math.Abs(north.Y) > 1e-6 {
+		t.Errorf("north point NED = %v", north)
+	}
+	east := f.ToNED(LLA{LatDeg: valencia.LatDeg, LonDeg: valencia.LonDeg + 0.01})
+	if east.Y <= 0 || math.Abs(east.X) > 1e-6 {
+		t.Errorf("east point NED = %v", east)
+	}
+	up := f.ToNED(LLA{LatDeg: valencia.LatDeg, LonDeg: valencia.LonDeg, AltM: 18})
+	if !(up.Z < 0) || math.Abs(up.Z+18) > 1e-9 {
+		t.Errorf("18m-up point NED = %v, want Z=-18", up)
+	}
+}
+
+func TestNEDRoundTrip(t *testing.T) {
+	f, err := NewFrame(valencia)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := []mathx.Vec3{
+		{}, {X: 100}, {Y: -2500}, {Z: -18.3},
+		{X: 2500, Y: 2500, Z: -60}, {X: -1234.5, Y: 987.6, Z: -5},
+	}
+	for _, p := range points {
+		back := f.ToNED(f.ToLLA(p))
+		if back.Dist(p) > 1e-6 {
+			t.Errorf("round trip %v -> %v", p, back)
+		}
+	}
+}
+
+func TestOneDegreeLatitudeScale(t *testing.T) {
+	f, err := NewFrame(valencia)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneDegNorth := f.ToNED(LLA{LatDeg: valencia.LatDeg + 1, LonDeg: valencia.LonDeg})
+	// One degree of latitude is ~110.9 km at 39.5°N.
+	if oneDegNorth.X < 110e3 || oneDegNorth.X > 112e3 {
+		t.Errorf("1° latitude = %v m, want ~110.9 km", oneDegNorth.X)
+	}
+}
+
+func TestDistanceKnownValue(t *testing.T) {
+	// Valencia to Madrid is roughly 303 km.
+	madrid := LLA{LatDeg: 40.4168, LonDeg: -3.7038}
+	d := Distance(valencia, madrid)
+	if d < 295e3 || d > 315e3 {
+		t.Errorf("Valencia-Madrid = %v m, want ~303 km", d)
+	}
+	if Distance(valencia, valencia) != 0 {
+		t.Error("self distance nonzero")
+	}
+}
+
+func TestDistanceMatchesNEDLocally(t *testing.T) {
+	f, err := NewFrame(valencia)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := LLA{LatDeg: valencia.LatDeg + 0.02, LonDeg: valencia.LonDeg + 0.015}
+	haversine := Distance(valencia, p)
+	planar := f.ToNED(p).NormXY()
+	if math.Abs(haversine-planar) > 0.005*haversine {
+		t.Errorf("haversine %v vs planar %v differ > 0.5%%", haversine, planar)
+	}
+}
+
+func TestBearingCardinal(t *testing.T) {
+	tests := []struct {
+		name string
+		to   LLA
+		want float64
+	}{
+		{"north", LLA{LatDeg: valencia.LatDeg + 0.01, LonDeg: valencia.LonDeg}, 0},
+		{"east", LLA{LatDeg: valencia.LatDeg, LonDeg: valencia.LonDeg + 0.01}, math.Pi / 2},
+		{"south", LLA{LatDeg: valencia.LatDeg - 0.01, LonDeg: valencia.LonDeg}, math.Pi},
+		{"west", LLA{LatDeg: valencia.LatDeg, LonDeg: valencia.LonDeg - 0.01}, -math.Pi / 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Bearing(valencia, tt.to)
+			if math.Abs(mathx.WrapPi(got-tt.want)) > 0.02 {
+				t.Errorf("Bearing = %v rad, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFeetToMeters(t *testing.T) {
+	if got := FeetToMeters(60); math.Abs(got-18.288) > 1e-9 {
+		t.Errorf("60 ft = %v m, want 18.288", got)
+	}
+}
+
+// Property: NED round trip is the identity for offsets within the mission
+// area scale (±10 km, ±100 m altitude).
+func TestNEDRoundTripProperty(t *testing.T) {
+	f, err := NewFrame(valencia)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(x, y, z float64) bool {
+		p := mathx.Vec3{
+			X: math.Mod(boundedInput(x), 10e3),
+			Y: math.Mod(boundedInput(y), 10e3),
+			Z: math.Mod(boundedInput(z), 100),
+		}
+		return f.ToNED(f.ToLLA(p)).Dist(p) < 1e-6
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func boundedInput(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return x
+}

@@ -1,0 +1,122 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLowPassConvergesToConstant(t *testing.T) {
+	lp := NewLowPass(5, 0.01)
+	var got float64
+	for i := 0; i < 1000; i++ {
+		got = lp.Update(10)
+	}
+	if !almostEq(got, 10, 1e-6) {
+		t.Errorf("converged to %v, want 10", got)
+	}
+}
+
+func TestLowPassFirstSamplePrimes(t *testing.T) {
+	lp := NewLowPass(1, 0.01)
+	if got := lp.Update(42); got != 42 {
+		t.Errorf("first sample = %v, want 42 (must prime, not decay from 0)", got)
+	}
+}
+
+func TestLowPassZeroCutoffIsPassThrough(t *testing.T) {
+	lp := NewLowPass(0, 0.01)
+	lp.Init(0)
+	if got := lp.Update(7); got != 7 {
+		t.Errorf("pass-through got %v, want 7", got)
+	}
+}
+
+func TestLowPassAttenuatesHighFrequency(t *testing.T) {
+	// A 50 Hz sine through a 2 Hz low-pass should come out much smaller.
+	const dt = 0.001
+	lp := NewLowPass(2, dt)
+	var maxOut float64
+	for i := 0; i < 5000; i++ {
+		ti := float64(i) * dt
+		out := lp.Update(math.Sin(2 * math.Pi * 50 * ti))
+		if i > 1000 && math.Abs(out) > maxOut {
+			maxOut = math.Abs(out)
+		}
+	}
+	if maxOut > 0.1 {
+		t.Errorf("high-frequency leakage %v, want < 0.1", maxOut)
+	}
+}
+
+func TestLowPass3ComponentWise(t *testing.T) {
+	lp := NewLowPass3(5, 0.01)
+	lp.Init(Zero3)
+	var got Vec3
+	for i := 0; i < 1000; i++ {
+		got = lp.Update(V3(1, 2, 3))
+	}
+	if !vecAlmostEq(got, V3(1, 2, 3), 1e-6) {
+		t.Errorf("converged to %v", got)
+	}
+	if !vecAlmostEq(lp.Value(), got, 0) {
+		t.Errorf("Value() = %v, want %v", lp.Value(), got)
+	}
+}
+
+func TestDerivativeOfRamp(t *testing.T) {
+	const dt = 0.001
+	d := NewDerivative(30, dt)
+	var got float64
+	for i := 0; i < 2000; i++ {
+		got = d.Update(3 * float64(i) * dt) // slope 3
+	}
+	if !almostEq(got, 3, 1e-3) {
+		t.Errorf("derivative = %v, want 3", got)
+	}
+}
+
+func TestDerivativeFirstSampleZero(t *testing.T) {
+	d := NewDerivative(30, 0.001)
+	if got := d.Update(100); got != 0 {
+		t.Errorf("first derivative sample = %v, want 0", got)
+	}
+}
+
+func TestDerivativeReset(t *testing.T) {
+	d := NewDerivative(30, 0.001)
+	d.Update(0)
+	d.Update(1)
+	d.Reset()
+	if got := d.Update(500); got != 0 {
+		t.Errorf("after reset, first sample = %v, want 0", got)
+	}
+}
+
+func TestRateLimiter(t *testing.T) {
+	rl := NewRateLimiter(10, 0.1) // max step 1 per update
+	if got := rl.Update(0); got != 0 {
+		t.Fatalf("prime = %v", got)
+	}
+	if got := rl.Update(5); !almostEq(got, 1, 1e-12) {
+		t.Errorf("step 1 = %v, want 1", got)
+	}
+	if got := rl.Update(5); !almostEq(got, 2, 1e-12) {
+		t.Errorf("step 2 = %v, want 2", got)
+	}
+	// Downward slew is limited too.
+	if got := rl.Update(-5); !almostEq(got, 1, 1e-12) {
+		t.Errorf("down step = %v, want 1", got)
+	}
+}
+
+func TestRateLimiterReachesTarget(t *testing.T) {
+	rl := NewRateLimiter(100, 0.01)
+	rl.Update(0)
+	var got float64
+	for i := 0; i < 200; i++ {
+		got = rl.Update(50)
+	}
+	if !almostEq(got, 50, 1e-9) {
+		t.Errorf("settled at %v, want 50", got)
+	}
+}

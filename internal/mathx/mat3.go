@@ -1,0 +1,136 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mat3 is a 3x3 matrix in row-major order: M[row][col].
+type Mat3 struct {
+	M [3][3]float64
+}
+
+// Identity3 returns the 3x3 identity matrix.
+func Identity3() Mat3 {
+	return Mat3{M: [3][3]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}}
+}
+
+// Diag3 returns a diagonal matrix with the given diagonal entries.
+func Diag3(x, y, z float64) Mat3 {
+	return Mat3{M: [3][3]float64{{x, 0, 0}, {0, y, 0}, {0, 0, z}}}
+}
+
+// DiagV returns a diagonal matrix whose diagonal is v.
+func DiagV(v Vec3) Mat3 { return Diag3(v.X, v.Y, v.Z) }
+
+// Skew returns the skew-symmetric cross-product matrix [v]x such that
+// Skew(v).MulVec(w) == v.Cross(w).
+func Skew(v Vec3) Mat3 {
+	return Mat3{M: [3][3]float64{
+		{0, -v.Z, v.Y},
+		{v.Z, 0, -v.X},
+		{-v.Y, v.X, 0},
+	}}
+}
+
+// Add returns a + b.
+func (a Mat3) Add(b Mat3) Mat3 {
+	var out Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			out.M[i][j] = a.M[i][j] + b.M[i][j]
+		}
+	}
+	return out
+}
+
+// Sub returns a - b.
+func (a Mat3) Sub(b Mat3) Mat3 {
+	var out Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			out.M[i][j] = a.M[i][j] - b.M[i][j]
+		}
+	}
+	return out
+}
+
+// Scale returns a with every entry multiplied by s.
+func (a Mat3) Scale(s float64) Mat3 {
+	var out Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			out.M[i][j] = a.M[i][j] * s
+		}
+	}
+	return out
+}
+
+// Mul returns the matrix product a*b.
+func (a Mat3) Mul(b Mat3) Mat3 {
+	var out Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			out.M[i][j] = a.M[i][0]*b.M[0][j] + a.M[i][1]*b.M[1][j] + a.M[i][2]*b.M[2][j]
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product a*v.
+func (a Mat3) MulVec(v Vec3) Vec3 {
+	return Vec3{
+		X: a.M[0][0]*v.X + a.M[0][1]*v.Y + a.M[0][2]*v.Z,
+		Y: a.M[1][0]*v.X + a.M[1][1]*v.Y + a.M[1][2]*v.Z,
+		Z: a.M[2][0]*v.X + a.M[2][1]*v.Y + a.M[2][2]*v.Z,
+	}
+}
+
+// Transpose returns the transpose of a.
+func (a Mat3) Transpose() Mat3 {
+	var out Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			out.M[i][j] = a.M[j][i]
+		}
+	}
+	return out
+}
+
+// Det returns the determinant of a.
+func (a Mat3) Det() float64 {
+	m := a.M
+	return m[0][0]*(m[1][1]*m[2][2]-m[1][2]*m[2][1]) -
+		m[0][1]*(m[1][0]*m[2][2]-m[1][2]*m[2][0]) +
+		m[0][2]*(m[1][0]*m[2][1]-m[1][1]*m[2][0])
+}
+
+// Inverse returns the inverse of a and whether the matrix was invertible.
+// A matrix with |det| below 1e-300 is treated as singular.
+func (a Mat3) Inverse() (Mat3, bool) {
+	d := a.Det()
+	if math.Abs(d) < 1e-300 {
+		return Mat3{}, false
+	}
+	m := a.M
+	inv := Mat3{M: [3][3]float64{
+		{m[1][1]*m[2][2] - m[1][2]*m[2][1], m[0][2]*m[2][1] - m[0][1]*m[2][2], m[0][1]*m[1][2] - m[0][2]*m[1][1]},
+		{m[1][2]*m[2][0] - m[1][0]*m[2][2], m[0][0]*m[2][2] - m[0][2]*m[2][0], m[0][2]*m[1][0] - m[0][0]*m[1][2]},
+		{m[1][0]*m[2][1] - m[1][1]*m[2][0], m[0][1]*m[2][0] - m[0][0]*m[2][1], m[0][0]*m[1][1] - m[0][1]*m[1][0]},
+	}}
+	return inv.Scale(1 / d), true
+}
+
+// Trace returns the sum of the diagonal entries.
+func (a Mat3) Trace() float64 { return a.M[0][0] + a.M[1][1] + a.M[2][2] }
+
+// Row returns row i as a vector. i must be in [0, 2].
+func (a Mat3) Row(i int) Vec3 { return Vec3{a.M[i][0], a.M[i][1], a.M[i][2]} }
+
+// Col returns column j as a vector. j must be in [0, 2].
+func (a Mat3) Col(j int) Vec3 { return Vec3{a.M[0][j], a.M[1][j], a.M[2][j]} }
+
+// String implements fmt.Stringer.
+func (a Mat3) String() string {
+	return fmt.Sprintf("[%v; %v; %v]", a.Row(0), a.Row(1), a.Row(2))
+}

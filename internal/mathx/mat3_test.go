@@ -1,0 +1,134 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func matAlmostEq(a, b Mat3, tol float64) bool {
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if !almostEq(a.M[i][j], b.M[i][j], tol) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestMat3IdentityMul(t *testing.T) {
+	a := Mat3{M: [3][3]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 10}}}
+	if got := Identity3().Mul(a); !matAlmostEq(got, a, 1e-12) {
+		t.Errorf("I*A = %v, want %v", got, a)
+	}
+	if got := a.Mul(Identity3()); !matAlmostEq(got, a, 1e-12) {
+		t.Errorf("A*I = %v, want %v", got, a)
+	}
+}
+
+func TestMat3MulVec(t *testing.T) {
+	a := Diag3(2, 3, 4)
+	if got := a.MulVec(V3(1, 1, 1)); !vecAlmostEq(got, V3(2, 3, 4), 1e-12) {
+		t.Errorf("diag mulvec = %v", got)
+	}
+}
+
+func TestMat3Inverse(t *testing.T) {
+	a := Mat3{M: [3][3]float64{{2, 0, 1}, {1, 1, 0}, {0, 3, 1}}}
+	inv, ok := a.Inverse()
+	if !ok {
+		t.Fatal("invertible matrix reported singular")
+	}
+	if got := a.Mul(inv); !matAlmostEq(got, Identity3(), 1e-9) {
+		t.Errorf("A*inv(A) = %v, want identity", got)
+	}
+}
+
+func TestMat3InverseSingular(t *testing.T) {
+	singular := Mat3{M: [3][3]float64{{1, 2, 3}, {2, 4, 6}, {0, 0, 1}}}
+	if _, ok := singular.Inverse(); ok {
+		t.Error("singular matrix reported invertible")
+	}
+}
+
+func TestMat3SkewMatchesCross(t *testing.T) {
+	v, w := V3(1, -2, 3), V3(0.5, 4, -1)
+	if got, want := Skew(v).MulVec(w), v.Cross(w); !vecAlmostEq(got, want, 1e-12) {
+		t.Errorf("Skew(v)w = %v, v×w = %v", got, want)
+	}
+}
+
+func TestMat3TraceDetRowCol(t *testing.T) {
+	a := Mat3{M: [3][3]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 10}}}
+	if got := a.Trace(); got != 16 {
+		t.Errorf("Trace = %v, want 16", got)
+	}
+	if got := a.Det(); !almostEq(got, -3, 1e-12) {
+		t.Errorf("Det = %v, want -3", got)
+	}
+	if got := a.Row(1); got != V3(4, 5, 6) {
+		t.Errorf("Row(1) = %v", got)
+	}
+	if got := a.Col(2); got != V3(3, 6, 10) {
+		t.Errorf("Col(2) = %v", got)
+	}
+}
+
+func TestMat3AddSubScale(t *testing.T) {
+	a := Diag3(1, 2, 3)
+	b := Diag3(4, 5, 6)
+	if got := a.Add(b); !matAlmostEq(got, Diag3(5, 7, 9), 1e-12) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := b.Sub(a); !matAlmostEq(got, Diag3(3, 3, 3), 1e-12) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); !matAlmostEq(got, Diag3(2, 4, 6), 1e-12) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+// Property: (AB)^T == B^T A^T.
+func TestMat3TransposeProduct(t *testing.T) {
+	f := func(a, b [9]float64) bool {
+		A := mat3FromArray(a)
+		B := mat3FromArray(b)
+		return matAlmostEq(A.Mul(B).Transpose(), B.Transpose().Mul(A.Transpose()), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: det(AB) == det(A)det(B).
+func TestMat3DetMultiplicative(t *testing.T) {
+	f := func(a, b [9]float64) bool {
+		A := mat3FromArray(a)
+		B := mat3FromArray(b)
+		lhs := A.Mul(B).Det()
+		rhs := A.Det() * B.Det()
+		tol := 1e-6 * (1 + abs(lhs) + abs(rhs))
+		return almostEq(lhs, rhs, tol)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mat3FromArray(a [9]float64) Mat3 {
+	var m Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			m.M[i][j] = math.Mod(clampInput(a[i*3+j]), 100)
+		}
+	}
+	return m
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,221 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func quatAlmostEq(a, b Quat, tol float64) bool {
+	// q and -q are the same rotation.
+	if a.W*b.W+a.X*b.X+a.Y*b.Y+a.Z*b.Z < 0 {
+		b = Quat{-b.W, -b.X, -b.Y, -b.Z}
+	}
+	return almostEq(a.W, b.W, tol) && almostEq(a.X, b.X, tol) &&
+		almostEq(a.Y, b.Y, tol) && almostEq(a.Z, b.Z, tol)
+}
+
+func TestQuatIdentityRotation(t *testing.T) {
+	v := V3(1, 2, 3)
+	if got := QuatIdentity().Rotate(v); !vecAlmostEq(got, v, 1e-12) {
+		t.Errorf("identity rotate = %v, want %v", got, v)
+	}
+}
+
+func TestQuatAxisAngle90Deg(t *testing.T) {
+	// 90 degrees about Z maps X to Y.
+	q := QuatFromAxisAngle(V3(0, 0, 1), math.Pi/2)
+	got := q.Rotate(V3(1, 0, 0))
+	if !vecAlmostEq(got, V3(0, 1, 0), 1e-12) {
+		t.Errorf("rotate = %v, want (0,1,0)", got)
+	}
+	// Inverse rotation maps back.
+	back := q.RotateInv(got)
+	if !vecAlmostEq(back, V3(1, 0, 0), 1e-12) {
+		t.Errorf("rotateInv = %v, want (1,0,0)", back)
+	}
+}
+
+func TestQuatZeroAxisIsIdentity(t *testing.T) {
+	if got := QuatFromAxisAngle(Zero3, 1.5); got != QuatIdentity() {
+		t.Errorf("zero axis = %v, want identity", got)
+	}
+}
+
+func TestQuatEulerRoundTrip(t *testing.T) {
+	tests := []struct{ roll, pitch, yaw float64 }{
+		{0, 0, 0},
+		{0.3, -0.2, 1.1},
+		{-1.0, 0.5, -2.5},
+		{0.01, 0.02, 3.0},
+		{math.Pi / 4, math.Pi / 4, math.Pi / 4},
+	}
+	for _, tt := range tests {
+		q := QuatFromEuler(tt.roll, tt.pitch, tt.yaw)
+		r, p, y := q.Euler()
+		if !almostEq(r, tt.roll, 1e-9) || !almostEq(p, tt.pitch, 1e-9) || !almostEq(y, tt.yaw, 1e-9) {
+			t.Errorf("round trip (%v,%v,%v) -> (%v,%v,%v)", tt.roll, tt.pitch, tt.yaw, r, p, y)
+		}
+	}
+}
+
+func TestQuatGimbalLockPitchClamped(t *testing.T) {
+	q := QuatFromEuler(0, math.Pi/2, 0)
+	_, p, _ := q.Euler()
+	if !almostEq(p, math.Pi/2, 1e-9) {
+		t.Errorf("pitch at gimbal lock = %v, want pi/2", p)
+	}
+}
+
+func TestQuatRotationMatrixAgrees(t *testing.T) {
+	q := QuatFromEuler(0.4, -0.3, 2.0)
+	v := V3(1, -2, 0.5)
+	got := q.RotationMatrix().MulVec(v)
+	want := q.Rotate(v)
+	if !vecAlmostEq(got, want, 1e-12) {
+		t.Errorf("matrix rotate = %v, quat rotate = %v", got, want)
+	}
+}
+
+func TestQuatIntegrateConstantRate(t *testing.T) {
+	// Integrating 90 deg/s about body Z for 1 s in small steps reaches
+	// 90 degrees of yaw.
+	q := QuatIdentity()
+	omega := V3(0, 0, math.Pi/2)
+	const steps = 1000
+	for i := 0; i < steps; i++ {
+		q = q.Integrate(omega, 1.0/steps)
+	}
+	_, _, yaw := q.Euler()
+	if !almostEq(yaw, math.Pi/2, 1e-6) {
+		t.Errorf("yaw after integration = %v, want pi/2", yaw)
+	}
+	if !almostEq(q.Norm(), 1, 1e-12) {
+		t.Errorf("norm drifted to %v", q.Norm())
+	}
+}
+
+func TestQuatTiltAngle(t *testing.T) {
+	tests := []struct {
+		name string
+		q    Quat
+		want float64
+	}{
+		{"level", QuatIdentity(), 0},
+		{"rolled_90", QuatFromEuler(math.Pi/2, 0, 0), math.Pi / 2},
+		{"inverted", QuatFromEuler(math.Pi, 0, 0), math.Pi},
+		{"yaw_only", QuatFromEuler(0, 0, 2.0), 0},
+		{"pitch_45", QuatFromEuler(0, math.Pi/4, 0), math.Pi / 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.q.TiltAngle(); !almostEq(got, tt.want, 1e-9) {
+				t.Errorf("TiltAngle = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestQuatAngleTo(t *testing.T) {
+	a := QuatFromAxisAngle(V3(0, 0, 1), 0.3)
+	b := QuatFromAxisAngle(V3(0, 0, 1), 0.8)
+	if got := a.AngleTo(b); !almostEq(got, 0.5, 1e-9) {
+		t.Errorf("AngleTo = %v, want 0.5", got)
+	}
+	if got := a.AngleTo(a); !almostEq(got, 0, 1e-6) {
+		t.Errorf("AngleTo self = %v, want 0", got)
+	}
+}
+
+func TestQuatNormalizedDegenerate(t *testing.T) {
+	for _, bad := range []Quat{{}, {W: math.NaN()}, {X: math.Inf(1)}} {
+		if got := bad.Normalized(); got != QuatIdentity() {
+			t.Errorf("Normalized(%v) = %v, want identity", bad, got)
+		}
+	}
+}
+
+// Property: QuatFromMatrix(q.RotationMatrix()) == q up to sign.
+func TestQuatMatrixRoundTrip(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		q := randQuat(a, b, c, d)
+		back := QuatFromMatrix(q.RotationMatrix())
+		return quatAlmostEq(q, back, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Exercise all four Shepperd branches with rotations near 180 degrees
+	// about each axis.
+	for _, q := range []Quat{
+		QuatIdentity(),
+		QuatFromAxisAngle(V3(1, 0, 0), 3.1),
+		QuatFromAxisAngle(V3(0, 1, 0), 3.1),
+		QuatFromAxisAngle(V3(0, 0, 1), 3.1),
+	} {
+		if back := QuatFromMatrix(q.RotationMatrix()); !quatAlmostEq(q, back, 1e-9) {
+			t.Errorf("round trip %v -> %v", q, back)
+		}
+	}
+}
+
+// randQuat builds a well-formed unit quaternion from four arbitrary floats.
+func randQuat(a, b, c, d float64) Quat {
+	q := Quat{clampInput(a) + 0.1, clampInput(b), clampInput(c), clampInput(d)}
+	return q.Normalized()
+}
+
+// Property: rotation preserves vector length.
+func TestQuatRotatePreservesNorm(t *testing.T) {
+	f := func(a, b, c, d, vx, vy, vz float64) bool {
+		q := randQuat(a, b, c, d)
+		v := V3(clampInput(vx), clampInput(vy), clampInput(vz))
+		return almostEq(q.Rotate(v).Norm(), v.Norm(), 1e-6*(1+v.Norm()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: composition q.Mul(r).Rotate(v) == q.Rotate(r.Rotate(v)).
+func TestQuatCompositionProperty(t *testing.T) {
+	f := func(a, b, c, d, e, g, h, i, vx, vy, vz float64) bool {
+		q := randQuat(a, b, c, d)
+		r := randQuat(e, g, h, i)
+		v := V3(clampInput(vx), clampInput(vy), clampInput(vz))
+		lhs := q.Mul(r).Rotate(v)
+		rhs := q.Rotate(r.Rotate(v))
+		return vecAlmostEq(lhs, rhs, 1e-6*(1+v.Norm()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: q.Mul(q.Conj()) is the identity for unit quaternions.
+func TestQuatConjIsInverse(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		q := randQuat(a, b, c, d)
+		return quatAlmostEq(q.Mul(q.Conj()), QuatIdentity(), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RotVec round-trip — integrating the rotation vector of a small
+// rotation reproduces it.
+func TestQuatRotVecSmallAngle(t *testing.T) {
+	f := func(x, y, z float64) bool {
+		rv := V3(math.Mod(clampInput(x), 0.1), math.Mod(clampInput(y), 0.1), math.Mod(clampInput(z), 0.1))
+		q := QuatFromRotVec(rv)
+		if !almostEq(q.Norm(), 1, 1e-9) {
+			return false
+		}
+		// The rotation angle equals |rv|.
+		return almostEq(q.AngleTo(QuatIdentity()), rv.Norm(), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,149 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningBasics(t *testing.T) {
+	var r Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Errorf("N = %d", r.N())
+	}
+	if !almostEq(r.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", r.Mean())
+	}
+	// Population variance of this classic set is 4; unbiased is 32/7.
+	if !almostEq(r.Var(), 32.0/7.0, 1e-12) {
+		t.Errorf("Var = %v, want %v", r.Var(), 32.0/7.0)
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", r.Min(), r.Max())
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Var() != 0 || r.Std() != 0 || r.N() != 0 {
+		t.Error("empty Running must report zeros")
+	}
+}
+
+func TestRunningSingleSampleVarZero(t *testing.T) {
+	var r Running
+	r.Add(3)
+	if r.Var() != 0 {
+		t.Errorf("Var of single sample = %v", r.Var())
+	}
+}
+
+func TestRunningMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var whole, a, b Running
+	for i := 0; i < 1000; i++ {
+		x := rng.NormFloat64()*3 + 10
+		whole.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	if !almostEq(a.Mean(), whole.Mean(), 1e-9) {
+		t.Errorf("merged Mean = %v, want %v", a.Mean(), whole.Mean())
+	}
+	if !almostEq(a.Var(), whole.Var(), 1e-9) {
+		t.Errorf("merged Var = %v, want %v", a.Var(), whole.Var())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Errorf("merged Min/Max = %v/%v, want %v/%v", a.Min(), a.Max(), whole.Min(), whole.Max())
+	}
+}
+
+func TestRunningMergeEmptyCases(t *testing.T) {
+	var empty, filled Running
+	filled.Add(1)
+	filled.Add(3)
+
+	target := filled
+	target.Merge(empty)
+	if target.N() != 2 || target.Mean() != 2 {
+		t.Error("merging empty changed stats")
+	}
+
+	var dst Running
+	dst.Merge(filled)
+	if dst.N() != 2 || dst.Mean() != 2 {
+		t.Error("merging into empty lost stats")
+	}
+}
+
+func TestMeanAndMedian(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); !almostEq(got, 2.5, 1e-12) {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Median([]float64{5, 1, 3}); got != 3 {
+		t.Errorf("Median odd = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); !almostEq(got, 2.5, 1e-12) {
+		t.Errorf("Median even = %v", got)
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	tests := []struct{ p, want float64 }{
+		{0, 10}, {100, 40}, {-5, 10}, {105, 40}, {50, 25},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); !almostEq(got, tt.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+// Property: Running.Mean matches the batch Mean, and min <= mean <= max.
+func TestRunningMeanProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			xs = append(xs, math.Mod(clampInput(x), 1e4))
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		var r Running
+		for _, x := range xs {
+			r.Add(x)
+		}
+		tol := 1e-7 * (1 + math.Abs(r.Mean()))
+		return almostEq(r.Mean(), Mean(xs), tol) &&
+			r.Min() <= r.Mean()+tol && r.Mean() <= r.Max()+tol
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

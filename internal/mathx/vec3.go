@@ -1,0 +1,149 @@
+// Package mathx provides the small linear-algebra and signal-processing
+// toolkit used throughout the simulator: 3-vectors, 3x3 matrices, unit
+// quaternions, discrete filters, and summary statistics.
+//
+// All types are plain values with no hidden state; operations return new
+// values rather than mutating receivers, which keeps the physics and
+// estimation code referentially transparent and easy to test.
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a 3-component vector. The frame (world NED, body FRD, ...) is
+// by convention of the caller.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V3 builds a Vec3 from components.
+func V3(x, y, z float64) Vec3 { return Vec3{X: x, Y: y, Z: z} }
+
+// Zero3 is the zero vector.
+var Zero3 = Vec3{}
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Neg returns -v.
+func (v Vec3) Neg() Vec3 { return Vec3{-v.X, -v.Y, -v.Z} }
+
+// Dot returns the dot product v·w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v×w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		X: v.Y*w.Z - v.Z*w.Y,
+		Y: v.Z*w.X - v.X*w.Z,
+		Z: v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// NormSq returns the squared Euclidean length of v.
+func (v Vec3) NormSq() float64 { return v.Dot(v) }
+
+// Normalized returns v scaled to unit length. The zero vector is returned
+// unchanged (there is no meaningful direction to preserve).
+func (v Vec3) Normalized() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Hadamard returns the element-wise product of v and w.
+func (v Vec3) Hadamard(w Vec3) Vec3 { return Vec3{v.X * w.X, v.Y * w.Y, v.Z * w.Z} }
+
+// Clamp returns v with every component clamped to [-limit, limit].
+// limit must be non-negative.
+func (v Vec3) Clamp(limit float64) Vec3 {
+	return Vec3{
+		X: Clamp(v.X, -limit, limit),
+		Y: Clamp(v.Y, -limit, limit),
+		Z: Clamp(v.Z, -limit, limit),
+	}
+}
+
+// ClampVec returns v with each component i clamped to [-limits[i], limits[i]].
+func (v Vec3) ClampVec(limits Vec3) Vec3 {
+	return Vec3{
+		X: Clamp(v.X, -limits.X, limits.X),
+		Y: Clamp(v.Y, -limits.Y, limits.Y),
+		Z: Clamp(v.Z, -limits.Z, limits.Z),
+	}
+}
+
+// XY returns the horizontal (X, Y) part of v with Z zeroed.
+func (v Vec3) XY() Vec3 { return Vec3{v.X, v.Y, 0} }
+
+// NormXY returns the horizontal length of v.
+func (v Vec3) NormXY() float64 { return math.Hypot(v.X, v.Y) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Norm() }
+
+// DistXY returns the horizontal distance between v and w.
+func (v Vec3) DistXY(w Vec3) float64 { return math.Hypot(v.X-w.X, v.Y-w.Y) }
+
+// IsFinite reports whether all components are finite (no NaN or Inf).
+func (v Vec3) IsFinite() bool {
+	return isFinite(v.X) && isFinite(v.Y) && isFinite(v.Z)
+}
+
+// MaxAbs returns the largest absolute component value.
+func (v Vec3) MaxAbs() float64 {
+	return math.Max(math.Abs(v.X), math.Max(math.Abs(v.Y), math.Abs(v.Z)))
+}
+
+// Lerp linearly interpolates from v to w by t in [0, 1].
+func (v Vec3) Lerp(w Vec3, t float64) Vec3 {
+	return v.Add(w.Sub(v).Scale(t))
+}
+
+// String implements fmt.Stringer.
+func (v Vec3) String() string {
+	return fmt.Sprintf("(%.4g, %.4g, %.4g)", v.X, v.Y, v.Z)
+}
+
+// Clamp limits x to the interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// WrapPi wraps an angle in radians to (-pi, pi].
+func WrapPi(a float64) float64 {
+	for a <= -math.Pi {
+		a += 2 * math.Pi
+	}
+	for a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	return a
+}
+
+// Deg2Rad converts degrees to radians.
+func Deg2Rad(d float64) float64 { return d * math.Pi / 180 }
+
+// Rad2Deg converts radians to degrees.
+func Rad2Deg(r float64) float64 { return r * 180 / math.Pi }
+
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }

@@ -1,0 +1,163 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func vecAlmostEq(a, b Vec3, tol float64) bool {
+	return almostEq(a.X, b.X, tol) && almostEq(a.Y, b.Y, tol) && almostEq(a.Z, b.Z, tol)
+}
+
+func TestVec3Arithmetic(t *testing.T) {
+	tests := []struct {
+		name string
+		got  Vec3
+		want Vec3
+	}{
+		{"add", V3(1, 2, 3).Add(V3(4, 5, 6)), V3(5, 7, 9)},
+		{"sub", V3(1, 2, 3).Sub(V3(4, 5, 6)), V3(-3, -3, -3)},
+		{"scale", V3(1, -2, 3).Scale(2), V3(2, -4, 6)},
+		{"neg", V3(1, -2, 3).Neg(), V3(-1, 2, -3)},
+		{"hadamard", V3(1, 2, 3).Hadamard(V3(2, 3, 4)), V3(2, 6, 12)},
+		{"cross_xy", V3(1, 0, 0).Cross(V3(0, 1, 0)), V3(0, 0, 1)},
+		{"cross_yz", V3(0, 1, 0).Cross(V3(0, 0, 1)), V3(1, 0, 0)},
+		{"lerp_mid", V3(0, 0, 0).Lerp(V3(2, 4, 6), 0.5), V3(1, 2, 3)},
+		{"xy", V3(3, 4, 5).XY(), V3(3, 4, 0)},
+		{"clamp", V3(10, -10, 0.5).Clamp(1), V3(1, -1, 0.5)},
+		{"clampvec", V3(10, -10, 0.5).ClampVec(V3(2, 3, 0.1)), V3(2, -3, 0.1)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if !vecAlmostEq(tt.got, tt.want, 1e-12) {
+				t.Errorf("got %v, want %v", tt.got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVec3NormAndDist(t *testing.T) {
+	v := V3(3, 4, 0)
+	if got := v.Norm(); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := v.NormSq(); !almostEq(got, 25, 1e-12) {
+		t.Errorf("NormSq = %v, want 25", got)
+	}
+	if got := v.NormXY(); !almostEq(got, 5, 1e-12) {
+		t.Errorf("NormXY = %v, want 5", got)
+	}
+	if got := V3(1, 1, 1).Dist(V3(1, 1, 3)); !almostEq(got, 2, 1e-12) {
+		t.Errorf("Dist = %v, want 2", got)
+	}
+	if got := V3(0, 0, 9).DistXY(V3(3, 4, -7)); !almostEq(got, 5, 1e-12) {
+		t.Errorf("DistXY = %v, want 5 (Z must be ignored)", got)
+	}
+}
+
+func TestVec3NormalizedZeroSafe(t *testing.T) {
+	if got := Zero3.Normalized(); got != Zero3 {
+		t.Errorf("Normalized zero vector = %v, want zero", got)
+	}
+	n := V3(0, -7, 0).Normalized()
+	if !vecAlmostEq(n, V3(0, -1, 0), 1e-12) {
+		t.Errorf("Normalized = %v, want (0,-1,0)", n)
+	}
+}
+
+func TestVec3IsFinite(t *testing.T) {
+	if !V3(1, 2, 3).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	for _, bad := range []Vec3{
+		{math.NaN(), 0, 0}, {0, math.Inf(1), 0}, {0, 0, math.Inf(-1)},
+	} {
+		if bad.IsFinite() {
+			t.Errorf("%v reported finite", bad)
+		}
+	}
+}
+
+func TestVec3MaxAbs(t *testing.T) {
+	if got := V3(-7, 2, 3).MaxAbs(); got != 7 {
+		t.Errorf("MaxAbs = %v, want 7", got)
+	}
+}
+
+func TestClampScalar(t *testing.T) {
+	tests := []struct{ x, lo, hi, want float64 }{
+		{5, 0, 10, 5}, {-5, 0, 10, 0}, {15, 0, 10, 10}, {0, 0, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := Clamp(tt.x, tt.lo, tt.hi); got != tt.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", tt.x, tt.lo, tt.hi, got, tt.want)
+		}
+	}
+}
+
+func TestWrapPi(t *testing.T) {
+	tests := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi},
+		{math.Pi / 2, math.Pi / 2},
+		{2 * math.Pi, 0},
+		{-7 * math.Pi / 2, math.Pi / 2},
+	}
+	for _, tt := range tests {
+		if got := WrapPi(tt.in); !almostEq(got, tt.want, 1e-12) {
+			t.Errorf("WrapPi(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestDegRadRoundTrip(t *testing.T) {
+	if got := Deg2Rad(180); !almostEq(got, math.Pi, 1e-12) {
+		t.Errorf("Deg2Rad(180) = %v", got)
+	}
+	if got := Rad2Deg(math.Pi / 2); !almostEq(got, 90, 1e-12) {
+		t.Errorf("Rad2Deg(pi/2) = %v", got)
+	}
+}
+
+// Property: cross product is perpendicular to both operands and
+// anti-commutative.
+func TestVec3CrossProperties(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a, b := V3(clampInput(ax), clampInput(ay), clampInput(az)), V3(clampInput(bx), clampInput(by), clampInput(bz))
+		c := a.Cross(b)
+		tol := 1e-6 * (1 + a.Norm()*b.Norm())
+		return almostEq(c.Dot(a), 0, tol) &&
+			almostEq(c.Dot(b), 0, tol) &&
+			vecAlmostEq(c, b.Cross(a).Neg(), tol)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: triangle inequality for Dist.
+func TestVec3TriangleInequality(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz, cx, cy, cz float64) bool {
+		a := V3(clampInput(ax), clampInput(ay), clampInput(az))
+		b := V3(clampInput(bx), clampInput(by), clampInput(bz))
+		c := V3(clampInput(cx), clampInput(cy), clampInput(cz))
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// clampInput maps arbitrary quick-generated floats into a sane finite range
+// so properties aren't defeated by overflow to Inf.
+func clampInput(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 1e6)
+}

@@ -1,0 +1,56 @@
+package mission
+
+import (
+	"fmt"
+
+	"uavres/internal/geo"
+	"uavres/internal/mathx"
+)
+
+// ValenciaFrame returns the local NED frame anchored at the scenario's
+// urban-center origin, for converting mission routes to and from
+// geographic coordinates (the form U-space itself exchanges).
+func ValenciaFrame() (*geo.Frame, error) {
+	return geo.NewFrame(geo.LLA{LatDeg: ValenciaOrigin.LatDeg, LonDeg: ValenciaOrigin.LonDeg})
+}
+
+// GeoRoute converts the mission's route (start plus waypoints) to
+// geodetic coordinates in the given frame. The start is reported at
+// ground level; waypoints carry the cruise altitude.
+func (m Mission) GeoRoute(f *geo.Frame) []geo.LLA {
+	out := make([]geo.LLA, 0, len(m.Waypoints)+1)
+	out = append(out, f.ToLLA(m.Start))
+	for _, wp := range m.Waypoints {
+		out = append(out, f.ToLLA(wp))
+	}
+	return out
+}
+
+// FromGeo builds a mission from geodetic route points: the first point is
+// the launch site (altitude ignored: launches are from ground), the rest
+// are cruise waypoints flown at altM above ground. The route is validated
+// before being returned.
+func FromGeo(id int, name string, f *geo.Frame, drone DroneSpec, cruiseMS, altM float64, route []geo.LLA) (Mission, error) {
+	if len(route) < 2 {
+		return Mission{}, fmt.Errorf("mission: geo route needs a launch point and at least one waypoint, got %d points", len(route))
+	}
+	for i, p := range route {
+		if err := p.Validate(); err != nil {
+			return Mission{}, fmt.Errorf("mission: route point %d: %w", i, err)
+		}
+	}
+	startNED := f.ToNED(route[0])
+	m := Mission{
+		ID: id, Name: name, Drone: drone,
+		CruiseSpeedMS: cruiseMS, AltitudeM: altM,
+		Start: mathx.V3(startNED.X, startNED.Y, 0),
+	}
+	for _, p := range route[1:] {
+		ned := f.ToNED(p)
+		m.Waypoints = append(m.Waypoints, mathx.V3(ned.X, ned.Y, -altM))
+	}
+	if err := m.Validate(); err != nil {
+		return Mission{}, err
+	}
+	return m, nil
+}

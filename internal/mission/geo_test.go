@@ -1,0 +1,113 @@
+package mission
+
+import (
+	"math"
+	"testing"
+
+	"uavres/internal/geo"
+)
+
+func TestValenciaFrameAnchoredAtOrigin(t *testing.T) {
+	f, err := ValenciaFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := f.Origin()
+	if o.LatDeg != ValenciaOrigin.LatDeg || o.LonDeg != ValenciaOrigin.LonDeg {
+		t.Errorf("frame origin = %v", o)
+	}
+}
+
+func TestGeoRouteRoundTrip(t *testing.T) {
+	f, err := ValenciaFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range Valencia() {
+		route := m.GeoRoute(f)
+		if len(route) != len(m.Waypoints)+1 {
+			t.Fatalf("mission %d route points = %d", m.ID, len(route))
+		}
+		// Rebuild the mission from the geographic route; geometry must
+		// survive within millimeters.
+		back, err := FromGeo(m.ID, m.Name, f, m.Drone, m.CruiseSpeedMS, m.AltitudeM, route)
+		if err != nil {
+			t.Fatalf("mission %d: %v", m.ID, err)
+		}
+		if back.Start.DistXY(m.Start) > 1e-3 {
+			t.Errorf("mission %d start moved %v m", m.ID, back.Start.DistXY(m.Start))
+		}
+		for i := range m.Waypoints {
+			if back.Waypoints[i].Dist(m.Waypoints[i]) > 1e-3 {
+				t.Errorf("mission %d wp %d moved %v m", m.ID, i, back.Waypoints[i].Dist(m.Waypoints[i]))
+			}
+		}
+		if math.Abs(back.PathLength()-m.PathLength()) > 0.01 {
+			t.Errorf("mission %d path length %v -> %v", m.ID, m.PathLength(), back.PathLength())
+		}
+	}
+}
+
+func TestGeoRouteWithinValenciaArea(t *testing.T) {
+	f, err := ValenciaFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range Valencia() {
+		for _, p := range m.GeoRoute(f) {
+			// Every point within ~0.05 degrees (~5 km) of the center.
+			if math.Abs(p.LatDeg-ValenciaOrigin.LatDeg) > 0.05 ||
+				math.Abs(p.LonDeg-ValenciaOrigin.LonDeg) > 0.05 {
+				t.Errorf("mission %d point %v far from Valencia", m.ID, p)
+			}
+		}
+	}
+}
+
+func TestFromGeoValidation(t *testing.T) {
+	f, err := ValenciaFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	drone := DroneSpec{Name: "t", DimensionM: 0.8, SafetyDistM: 2, MaxSpeedMS: 5}
+	valid := []geo.LLA{
+		{LatDeg: 39.47, LonDeg: -0.376},
+		{LatDeg: 39.475, LonDeg: -0.376, AltM: 15},
+	}
+	if _, err := FromGeo(1, "ok", f, drone, 3, 15, valid); err != nil {
+		t.Errorf("valid geo mission rejected: %v", err)
+	}
+	if _, err := FromGeo(1, "short", f, drone, 3, 15, valid[:1]); err == nil {
+		t.Error("single-point route accepted")
+	}
+	bad := []geo.LLA{{LatDeg: 95}, {LatDeg: 39.47, LonDeg: -0.376}}
+	if _, err := FromGeo(1, "bad", f, drone, 3, 15, bad); err == nil {
+		t.Error("invalid latitude accepted")
+	}
+	if _, err := FromGeo(1, "alt", f, drone, 3, 99, valid); err == nil {
+		t.Error("above-ceiling altitude accepted")
+	}
+}
+
+func TestFromGeoFliesEndToEnd(t *testing.T) {
+	// A geo-authored mission must be as flyable as a local one; checked
+	// at the geometry level here (sim-level coverage lives in sim tests).
+	f, err := ValenciaFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := FromGeo(42, "geo hop", f,
+		DroneSpec{Name: "t", DimensionM: 0.8, SafetyDistM: 2, MaxSpeedMS: 5},
+		3.3, 15,
+		[]geo.LLA{
+			{LatDeg: 39.4699, LonDeg: -0.3763},
+			{LatDeg: 39.4708, LonDeg: -0.3763, AltM: 15},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~0.0009 deg of latitude is ~100 m.
+	if l := m.PathLength(); l < 90 || l > 110 {
+		t.Errorf("geo hop path length = %v, want ~100 m", l)
+	}
+}

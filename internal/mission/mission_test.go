@@ -1,0 +1,202 @@
+package mission
+
+import (
+	"math"
+	"testing"
+
+	"uavres/internal/geo"
+	"uavres/internal/mathx"
+)
+
+func TestValenciaScenarioShape(t *testing.T) {
+	ms := Valencia()
+	if len(ms) != 10 {
+		t.Fatalf("missions = %d, want 10", len(ms))
+	}
+	// Paper's speed mix: 2x5, 1x10, 3x12, 3x14, 1x25 km/h.
+	speedCount := map[int]int{}
+	turns := 0
+	for _, m := range ms {
+		if err := m.Validate(); err != nil {
+			t.Errorf("mission %d invalid: %v", m.ID, err)
+		}
+		speedCount[int(math.Round(m.CruiseSpeedMS*3.6))]++
+		if m.HasTurns {
+			turns++
+			if len(m.Waypoints) < 2 {
+				t.Errorf("mission %d claims turns but has %d waypoints", m.ID, len(m.Waypoints))
+			}
+		}
+	}
+	want := map[int]int{5: 2, 10: 1, 12: 3, 14: 3, 25: 1}
+	for kmh, n := range want {
+		if speedCount[kmh] != n {
+			t.Errorf("drones at %d km/h = %d, want %d", kmh, speedCount[kmh], n)
+		}
+	}
+	if turns != 4 {
+		t.Errorf("missions with turns = %d, want 4", turns)
+	}
+}
+
+func TestValenciaIDsSequential(t *testing.T) {
+	for i, m := range Valencia() {
+		if m.ID != i+1 {
+			t.Errorf("mission at index %d has ID %d", i, m.ID)
+		}
+	}
+}
+
+func TestValenciaWithinArea(t *testing.T) {
+	// 25 km^2 area: every coordinate within ±2.5 km of the origin.
+	for _, m := range Valencia() {
+		pts := append([]mathx.Vec3{m.Start}, m.Waypoints...)
+		for _, p := range pts {
+			if math.Abs(p.X) > 2500 || math.Abs(p.Y) > 2500 {
+				t.Errorf("mission %d point %v outside 25 km^2 area", m.ID, p)
+			}
+		}
+	}
+}
+
+func TestValenciaUnderCeiling(t *testing.T) {
+	ceiling := geo.FeetToMeters(60)
+	for _, m := range Valencia() {
+		if m.AltitudeM > ceiling {
+			t.Errorf("mission %d altitude %v above %v ceiling", m.ID, m.AltitudeM, ceiling)
+		}
+	}
+}
+
+func TestPlannedDurationsComparable(t *testing.T) {
+	// Legs are sized so nominal durations cluster near the paper's 491 s
+	// gold mean; the 90 s injection mark must fall mid-mission everywhere.
+	var total float64
+	for _, m := range Valencia() {
+		d := m.PlannedDuration(1.5, 1.0)
+		if d < 300 || d > 600 {
+			t.Errorf("mission %d planned duration %v s outside [300, 600]", m.ID, d)
+		}
+		if d < 150 {
+			t.Errorf("mission %d too short for the 90 s injection mark", m.ID)
+		}
+		total += d
+	}
+	mean := total / 10
+	if mean < 420 || mean > 540 {
+		t.Errorf("mean planned duration %v, want ~491 s", mean)
+	}
+}
+
+func TestTurnTimesNearInjectionMark(t *testing.T) {
+	// For the four turn missions the first waypoint should be reached
+	// within the fault window of a 90 s injection (90-120 s), covering the
+	// paper's "fault at turning point" placement.
+	for _, m := range Valencia() {
+		if !m.HasTurns {
+			continue
+		}
+		takeoff := m.AltitudeM / 1.5
+		first := mathx.V3(m.Start.X, m.Start.Y, -m.AltitudeM)
+		legTime := first.Dist(m.Waypoints[0]) / m.CruiseSpeedMS
+		turnAt := takeoff + legTime
+		if turnAt < 85 || turnAt > 125 {
+			t.Errorf("mission %d turn at %v s, want within the 90 s fault window", m.ID, turnAt)
+		}
+	}
+}
+
+func TestPathLength(t *testing.T) {
+	m := Mission{
+		ID: 99, CruiseSpeedMS: 2, AltitudeM: 10,
+		Start: mathx.V3(0, 0, 0),
+		Waypoints: []mathx.Vec3{
+			{X: 30, Y: 0, Z: -10},
+			{X: 30, Y: 40, Z: -10},
+		},
+	}
+	if got := m.PathLength(); math.Abs(got-70) > 1e-9 {
+		t.Errorf("PathLength = %v, want 70", got)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := Mission{
+		ID: 1, CruiseSpeedMS: 2, AltitudeM: 15,
+		Drone:     DroneSpec{MaxSpeedMS: 5},
+		Start:     mathx.V3(0, 0, 0),
+		Waypoints: []mathx.Vec3{{X: 100, Z: -15}},
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("base mission invalid: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Mission)
+	}{
+		{"zero_speed", func(m *Mission) { m.CruiseSpeedMS = 0 }},
+		{"no_waypoints", func(m *Mission) { m.Waypoints = nil }},
+		{"above_ceiling", func(m *Mission) { m.AltitudeM = 30 }},
+		{"zero_alt", func(m *Mission) { m.AltitudeM = 0 }},
+		{"wp_alt_mismatch", func(m *Mission) { m.Waypoints = []mathx.Vec3{{X: 100, Z: -5}} }},
+		{"cruise_above_top_speed", func(m *Mission) { m.CruiseSpeedMS = 6 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := base
+			tt.mutate(&m)
+			if err := m.Validate(); err == nil {
+				t.Error("invalid mission accepted")
+			}
+		})
+	}
+}
+
+func TestCrossTrackDistance(t *testing.T) {
+	m := Mission{
+		ID: 1, CruiseSpeedMS: 2, AltitudeM: 10,
+		Drone:     DroneSpec{MaxSpeedMS: 5},
+		Start:     mathx.V3(0, 0, 0),
+		Waypoints: []mathx.Vec3{{X: 100, Y: 0, Z: -10}},
+	}
+	tests := []struct {
+		name string
+		p    mathx.Vec3
+		want float64
+	}{
+		{"on_path", mathx.V3(50, 0, -10), 0},
+		{"beside_path", mathx.V3(50, 7, -10), 7},
+		{"above_path", mathx.V3(50, 0, -14), 4},
+		{"on_takeoff_column", mathx.V3(0, 0, -5), 0},
+		{"on_landing_column", mathx.V3(100, 0, -3), 0},
+		{"beyond_end", mathx.V3(110, 0, -10), 10},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := m.CrossTrackDistance(tt.p); math.Abs(got-tt.want) > 1e-9 {
+				t.Errorf("CrossTrackDistance(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestKmhToMs(t *testing.T) {
+	if got := KmhToMs(36); math.Abs(got-10) > 1e-12 {
+		t.Errorf("KmhToMs(36) = %v, want 10", got)
+	}
+}
+
+func TestDroneClassesMonotone(t *testing.T) {
+	// Faster classes are bigger and get larger safety margins.
+	prev := droneClass(5)
+	for _, kmh := range []float64{10, 12, 14, 25} {
+		cur := droneClass(kmh)
+		if cur.MaxSpeedMS <= prev.MaxSpeedMS {
+			t.Errorf("class %v top speed %v not above previous %v", kmh, cur.MaxSpeedMS, prev.MaxSpeedMS)
+		}
+		if cur.DimensionM < prev.DimensionM {
+			t.Errorf("class %v dimension shrank", kmh)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,123 @@
+package mission
+
+import "uavres/internal/mathx"
+
+// CruiseAltM is the scenario cruise altitude: below the 60-foot (18.29 m)
+// U-space ceiling.
+const CruiseAltM = 15.0
+
+// ValenciaOrigin anchors the local NED frame at the scenario's urban
+// center (Valencia, Spain).
+var ValenciaOrigin = struct{ LatDeg, LonDeg float64 }{39.4699, -0.3763}
+
+// Drone classes flown in the scenario, keyed by cruise speed in km/h.
+// Dimensions and safety distances grow with the airframe class.
+func droneClass(speedKmh float64) DroneSpec {
+	switch {
+	case speedKmh <= 5:
+		return DroneSpec{Name: "micro-survey", DimensionM: 0.6, SafetyDistM: 1.5, MaxSpeedMS: KmhToMs(5) * 1.5}
+	case speedKmh <= 10:
+		return DroneSpec{Name: "small-inspection", DimensionM: 0.7, SafetyDistM: 1.5, MaxSpeedMS: KmhToMs(10) * 1.5}
+	case speedKmh <= 12:
+		return DroneSpec{Name: "city-courier", DimensionM: 0.8, SafetyDistM: 2.0, MaxSpeedMS: KmhToMs(12) * 1.5}
+	case speedKmh <= 14:
+		return DroneSpec{Name: "parcel-quad", DimensionM: 0.8, SafetyDistM: 2.0, MaxSpeedMS: KmhToMs(14) * 1.5}
+	default:
+		return DroneSpec{Name: "express-cargo", DimensionM: 1.0, SafetyDistM: 3.0, MaxSpeedMS: KmhToMs(25) * 1.5}
+	}
+}
+
+// Valencia returns the scenario's ten missions: a 25 km^2 urban area
+// (local NED, ±2.5 km around the origin), speed mix of 2x5, 1x10, 3x12,
+// 3x14, and 1x25 km/h, varied directions, and four routes with turning
+// points. Leg lengths are sized so each nominal flight lasts roughly the
+// same wall time (the paper's gold-run mean is 491 s), which places the
+// 90-second fault-injection mark mid-route for every drone — midway along
+// a leg, at a turning point, or just before or after a waypoint,
+// depending on the mission.
+func Valencia() []Mission {
+	alt := CruiseAltM
+	z := -alt
+	ms := []Mission{
+		{
+			ID: 1, Name: "north-south slow survey",
+			CruiseSpeedMS: KmhToMs(5), Drone: droneClass(5),
+			Start:     mathx.V3(2000, -1500, 0),
+			Waypoints: []mathx.Vec3{{X: 1375, Y: -1500, Z: z}},
+		},
+		{
+			ID: 2, Name: "east-west slow survey",
+			CruiseSpeedMS: KmhToMs(5), Drone: droneClass(5),
+			Start:     mathx.V3(-1800, 2300, 0),
+			Waypoints: []mathx.Vec3{{X: -1800, Y: 1675, Z: z}},
+		},
+		{
+			ID: 3, Name: "south-north inspection with turn",
+			CruiseSpeedMS: KmhToMs(10), Drone: droneClass(10),
+			Start: mathx.V3(-2300, -800, 0),
+			Waypoints: []mathx.Vec3{
+				{X: -2050, Y: -800, Z: z}, // turn ~90 s into cruise
+				{X: -2050, Y: 200, Z: z},
+			},
+			HasTurns: true,
+		},
+		{
+			ID: 4, Name: "west-east courier",
+			CruiseSpeedMS: KmhToMs(12), Drone: droneClass(12),
+			Start:     mathx.V3(500, -2400, 0),
+			Waypoints: []mathx.Vec3{{X: 500, Y: -900, Z: z}},
+		},
+		{
+			ID: 5, Name: "north-south courier with turn",
+			CruiseSpeedMS: KmhToMs(12), Drone: droneClass(12),
+			Start: mathx.V3(2400, 800, 0),
+			Waypoints: []mathx.Vec3{
+				{X: 2100, Y: 800, Z: z}, // turn ~90 s into cruise
+				{X: 2100, Y: 2000, Z: z},
+			},
+			HasTurns: true,
+		},
+		{
+			ID: 6, Name: "diagonal courier",
+			CruiseSpeedMS: KmhToMs(12), Drone: droneClass(12),
+			Start:     mathx.V3(1200, 1200, 0),
+			Waypoints: []mathx.Vec3{{X: 140, Y: 140, Z: z}},
+		},
+		{
+			ID: 7, Name: "south-north parcel",
+			CruiseSpeedMS: KmhToMs(14), Drone: droneClass(14),
+			Start:     mathx.V3(-2400, -2000, 0),
+			Waypoints: []mathx.Vec3{{X: -650, Y: -2000, Z: z}},
+		},
+		{
+			ID: 8, Name: "east-west parcel with turn",
+			CruiseSpeedMS: KmhToMs(14), Drone: droneClass(14),
+			Start: mathx.V3(-500, 2400, 0),
+			Waypoints: []mathx.Vec3{
+				{X: -500, Y: 2050, Z: z}, // turn ~90 s into cruise
+				{X: -1900, Y: 2050, Z: z},
+			},
+			HasTurns: true,
+		},
+		{
+			ID: 9, Name: "north-south parcel",
+			CruiseSpeedMS: KmhToMs(14), Drone: droneClass(14),
+			Start:     mathx.V3(2200, -400, 0),
+			Waypoints: []mathx.Vec3{{X: 450, Y: -400, Z: z}},
+		},
+		{
+			ID: 10, Name: "west-east express with turn",
+			CruiseSpeedMS: KmhToMs(25), Drone: droneClass(25),
+			Start: mathx.V3(-1000, -2300, 0),
+			Waypoints: []mathx.Vec3{
+				{X: -1000, Y: -1600, Z: z}, // turn ~100 s into cruise
+				{X: 1400, Y: -1600, Z: z},
+			},
+			HasTurns: true,
+		},
+	}
+	for i := range ms {
+		ms[i].AltitudeM = alt
+	}
+	return ms
+}

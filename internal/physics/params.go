@@ -1,0 +1,117 @@
+// Package physics implements the 6-DOF quadrotor rigid-body simulation that
+// replaces Gazebo in the paper's experimental stack: rotor/motor dynamics,
+// aerodynamic drag, a stochastic wind model, and ground contact. State is
+// expressed in a local NED world frame (Z down) with an FRD body frame,
+// matching PX4 conventions.
+package physics
+
+import (
+	"fmt"
+
+	"uavres/internal/mathx"
+)
+
+// Gravity is the standard gravitational acceleration (m/s^2), positive down
+// in the NED world frame.
+const Gravity = 9.80665
+
+// Params describes a quadrotor airframe. The defaults model a small
+// X-configuration multirotor of the class flown in the paper's Valencia
+// scenario (1-2 kg delivery/survey quads).
+type Params struct {
+	// MassKg is the vehicle take-off mass.
+	MassKg float64
+	// Inertia is the diagonal body inertia (kg m^2) about X, Y, Z.
+	Inertia mathx.Vec3
+	// ArmLengthM is the distance from the center of mass to each rotor.
+	ArmLengthM float64
+	// MaxThrustPerRotorN is the thrust one rotor produces at full command.
+	MaxThrustPerRotorN float64
+	// TorqueCoeff maps rotor thrust (N) to reaction yaw torque (N m).
+	TorqueCoeff float64
+	// MotorTau is the first-order rotor spin-up time constant (s).
+	MotorTau float64
+	// LinDragCoeff is the linear aerodynamic drag coefficient (N per m/s)
+	// applied to velocity relative to the air, per body axis.
+	LinDragCoeff mathx.Vec3
+	// AngDragCoeff damps body rates (N m per rad/s).
+	AngDragCoeff mathx.Vec3
+	// GroundStiffness and GroundDamping form the ground spring-damper.
+	GroundStiffness float64
+	GroundDamping   float64
+}
+
+// DefaultParams returns the reference airframe used across experiments.
+func DefaultParams() Params {
+	return Params{
+		MassKg:             1.5,
+		Inertia:            mathx.V3(0.029, 0.029, 0.055),
+		ArmLengthM:         0.25,
+		MaxThrustPerRotorN: 7.5, // thrust-to-weight ~2.0
+		TorqueCoeff:        0.016,
+		MotorTau:           0.05,
+		LinDragCoeff:       mathx.V3(0.35, 0.35, 0.45),
+		AngDragCoeff:       mathx.V3(0.006, 0.006, 0.009),
+		GroundStiffness:    250,
+		GroundDamping:      60,
+	}
+}
+
+// Validate reports whether the airframe parameters are physically sane.
+func (p Params) Validate() error {
+	switch {
+	case p.MassKg <= 0:
+		return fmt.Errorf("physics: non-positive mass %v", p.MassKg)
+	case p.Inertia.X <= 0 || p.Inertia.Y <= 0 || p.Inertia.Z <= 0:
+		return fmt.Errorf("physics: non-positive inertia %v", p.Inertia)
+	case p.ArmLengthM <= 0:
+		return fmt.Errorf("physics: non-positive arm length %v", p.ArmLengthM)
+	case p.MaxThrustPerRotorN*4 <= p.MassKg*Gravity:
+		return fmt.Errorf("physics: max total thrust %.2f N cannot lift %.2f kg",
+			p.MaxThrustPerRotorN*4, p.MassKg)
+	case p.MotorTau <= 0:
+		return fmt.Errorf("physics: non-positive motor time constant %v", p.MotorTau)
+	}
+	return nil
+}
+
+// HoverThrustFraction returns the per-rotor command fraction that balances
+// gravity — the controller's feed-forward operating point.
+func (p Params) HoverThrustFraction() float64 {
+	return p.MassKg * Gravity / (4 * p.MaxThrustPerRotorN)
+}
+
+// State is the full rigid-body state plus rotor speeds.
+type State struct {
+	// Pos is the position in world NED meters (Z down; airborne is Z < 0).
+	Pos mathx.Vec3
+	// Vel is the velocity in world NED (m/s).
+	Vel mathx.Vec3
+	// Att rotates body-frame vectors into the world frame.
+	Att mathx.Quat
+	// Omega is the body angular rate (rad/s).
+	Omega mathx.Vec3
+	// Rotor holds normalized rotor thrust states in [0, 1] after the
+	// first-order motor lag.
+	Rotor [4]float64
+}
+
+// AltitudeM returns height above ground (positive up).
+func (s State) AltitudeM() float64 { return -s.Pos.Z }
+
+// OnGround reports whether the vehicle is at or below ground level.
+func (s State) OnGround() bool { return s.Pos.Z >= -1e-3 }
+
+// IsFinite reports whether the state contains only finite values; a false
+// result means the integration blew up and the run must be aborted.
+func (s State) IsFinite() bool {
+	if !s.Pos.IsFinite() || !s.Vel.IsFinite() || !s.Att.IsFinite() || !s.Omega.IsFinite() {
+		return false
+	}
+	for _, r := range s.Rotor {
+		if r != r { // NaN check
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,245 @@
+package physics
+
+import (
+	"fmt"
+	"math"
+
+	"uavres/internal/mathx"
+)
+
+// rotorGeom encodes the X-configuration rotor layout in the FRD body frame:
+// position signs (scaled by ArmLengthM/sqrt(2)) and the sign of the yaw
+// reaction torque. Rotors 0/1 spin one way, 2/3 the other, PX4-style.
+var rotorGeom = [4]struct{ sx, sy, yaw float64 }{
+	{+1, +1, -1}, // front-right
+	{-1, -1, -1}, // back-left
+	{+1, -1, +1}, // front-left
+	{-1, +1, +1}, // back-right
+}
+
+// Mixer converts between the control wrench (total thrust + body torques)
+// and per-rotor thrusts for the X quad geometry. Both the simulator's
+// forward model and the controller's allocation use this one type, so they
+// can never disagree about geometry.
+type Mixer struct {
+	armD float64 // rotor moment arm projected on each axis: ArmLengthM/sqrt(2)
+	kTau float64 // thrust -> yaw reaction torque coefficient
+	tMax float64 // max thrust per rotor
+}
+
+// NewMixer builds a mixer for the given airframe.
+func NewMixer(p Params) Mixer {
+	return Mixer{armD: p.ArmLengthM / math.Sqrt2, kTau: p.TorqueCoeff, tMax: p.MaxThrustPerRotorN}
+}
+
+// Forward computes total thrust (N, along body -Z) and body torque (N m)
+// from per-rotor thrusts (N).
+func (m Mixer) Forward(t [4]float64) (thrust float64, torque mathx.Vec3) {
+	for i, g := range rotorGeom {
+		thrust += t[i]
+		torque.X += -g.sy * m.armD * t[i]
+		torque.Y += g.sx * m.armD * t[i]
+		torque.Z += g.yaw * m.kTau * t[i]
+	}
+	return thrust, torque
+}
+
+// Allocate inverts Forward: it distributes a desired wrench across the four
+// rotors and returns normalized commands in [0, 1]. Saturation preserves
+// the thrust axis first (desaturation by uniform shift), matching how PX4's
+// mixer prioritizes attitude authority.
+func (m Mixer) Allocate(thrustN float64, torque mathx.Vec3) [4]float64 {
+	var t [4]float64
+	for i, g := range rotorGeom {
+		t[i] = thrustN/4 +
+			(-g.sy)*torque.X/(4*m.armD) +
+			g.sx*torque.Y/(4*m.armD) +
+			g.yaw*torque.Z/(4*m.kTau)
+	}
+	// Uniform shift desaturation: keep differential (attitude) terms intact.
+	minT, maxT := t[0], t[0]
+	for _, ti := range t[1:] {
+		minT = math.Min(minT, ti)
+		maxT = math.Max(maxT, ti)
+	}
+	if minT < 0 {
+		shift := math.Min(-minT, m.tMax*4) // bounded shift
+		for i := range t {
+			t[i] += shift
+		}
+	}
+	if maxT > m.tMax {
+		// Scale down around the mean only if still saturated.
+		for i := range t {
+			if t[i] > m.tMax {
+				t[i] = m.tMax
+			}
+			if t[i] < 0 {
+				t[i] = 0
+			}
+		}
+	}
+	var cmd [4]float64
+	for i := range t {
+		cmd[i] = mathx.Clamp(t[i]/m.tMax, 0, 1)
+	}
+	return cmd
+}
+
+// Body simulates one quadrotor rigid body.
+type Body struct {
+	params Params
+	mixer  Mixer
+	state  State
+	wind   *Wind
+
+	cmd [4]float64 // latest normalized rotor commands
+
+	lastSpecificForce mathx.Vec3 // body-frame specific force (what an ideal accel senses)
+	lastAirspeed      float64
+	touchdownSpeed    float64 // impact speed at the most recent air->ground transition
+	wasAirborne       bool
+}
+
+// NewBody returns a body at rest on the ground at the world origin.
+func NewBody(p Params, wind *Wind) (*Body, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("physics: %w", err)
+	}
+	if wind == nil {
+		wind = CalmWind()
+	}
+	return &Body{
+		params: p,
+		mixer:  NewMixer(p),
+		state: State{
+			Att: mathx.QuatIdentity(),
+		},
+		wind: wind,
+		// On the ground gravity is cancelled by the surface: an ideal
+		// accelerometer reads +1g along body -Z (specific force up).
+		lastSpecificForce: mathx.V3(0, 0, -Gravity),
+	}, nil
+}
+
+// Params returns the airframe parameters.
+func (b *Body) Params() Params { return b.params }
+
+// Mixer returns the shared geometry mixer.
+func (b *Body) Mixer() Mixer { return b.mixer }
+
+// State returns a copy of the current rigid-body state.
+func (b *Body) State() State { return b.state }
+
+// SetState overrides the body state (tests and scenario setup).
+func (b *Body) SetState(s State) { b.state = s }
+
+// SetMotorCommands sets the normalized rotor commands in [0, 1]; values
+// outside the range are clamped.
+func (b *Body) SetMotorCommands(cmd [4]float64) {
+	for i := range cmd {
+		b.cmd[i] = mathx.Clamp(cmd[i], 0, 1)
+	}
+}
+
+// SpecificForce returns the body-frame specific force (m/s^2) from the last
+// step — the quantity an ideal accelerometer measures.
+func (b *Body) SpecificForce() mathx.Vec3 { return b.lastSpecificForce }
+
+// AngularRate returns the true body angular rate — the quantity an ideal
+// gyroscope measures.
+func (b *Body) AngularRate() mathx.Vec3 { return b.state.Omega }
+
+// Airspeed returns the magnitude of air-relative velocity from the last step.
+func (b *Body) Airspeed() float64 { return b.lastAirspeed }
+
+// TouchdownSpeed returns the total speed at the most recent transition from
+// airborne to ground contact, or 0 if the vehicle has not touched down.
+// The crash detector uses it to distinguish a landing from an impact.
+func (b *Body) TouchdownSpeed() float64 { return b.touchdownSpeed }
+
+// Step advances the simulation by dt seconds using semi-implicit Euler with
+// exact quaternion and motor-lag integration. dt must be positive and small
+// relative to the vehicle dynamics (<= 5 ms recommended).
+func (b *Body) Step(dt float64) {
+	p := &b.params
+	s := &b.state
+
+	// Motor first-order lag, integrated exactly.
+	lag := 1 - math.Exp(-dt/p.MotorTau)
+	var rotorThrust [4]float64
+	for i := range s.Rotor {
+		s.Rotor[i] += (b.cmd[i] - s.Rotor[i]) * lag
+		rotorThrust[i] = s.Rotor[i] * p.MaxThrustPerRotorN
+	}
+	thrustN, torque := b.mixer.Forward(rotorThrust)
+
+	// Aerodynamic drag against air-relative velocity, in the body frame.
+	windNED := b.wind.Step(dt)
+	airRelWorld := s.Vel.Sub(windNED)
+	b.lastAirspeed = airRelWorld.Norm()
+	airRelBody := s.Att.RotateInv(airRelWorld)
+	dragBody := airRelBody.Hadamard(p.LinDragCoeff).Neg()
+
+	// Non-gravitational force in the body frame: rotor thrust along -Z
+	// plus drag (plus ground reaction, added below in the world frame).
+	forceBody := mathx.V3(0, 0, -thrustN).Add(dragBody)
+	forceWorld := s.Att.Rotate(forceBody)
+
+	// Ground contact: spring-damper normal force plus horizontal friction.
+	airborne := s.Pos.Z < 0
+	if !airborne {
+		pen := s.Pos.Z // penetration depth (>= 0)
+		// Upward reaction: spring on penetration plus damping against the
+		// downward velocity (Vel.Z > 0 is moving down in NED).
+		normal := (p.GroundStiffness*pen + p.GroundDamping*s.Vel.Z) * p.MassKg
+		if normal < 0 {
+			normal = 0 // ground only pushes, never pulls
+		}
+		forceWorld.Z -= normal
+		// Friction decelerates horizontal sliding and spins.
+		forceWorld.X -= 4 * p.MassKg * s.Vel.X
+		forceWorld.Y -= 4 * p.MassKg * s.Vel.Y
+		torque = torque.Sub(s.Omega.Scale(0.3 * p.Inertia.MaxAbs() * p.GroundDamping))
+	}
+	if b.wasAirborne && !airborne {
+		b.touchdownSpeed = s.Vel.Norm()
+	}
+	b.wasAirborne = airborne
+
+	// Specific force excludes gravity: it is what an accelerometer senses.
+	b.lastSpecificForce = s.Att.RotateInv(forceWorld.Scale(1 / p.MassKg))
+
+	// Translational dynamics (semi-implicit Euler: velocity first).
+	accel := forceWorld.Scale(1 / p.MassKg).Add(mathx.V3(0, 0, Gravity))
+	s.Vel = s.Vel.Add(accel.Scale(dt))
+	s.Pos = s.Pos.Add(s.Vel.Scale(dt))
+	if s.Pos.Z > 0.5 {
+		// Hard floor: the spring model cannot be driven deeper than half a
+		// meter; clamp to keep a crashed vehicle from tunnelling.
+		s.Pos.Z = 0.5
+		if s.Vel.Z > 0 {
+			s.Vel.Z = 0
+		}
+	}
+
+	// Rotational dynamics: I*dw = tau - w x (I w) - angular drag.
+	iw := p.Inertia.Hadamard(s.Omega)
+	gyroscopic := s.Omega.Cross(iw)
+	angDrag := s.Omega.Hadamard(p.AngDragCoeff)
+	torqueTotal := torque.Sub(gyroscopic).Sub(angDrag)
+	alpha := mathx.Vec3{
+		X: torqueTotal.X / p.Inertia.X,
+		Y: torqueTotal.Y / p.Inertia.Y,
+		Z: torqueTotal.Z / p.Inertia.Z,
+	}
+	s.Omega = s.Omega.Add(alpha.Scale(dt))
+	// Physical rate saturation: aerodynamic and structural limits keep real
+	// airframes well below this; it also keeps the integrator stable when
+	// the controller is fed garbage rates by an injected fault.
+	const maxRate = 50 // rad/s (~2865 deg/s)
+	s.Omega = s.Omega.Clamp(maxRate)
+
+	// Exact attitude integration.
+	s.Att = s.Att.Integrate(s.Omega, dt)
+}

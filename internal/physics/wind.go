@@ -1,0 +1,56 @@
+package physics
+
+import (
+	"math"
+	"math/rand"
+
+	"uavres/internal/mathx"
+)
+
+// Wind models the air-mass motion as a constant mean wind plus
+// first-order Gauss-Markov gusts (a discrete Ornstein-Uhlenbeck process
+// per axis), a standard light-turbulence approximation of the Dryden
+// model. All velocities are in the world NED frame.
+type Wind struct {
+	// MeanNED is the steady wind velocity.
+	MeanNED mathx.Vec3
+	// GustStd is the standard deviation of the stationary gust process.
+	GustStd float64
+	// GustTau is the gust correlation time constant (s).
+	GustTau float64
+
+	gust mathx.Vec3
+	rng  *rand.Rand
+}
+
+// NewWind returns a wind model driven by the given random source. A nil rng
+// produces a deterministic, gust-free model.
+func NewWind(meanNED mathx.Vec3, gustStd, gustTau float64, rng *rand.Rand) *Wind {
+	if gustTau <= 0 {
+		gustTau = 1
+	}
+	return &Wind{MeanNED: meanNED, GustStd: gustStd, GustTau: gustTau, rng: rng}
+}
+
+// CalmWind returns a zero-wind model (used by deterministic tests).
+func CalmWind() *Wind { return &Wind{GustTau: 1} }
+
+// Step advances the gust process by dt seconds and returns the current
+// total wind velocity.
+func (w *Wind) Step(dt float64) mathx.Vec3 {
+	if w.rng != nil && w.GustStd > 0 {
+		// Exact discretization of the OU process keeps the stationary
+		// variance independent of dt.
+		phi := math.Exp(-dt / w.GustTau)
+		sigma := w.GustStd * math.Sqrt(1-phi*phi)
+		w.gust = mathx.Vec3{
+			X: phi*w.gust.X + sigma*w.rng.NormFloat64(),
+			Y: phi*w.gust.Y + sigma*w.rng.NormFloat64(),
+			Z: phi*w.gust.Z + sigma*0.3*w.rng.NormFloat64(), // vertical gusts are weaker
+		}
+	}
+	return w.MeanNED.Add(w.gust)
+}
+
+// Current returns the wind velocity without advancing the process.
+func (w *Wind) Current() mathx.Vec3 { return w.MeanNED.Add(w.gust) }

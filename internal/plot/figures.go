@@ -1,0 +1,103 @@
+package plot
+
+import (
+	"io"
+
+	"uavres/internal/mission"
+	"uavres/internal/sim"
+)
+
+// TrajectoryFigure renders a paper-style figure: the mission's planned
+// route (dashed) against the flown true and estimated trajectories, with
+// the fault-onset point marked — the view in the paper's Figures 3-5.
+func TrajectoryFigure(w io.Writer, m mission.Mission, res sim.Result, faultStartSec float64) error {
+	planned := Series{Name: "planned route", Dashed: true, Color: "#555"}
+	planned.X = append(planned.X, m.Start.Y)
+	planned.Y = append(planned.Y, m.Start.X)
+	for _, wp := range m.Waypoints {
+		planned.X = append(planned.X, wp.Y)
+		planned.Y = append(planned.Y, wp.X)
+	}
+
+	flown := Series{Name: "flown (truth)", Color: "#1f77b4"}
+	estimated := Series{Name: "EKF estimate", Color: "#2ca02c"}
+	var marks []Marker
+	for _, p := range res.Trajectory {
+		flown.X = append(flown.X, p.TruePos.Y)
+		flown.Y = append(flown.Y, p.TruePos.X)
+		estimated.X = append(estimated.X, p.EstPos.Y)
+		estimated.Y = append(estimated.Y, p.EstPos.X)
+	}
+	if faultStartSec > 0 {
+		for _, p := range res.Trajectory {
+			if p.T >= faultStartSec {
+				marks = append(marks, Marker{X: p.TruePos.Y, Y: p.TruePos.X, Label: "fault onset", Color: "#ff7f0e"})
+				break
+			}
+		}
+	}
+	if n := len(res.Trajectory); n > 0 && !res.Outcome.Completed() {
+		last := res.Trajectory[n-1]
+		marks = append(marks, Marker{X: last.TruePos.Y, Y: last.TruePos.X, Label: string(res.Outcome.String()), Color: "#d62728"})
+	}
+
+	chart := Chart{
+		Title:       res.Label() + " — " + m.Name,
+		XLabel:      "east (m)",
+		YLabel:      "north (m)",
+		EqualAspect: true,
+		Series:      []Series{planned, flown, estimated},
+		Marks:       marks,
+	}
+	return chart.WriteSVG(w)
+}
+
+// AltitudeFigure renders altitude-over-time for a flight, marking the
+// fault window — the vertical companion of the trajectory view.
+func AltitudeFigure(w io.Writer, res sim.Result, faultStartSec, faultEndSec float64) error {
+	trueAlt := Series{Name: "altitude (truth)", Color: "#1f77b4"}
+	estAlt := Series{Name: "altitude (EKF)", Color: "#2ca02c"}
+	for _, p := range res.Trajectory {
+		trueAlt.X = append(trueAlt.X, p.T)
+		trueAlt.Y = append(trueAlt.Y, -p.TruePos.Z)
+		estAlt.X = append(estAlt.X, p.T)
+		estAlt.Y = append(estAlt.Y, -p.EstPos.Z)
+	}
+	var marks []Marker
+	for _, p := range res.Trajectory {
+		if faultStartSec > 0 && p.T >= faultStartSec {
+			marks = append(marks, Marker{X: p.T, Y: -p.TruePos.Z, Label: "fault on", Color: "#ff7f0e"})
+			break
+		}
+	}
+	for _, p := range res.Trajectory {
+		if faultEndSec > 0 && p.T >= faultEndSec {
+			marks = append(marks, Marker{X: p.T, Y: -p.TruePos.Z, Label: "fault off", Color: "#9467bd"})
+			break
+		}
+	}
+	chart := Chart{
+		Title:  res.Label() + " — altitude",
+		XLabel: "time (s)",
+		YLabel: "altitude (m)",
+		Series: []Series{trueAlt, estAlt},
+		Marks:  marks,
+	}
+	return chart.WriteSVG(w)
+}
+
+// BubbleFigure renders the two-layer bubble radii against the drone's
+// deviation over time (the paper's Figure 2 concept, as a time series).
+func BubbleFigure(w io.Writer, times, deviations, inner, outer []float64) error {
+	chart := Chart{
+		Title:  "two-layer bubble: deviation vs. radii",
+		XLabel: "time (s)",
+		YLabel: "meters",
+		Series: []Series{
+			{Name: "deviation from route", X: times, Y: deviations, Color: "#d62728"},
+			{Name: "inner (alert) bubble", X: times, Y: inner, Color: "#1f77b4", Dashed: true},
+			{Name: "outer (safety) bubble", X: times, Y: outer, Color: "#2ca02c", Dashed: true},
+		},
+	}
+	return chart.WriteSVG(w)
+}

@@ -1,0 +1,228 @@
+// Package plot renders simple SVG charts from flight data — the
+// counterpart of the paper's Figures 3-5 (trajectory views) and Figure 2
+// (bubble layers). Pure stdlib: the SVG is written by hand, which keeps
+// the output small, deterministic, and dependency-free.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named polyline.
+type Series struct {
+	// Name appears in the legend.
+	Name string
+	// X and Y are the data points (equal length).
+	X, Y []float64
+	// Color is any SVG color (empty: auto-assigned).
+	Color string
+	// Dashed draws a dashed stroke (reference/planned paths).
+	Dashed bool
+}
+
+// Marker is one annotated point (fault onset, crash site, ...).
+type Marker struct {
+	X, Y  float64
+	Label string
+	Color string
+}
+
+// Chart is a 2-D line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int
+	Height int
+	Series []Series
+	Marks  []Marker
+	// EqualAspect forces equal X/Y scaling (trajectory maps).
+	EqualAspect bool
+}
+
+var autoColors = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// validData reports whether v is plottable.
+func validData(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// WriteSVG renders the chart.
+func (c Chart) WriteSVG(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 720
+	}
+	if height <= 0 {
+		height = 480
+	}
+	const marginL, marginR, marginT, marginB = 64, 20, 40, 48
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+	if plotW <= 0 || plotH <= 0 {
+		return fmt.Errorf("plot: chart %dx%d too small", width, height)
+	}
+
+	// Data bounds over all series and markers.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	consider := func(x, y float64) {
+		if !validData(x) || !validData(y) {
+			return
+		}
+		minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+		minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+	}
+	for _, s := range c.Series {
+		n := len(s.X)
+		if len(s.Y) < n {
+			n = len(s.Y)
+		}
+		for i := 0; i < n; i++ {
+			consider(s.X[i], s.Y[i])
+		}
+	}
+	for _, m := range c.Marks {
+		consider(m.X, m.Y)
+	}
+	if minX > maxX || minY > maxY {
+		return fmt.Errorf("plot: no plottable data")
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	// 5% padding.
+	padX := (maxX - minX) * 0.05
+	padY := (maxY - minY) * 0.05
+	minX, maxX = minX-padX, maxX+padX
+	minY, maxY = minY-padY, maxY+padY
+
+	if c.EqualAspect {
+		// Expand the smaller span so units/pixel match.
+		spanX, spanY := maxX-minX, maxY-minY
+		unitX, unitY := spanX/plotW, spanY/plotH
+		if unitX > unitY {
+			grow := (unitX*plotH - spanY) / 2
+			minY, maxY = minY-grow, maxY+grow
+		} else {
+			grow := (unitY*plotW - spanX) / 2
+			minX, maxX = minX-grow, maxX+grow
+		}
+	}
+
+	sx := func(x float64) float64 { return float64(marginL) + (x-minX)/(maxX-minX)*plotW }
+	sy := func(y float64) float64 { return float64(marginT) + plotH - (y-minY)/(maxY-minY)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+
+	// Axes and grid.
+	fmt.Fprintf(&b, `<g stroke="#ccc" stroke-width="1">`+"\n")
+	for i := 0; i <= 5; i++ {
+		gx := float64(marginL) + plotW*float64(i)/5
+		gy := float64(marginT) + plotH*float64(i)/5
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%.1f"/>`+"\n", gx, marginT, gx, float64(marginT)+plotH)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f"/>`+"\n", marginL, gy, float64(marginL)+plotW, gy)
+	}
+	fmt.Fprint(&b, "</g>\n")
+	fmt.Fprintf(&b, `<g font-family="sans-serif" font-size="11" fill="#333">`+"\n")
+	for i := 0; i <= 5; i++ {
+		vx := minX + (maxX-minX)*float64(i)/5
+		vy := maxY - (maxY-minY)*float64(i)/5
+		gx := float64(marginL) + plotW*float64(i)/5
+		gy := float64(marginT) + plotH*float64(i)/5
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle">%s</text>`+"\n",
+			gx, float64(marginT)+plotH+16, formatTick(vx))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="end">%s</text>`+"\n",
+			float64(marginL)-6, gy+4, formatTick(vy))
+	}
+	fmt.Fprint(&b, "</g>\n")
+
+	// Series.
+	for i, s := range c.Series {
+		color := s.Color
+		if color == "" {
+			color = autoColors[i%len(autoColors)]
+		}
+		dash := ""
+		if s.Dashed {
+			dash = ` stroke-dasharray="6,4"`
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.8"%s points="`, color, dash)
+		n := len(s.X)
+		if len(s.Y) < n {
+			n = len(s.Y)
+		}
+		for j := 0; j < n; j++ {
+			if !validData(s.X[j]) || !validData(s.Y[j]) {
+				continue
+			}
+			fmt.Fprintf(&b, "%.1f,%.1f ", sx(s.X[j]), sy(s.Y[j]))
+		}
+		fmt.Fprint(&b, `"/>`+"\n")
+	}
+
+	// Markers.
+	for _, m := range c.Marks {
+		if !validData(m.X) || !validData(m.Y) {
+			continue
+		}
+		color := m.Color
+		if color == "" {
+			color = "#d62728"
+		}
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="4" fill="%s"/>`+"\n", sx(m.X), sy(m.Y), color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" fill="%s">%s</text>`+"\n",
+			sx(m.X)+6, sy(m.Y)-6, color, escape(m.Label))
+	}
+
+	// Legend.
+	fmt.Fprintf(&b, `<g font-family="sans-serif" font-size="12">`+"\n")
+	lx, ly := float64(marginL)+8, float64(marginT)+14
+	for i, s := range c.Series {
+		color := s.Color
+		if color == "" {
+			color = autoColors[i%len(autoColors)]
+		}
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2"/>`+"\n",
+			lx, ly-4, lx+18, ly-4, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" fill="#111">%s</text>`+"\n", lx+24, ly, escape(s.Name))
+		ly += 16
+	}
+	fmt.Fprint(&b, "</g>\n")
+
+	// Title and axis labels.
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-family="sans-serif" font-size="14" font-weight="bold" fill="#111">%s</text>`+"\n",
+		marginL, escape(c.Title))
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle" fill="#111">%s</text>`+"\n",
+		float64(marginL)+plotW/2, height-8, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%.1f" font-family="sans-serif" font-size="12" text-anchor="middle" fill="#111" transform="rotate(-90 14 %.1f)">%s</text>`+"\n",
+		float64(marginT)+plotH/2, float64(marginT)+plotH/2, escape(c.YLabel))
+
+	fmt.Fprint(&b, "</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,170 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"uavres/internal/mathx"
+	"uavres/internal/mission"
+	"uavres/internal/sim"
+)
+
+func simpleChart() Chart {
+	return Chart{
+		Title:  "test chart",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Name: "a", X: []float64{0, 1, 2}, Y: []float64{0, 1, 4}},
+			{Name: "b", X: []float64{0, 1, 2}, Y: []float64{4, 1, 0}, Dashed: true},
+		},
+		Marks: []Marker{{X: 1, Y: 1, Label: "cross"}},
+	}
+}
+
+func TestWriteSVGWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := simpleChart().WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "test chart", "cross",
+		"stroke-dasharray", // the dashed series
+		">a<", ">b<",       // legend entries
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Errorf("polylines = %d, want 2", strings.Count(svg, "<polyline"))
+	}
+}
+
+func TestWriteSVGEscapesLabels(t *testing.T) {
+	c := simpleChart()
+	c.Title = `danger <script> & "quotes"`
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<script>") {
+		t.Error("unescaped markup in SVG output")
+	}
+	if !strings.Contains(buf.String(), "&lt;script&gt;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestWriteSVGRejectsEmptyData(t *testing.T) {
+	c := Chart{Series: []Series{{Name: "none"}}}
+	if err := c.WriteSVG(&bytes.Buffer{}); err == nil {
+		t.Error("empty chart accepted")
+	}
+}
+
+func TestWriteSVGSkipsNonFinite(t *testing.T) {
+	c := Chart{
+		Series: []Series{{
+			Name: "nan",
+			X:    []float64{0, 1, 2, 3},
+			Y:    []float64{0, math.NaN(), math.Inf(1), 3},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") || strings.Contains(buf.String(), "Inf") {
+		t.Error("non-finite values leaked into SVG")
+	}
+}
+
+func TestWriteSVGConstantSeries(t *testing.T) {
+	// A constant series (zero Y span) must not divide by zero.
+	c := Chart{Series: []Series{{Name: "flat", X: []float64{0, 1}, Y: []float64{5, 5}}}}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<polyline") {
+		t.Error("flat series not drawn")
+	}
+}
+
+func TestEqualAspect(t *testing.T) {
+	c := Chart{
+		EqualAspect: true,
+		Width:       400, Height: 400,
+		Series: []Series{{Name: "line", X: []float64{0, 100}, Y: []float64{0, 1}}},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testMissionAndResult() (mission.Mission, sim.Result) {
+	m := mission.Mission{
+		ID: 1, Name: "fig test", CruiseSpeedMS: 3, AltitudeM: 15,
+		Drone:     mission.DroneSpec{Name: "t", DimensionM: 0.8, SafetyDistM: 2, MaxSpeedMS: 5},
+		Start:     mathx.V3(0, 0, 0),
+		Waypoints: []mathx.Vec3{{X: 100, Y: 50, Z: -15}},
+	}
+	res := sim.Result{MissionID: 1, Outcome: sim.OutcomeCrash, CrashReason: "hard impact"}
+	for i := 0; i <= 60; i++ {
+		tm := float64(i)
+		res.Trajectory = append(res.Trajectory, sim.TrajPoint{
+			T:       tm,
+			TruePos: mathx.V3(tm*1.5, tm*0.7, -15),
+			EstPos:  mathx.V3(tm*1.5+0.2, tm*0.7-0.1, -14.9),
+		})
+	}
+	return m, res
+}
+
+func TestTrajectoryFigure(t *testing.T) {
+	m, res := testMissionAndResult()
+	var buf bytes.Buffer
+	if err := TrajectoryFigure(&buf, m, res, 30); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	for _, want := range []string{"planned route", "flown (truth)", "EKF estimate", "fault onset", "crash"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("trajectory figure missing %q", want)
+		}
+	}
+}
+
+func TestAltitudeFigure(t *testing.T) {
+	_, res := testMissionAndResult()
+	var buf bytes.Buffer
+	if err := AltitudeFigure(&buf, res, 30, 40); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	for _, want := range []string{"altitude (truth)", "fault on", "fault off"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("altitude figure missing %q", want)
+		}
+	}
+}
+
+func TestBubbleFigure(t *testing.T) {
+	times := []float64{0, 1, 2, 3}
+	var buf bytes.Buffer
+	err := BubbleFigure(&buf, times,
+		[]float64{0.1, 0.5, 7, 2},
+		[]float64{5.8, 5.8, 5.8, 5.8},
+		[]float64{5.8, 6.1, 9.2, 6.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "inner (alert) bubble") {
+		t.Error("bubble figure missing series")
+	}
+}

@@ -1,0 +1,143 @@
+package sensors
+
+import (
+	"math/rand"
+
+	"uavres/internal/mathx"
+)
+
+// GPSSample is one position/velocity fix in the local NED frame.
+type GPSSample struct {
+	// T is the simulation timestamp in seconds.
+	T float64
+	// PosNED is the measured position (m).
+	PosNED mathx.Vec3
+	// VelNED is the measured velocity (m/s).
+	VelNED mathx.Vec3
+	// Valid is false when the receiver has no fix.
+	Valid bool
+}
+
+// GPS models a GNSS receiver reporting local-frame position and velocity.
+type GPS struct {
+	spec GPSSpec
+	rng  *rand.Rand
+	tick Ticker
+}
+
+// NewGPS returns a receiver model; a nil rng yields an ideal sensor.
+func NewGPS(spec GPSSpec, rng *rand.Rand) *GPS {
+	return &GPS{spec: spec, rng: rng, tick: NewTicker(spec.RateHz)}
+}
+
+// Due reports whether a fix is due at sim time t.
+func (g *GPS) Due(t float64) bool { return g.tick.Due(t) }
+
+// Sample produces a fix from true position and velocity.
+func (g *GPS) Sample(t float64, truePos, trueVel mathx.Vec3) GPSSample {
+	pos, vel := truePos, trueVel
+	if g.rng != nil {
+		pos = pos.Add(mathx.Vec3{
+			X: g.rng.NormFloat64() * g.spec.PosNoiseStdM,
+			Y: g.rng.NormFloat64() * g.spec.PosNoiseStdM,
+			Z: g.rng.NormFloat64() * g.spec.AltNoiseStdM,
+		})
+		vel = vel.Add(randVec(g.rng, g.spec.VelNoiseStd))
+	}
+	return GPSSample{T: t, PosNED: pos, VelNED: vel, Valid: true}
+}
+
+// BaroSample is one barometric altitude measurement.
+type BaroSample struct {
+	// T is the simulation timestamp in seconds.
+	T float64
+	// AltM is the measured altitude above the local origin (positive up).
+	AltM float64
+}
+
+// Baro models a barometric altimeter.
+type Baro struct {
+	spec BaroSpec
+	bias float64
+	rng  *rand.Rand
+	tick Ticker
+}
+
+// NewBaro returns a barometer whose constant bias is drawn once from rng;
+// a nil rng yields an ideal sensor.
+func NewBaro(spec BaroSpec, rng *rand.Rand) *Baro {
+	b := &Baro{spec: spec, rng: rng, tick: NewTicker(spec.RateHz)}
+	if rng != nil {
+		b.bias = rng.NormFloat64() * spec.BiasStdM
+	}
+	return b
+}
+
+// Due reports whether a sample is due at sim time t.
+func (b *Baro) Due(t float64) bool { return b.tick.Due(t) }
+
+// Sample produces a measurement from the true altitude (positive up).
+func (b *Baro) Sample(t, trueAltM float64) BaroSample {
+	alt := trueAltM + b.bias
+	if b.rng != nil {
+		alt += b.rng.NormFloat64() * b.spec.AltNoiseStdM
+	}
+	return BaroSample{T: t, AltM: alt}
+}
+
+// MagSample is one magnetometer-derived heading measurement.
+type MagSample struct {
+	// T is the simulation timestamp in seconds.
+	T float64
+	// YawRad is the measured heading (rad), derived from the field vector.
+	YawRad float64
+}
+
+// Mag models a magnetometer as a heading reference. The paper's fault
+// model deliberately excludes the magnetometer as an injection target, but
+// the vehicle still carries one — PX4 would not hold yaw without it — so
+// it is modelled here and never routed through the fault injector.
+type Mag struct {
+	spec MagSpec
+	bias float64
+	rng  *rand.Rand
+	tick Ticker
+}
+
+// MagSpec describes the heading-reference error model.
+type MagSpec struct {
+	// YawNoiseStd is the per-sample heading noise (rad).
+	YawNoiseStd float64
+	// BiasStd is the constant per-run heading bias (soft-iron/declination
+	// residual, rad).
+	BiasStd float64
+	// RateHz is the sample rate.
+	RateHz float64
+}
+
+// DefaultMagSpec returns a calibrated consumer magnetometer model.
+func DefaultMagSpec() MagSpec {
+	return MagSpec{YawNoiseStd: 0.03, BiasStd: 0.02, RateHz: 10}
+}
+
+// NewMag returns a magnetometer whose constant bias is drawn once from
+// rng; a nil rng yields an ideal sensor.
+func NewMag(spec MagSpec, rng *rand.Rand) *Mag {
+	m := &Mag{spec: spec, rng: rng, tick: NewTicker(spec.RateHz)}
+	if rng != nil {
+		m.bias = rng.NormFloat64() * spec.BiasStd
+	}
+	return m
+}
+
+// Due reports whether a sample is due at sim time t.
+func (m *Mag) Due(t float64) bool { return m.tick.Due(t) }
+
+// Sample produces a heading measurement from the true yaw.
+func (m *Mag) Sample(t, trueYawRad float64) MagSample {
+	yaw := trueYawRad + m.bias
+	if m.rng != nil {
+		yaw += m.rng.NormFloat64() * m.spec.YawNoiseStd
+	}
+	return MagSample{T: t, YawRad: yaw}
+}

@@ -1,0 +1,199 @@
+package sensors
+
+import (
+	"math/rand"
+
+	"uavres/internal/mathx"
+)
+
+// IMUSample is one inertial measurement: body-frame specific force and
+// angular rate at simulation time T.
+type IMUSample struct {
+	// T is the simulation timestamp in seconds.
+	T float64
+	// Accel is the measured specific force (m/s^2), clipped to ±AccelRange.
+	Accel mathx.Vec3
+	// Gyro is the measured angular rate (rad/s), clipped to ±GyroRange.
+	Gyro mathx.Vec3
+}
+
+// IMU models one accelerometer+gyroscope pair with constant per-run bias,
+// white noise, and full-scale clipping.
+type IMU struct {
+	spec      IMUSpec
+	accelBias mathx.Vec3
+	gyroBias  mathx.Vec3
+	rng       *rand.Rand
+	tick      Ticker
+	last      IMUSample
+}
+
+// NewIMU returns an IMU whose biases are drawn once from rng. A nil rng
+// yields an ideal (noise- and bias-free) sensor for deterministic tests.
+func NewIMU(spec IMUSpec, rng *rand.Rand) (*IMU, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	imu := &IMU{spec: spec, rng: rng, tick: NewTicker(spec.RateHz)}
+	if rng != nil {
+		imu.accelBias = randVec(rng, spec.AccelBiasStd)
+		imu.gyroBias = randVec(rng, spec.GyroBiasStd)
+	}
+	return imu, nil
+}
+
+// Spec returns the sensor's error model.
+func (m *IMU) Spec() IMUSpec { return m.spec }
+
+// Biases returns the per-run constant biases (accel, gyro), used by tests
+// and by the EKF's bias-state verification.
+func (m *IMU) Biases() (accel, gyro mathx.Vec3) { return m.accelBias, m.gyroBias }
+
+// Due reports whether a new sample is due at sim time t.
+func (m *IMU) Due(t float64) bool { return m.tick.Due(t) }
+
+// Sample produces a measurement at time t from true specific force and
+// angular rate. The result is also retained for Last.
+func (m *IMU) Sample(t float64, trueAccel, trueGyro mathx.Vec3) IMUSample {
+	accel := trueAccel.Add(m.accelBias)
+	gyro := trueGyro.Add(m.gyroBias)
+	if m.rng != nil {
+		accel = accel.Add(randVec(m.rng, m.spec.AccelNoiseStd))
+		gyro = gyro.Add(randVec(m.rng, m.spec.GyroNoiseStd))
+	}
+	s := IMUSample{
+		T:     t,
+		Accel: ClipVec(accel, AccelRange),
+		Gyro:  ClipVec(gyro, GyroRange),
+	}
+	m.last = s
+	return s
+}
+
+// Last returns the most recent sample (zero value before the first).
+func (m *IMU) Last() IMUSample { return m.last }
+
+// RedundantIMUs models PX4's multi-IMU arrangement: one primary plus spare
+// sensors the failsafe isolation stage can switch to. The paper assumes the
+// injected fault affects every redundant sensor, so the set shares one
+// ground-truth input; each unit still carries its own bias and noise
+// stream.
+type RedundantIMUs struct {
+	units   []*IMU
+	primary int
+}
+
+// NewRedundantIMUs creates n IMUs (n >= 1) seeded from rng.
+func NewRedundantIMUs(n int, spec IMUSpec, rng *rand.Rand) (*RedundantIMUs, error) {
+	if n < 1 {
+		n = 1
+	}
+	units := make([]*IMU, 0, n)
+	for i := 0; i < n; i++ {
+		var unitRng *rand.Rand
+		if rng != nil {
+			unitRng = rand.New(rand.NewSource(rng.Int63()))
+		}
+		u, err := NewIMU(spec, unitRng)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return &RedundantIMUs{units: units}, nil
+}
+
+// Count returns the number of units in the set.
+func (r *RedundantIMUs) Count() int { return len(r.units) }
+
+// Primary returns the index of the currently selected unit.
+func (r *RedundantIMUs) Primary() int { return r.primary }
+
+// SwitchPrimary selects the next unit in round-robin order and returns its
+// index; the failsafe isolation stage calls this when the current primary
+// is declared unhealthy.
+func (r *RedundantIMUs) SwitchPrimary() int {
+	r.primary = (r.primary + 1) % len(r.units)
+	return r.primary
+}
+
+// Exhausted reports whether every unit has been tried at least once, i.e.
+// switching has wrapped around without finding a healthy sensor.
+// The caller tracks switch count; this helper just exposes the set size.
+func (r *RedundantIMUs) Exhausted(switches int) bool { return switches >= len(r.units) }
+
+// Due reports whether the primary unit is due to sample at time t.
+func (r *RedundantIMUs) Due(t float64) bool { return r.units[r.primary].Due(t) }
+
+// Sample measures through the primary unit.
+func (r *RedundantIMUs) Sample(t float64, trueAccel, trueGyro mathx.Vec3) IMUSample {
+	return r.units[r.primary].Sample(t, trueAccel, trueGyro)
+}
+
+// Unit returns unit i for inspection.
+func (r *RedundantIMUs) Unit(i int) *IMU { return r.units[i] }
+
+func randVec(rng *rand.Rand, std float64) mathx.Vec3 {
+	if std == 0 {
+		return mathx.Zero3
+	}
+	return mathx.Vec3{
+		X: rng.NormFloat64() * std,
+		Y: rng.NormFloat64() * std,
+		Z: rng.NormFloat64() * std,
+	}
+}
+
+// SampleAll measures every unit in the set from the same ground truth and
+// returns the per-unit samples (index-aligned with Unit). Each unit
+// applies its own bias and noise stream. The primary's sample is also
+// retained as its Last.
+func (r *RedundantIMUs) SampleAll(t float64, trueAccel, trueGyro mathx.Vec3) []IMUSample {
+	out := make([]IMUSample, len(r.units))
+	for i, u := range r.units {
+		out[i] = u.Sample(t, trueAccel, trueGyro)
+	}
+	return out
+}
+
+// VoteOutlier reports whether the unit at index primary disagrees with the
+// per-axis median of all units by more than the tolerances — the
+// cross-IMU consistency check redundancy management runs every sample.
+// With fewer than three units a majority cannot be formed and the vote
+// always passes.
+func VoteOutlier(samples []IMUSample, primary int, accelTol, gyroTol float64) bool {
+	if len(samples) < 3 || primary < 0 || primary >= len(samples) {
+		return false
+	}
+	med := func(get func(IMUSample) float64) float64 {
+		vals := make([]float64, len(samples))
+		for i, s := range samples {
+			vals[i] = get(s)
+		}
+		// Insertion sort: the set is tiny (3-4 units).
+		for i := 1; i < len(vals); i++ {
+			for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+				vals[j], vals[j-1] = vals[j-1], vals[j]
+			}
+		}
+		return vals[len(vals)/2]
+	}
+	p := samples[primary]
+	accessors := []struct {
+		get func(IMUSample) float64
+		tol float64
+	}{
+		{func(s IMUSample) float64 { return s.Accel.X }, accelTol},
+		{func(s IMUSample) float64 { return s.Accel.Y }, accelTol},
+		{func(s IMUSample) float64 { return s.Accel.Z }, accelTol},
+		{func(s IMUSample) float64 { return s.Gyro.X }, gyroTol},
+		{func(s IMUSample) float64 { return s.Gyro.Y }, gyroTol},
+		{func(s IMUSample) float64 { return s.Gyro.Z }, gyroTol},
+	}
+	for _, a := range accessors {
+		if diff := a.get(p) - med(a.get); diff > a.tol || diff < -a.tol {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,135 @@
+// Package sensors models the drone's onboard sensor suite: a MEMS IMU
+// (accelerometer + gyroscope, the two components the paper injects faults
+// into), GPS, and barometer. Each model samples ground truth from the
+// physics layer and adds per-run bias, white noise, and range clipping —
+// the realistic output path the fault injector then corrupts.
+//
+// The magnetometer is deliberately absent: the paper explicitly excludes it
+// from the study; heading aiding is emulated inside the EKF instead.
+package sensors
+
+import (
+	"fmt"
+
+	"uavres/internal/mathx"
+	"uavres/internal/physics"
+)
+
+// Default full-scale ranges of the modelled MEMS IMU (ICM-20689 class, the
+// part PX4 reference hardware ships): accelerometer ±16 g, gyroscope
+// ±2000 deg/s. These are the Min/Max values the paper's "Min value" and
+// "Max value" fault primitives inject.
+const (
+	// AccelRange is the accelerometer full-scale range in m/s^2 (±16 g).
+	AccelRange = 16 * physics.Gravity
+	// GyroRange is the gyroscope full-scale range in rad/s (±2000 deg/s).
+	GyroRange = 2000 * (3.14159265358979323846 / 180)
+)
+
+// IMUSpec describes the stochastic error model of one IMU.
+type IMUSpec struct {
+	// AccelNoiseStd is the accelerometer white-noise standard deviation
+	// per sample (m/s^2).
+	AccelNoiseStd float64
+	// AccelBiasStd is the standard deviation of the constant per-run
+	// accelerometer bias (m/s^2).
+	AccelBiasStd float64
+	// GyroNoiseStd is the gyroscope white-noise standard deviation per
+	// sample (rad/s).
+	GyroNoiseStd float64
+	// GyroBiasStd is the standard deviation of the constant per-run
+	// gyroscope bias (rad/s).
+	GyroBiasStd float64
+	// RateHz is the IMU output data rate.
+	RateHz float64
+}
+
+// DefaultIMUSpec returns a consumer-grade MEMS error model.
+func DefaultIMUSpec() IMUSpec {
+	return IMUSpec{
+		AccelNoiseStd: 0.05,
+		AccelBiasStd:  0.05,
+		GyroNoiseStd:  0.002,
+		GyroBiasStd:   0.003,
+		RateHz:        250,
+	}
+}
+
+// Validate reports whether the spec is usable.
+func (s IMUSpec) Validate() error {
+	if s.RateHz <= 0 {
+		return fmt.Errorf("sensors: non-positive IMU rate %v", s.RateHz)
+	}
+	if s.AccelNoiseStd < 0 || s.AccelBiasStd < 0 || s.GyroNoiseStd < 0 || s.GyroBiasStd < 0 {
+		return fmt.Errorf("sensors: negative noise parameter in %+v", s)
+	}
+	return nil
+}
+
+// GPSSpec describes the GPS receiver error model.
+type GPSSpec struct {
+	// PosNoiseStdM is the horizontal position noise standard deviation.
+	PosNoiseStdM float64
+	// AltNoiseStdM is the vertical position noise standard deviation.
+	AltNoiseStdM float64
+	// VelNoiseStd is the velocity noise standard deviation (m/s).
+	VelNoiseStd float64
+	// RateHz is the fix rate.
+	RateHz float64
+}
+
+// DefaultGPSSpec returns a u-blox-class receiver model.
+func DefaultGPSSpec() GPSSpec {
+	return GPSSpec{PosNoiseStdM: 0.4, AltNoiseStdM: 0.8, VelNoiseStd: 0.1, RateHz: 5}
+}
+
+// BaroSpec describes the barometric altimeter error model.
+type BaroSpec struct {
+	// AltNoiseStdM is the altitude noise standard deviation.
+	AltNoiseStdM float64
+	// BiasStdM is the standard deviation of the constant per-run bias.
+	BiasStdM float64
+	// RateHz is the sample rate.
+	RateHz float64
+}
+
+// DefaultBaroSpec returns an MS5611-class barometer model.
+func DefaultBaroSpec() BaroSpec {
+	return BaroSpec{AltNoiseStdM: 0.15, BiasStdM: 0.2, RateHz: 25}
+}
+
+// Ticker schedules fixed-rate sampling on the simulation clock. The zero
+// value fires immediately at time 0 and then every period.
+type Ticker struct {
+	period float64
+	next   float64
+}
+
+// NewTicker returns a ticker firing every 1/rateHz seconds of sim time.
+func NewTicker(rateHz float64) Ticker {
+	if rateHz <= 0 {
+		return Ticker{period: 1}
+	}
+	return Ticker{period: 1 / rateHz}
+}
+
+// Due reports whether a sample is due at sim time t, advancing the schedule
+// when it fires. Catch-up is suppressed: a large time jump produces one
+// sample, not a burst.
+func (tk *Ticker) Due(t float64) bool {
+	if t+1e-12 < tk.next {
+		return false
+	}
+	tk.next += tk.period
+	if tk.next <= t {
+		tk.next = t + tk.period
+	}
+	return true
+}
+
+// Period returns the tick period in seconds.
+func (tk *Ticker) Period() float64 { return tk.period }
+
+// ClipVec clamps each component of v to [-limit, limit], the sensor
+// full-scale saturation behaviour.
+func ClipVec(v mathx.Vec3, limit float64) mathx.Vec3 { return v.Clamp(limit) }

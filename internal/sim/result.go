@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"fmt"
+
+	"uavres/internal/faultinject"
+	"uavres/internal/mathx"
+)
+
+// Outcome classifies how a mission ended, matching the paper's categories.
+type Outcome int
+
+// Mission outcomes.
+const (
+	// OutcomeCompleted means all waypoints were reached and the vehicle
+	// landed and disarmed without crash or failsafe.
+	OutcomeCompleted Outcome = iota + 1
+	// OutcomeCrash means the vehicle impacted the ground or flipped over.
+	OutcomeCrash
+	// OutcomeFailsafe means the failsafe state machine terminated the
+	// flight.
+	OutcomeFailsafe
+	// OutcomeTimeout means the vehicle neither finished nor visibly
+	// failed within MaxSimTime (reported with the failsafe group in
+	// failure tables: the operator would have terminated it).
+	OutcomeTimeout
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCompleted:
+		return "completed"
+	case OutcomeCrash:
+		return "crash"
+	case OutcomeFailsafe:
+		return "failsafe"
+	case OutcomeTimeout:
+		return "timeout"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Completed reports whether the mission succeeded.
+func (o Outcome) Completed() bool { return o == OutcomeCompleted }
+
+// TrajPoint is one trajectory capture (1 Hz when recording is enabled).
+type TrajPoint struct {
+	T       float64    `json:"t"`
+	TruePos mathx.Vec3 `json:"true_pos"`
+	EstPos  mathx.Vec3 `json:"est_pos"`
+	TiltDeg float64    `json:"tilt_deg"`
+}
+
+// Result is the full record of one simulated mission, carrying every
+// metric the paper's tables aggregate.
+type Result struct {
+	// MissionID identifies the Valencia mission (1..10).
+	MissionID int `json:"mission_id"`
+	// Injection is nil for gold (fault-free) runs.
+	Injection *faultinject.Injection `json:"injection,omitempty"`
+	// Outcome classifies the ending.
+	Outcome Outcome `json:"outcome"`
+	// FlightDurationSec is takeoff start to land/disarm, crash, or
+	// failsafe activation (the paper's Flight Duration metric).
+	FlightDurationSec float64 `json:"flight_duration_sec"`
+	// DistanceKm is the EKF-estimated distance traveled (the paper's
+	// Distance Traveled metric).
+	DistanceKm float64 `json:"distance_km"`
+	// InnerViolations and OuterViolations count bubble excursions at
+	// tracking instants.
+	InnerViolations int `json:"inner_violations"`
+	OuterViolations int `json:"outer_violations"`
+	// WaypointsReached counts route progress.
+	WaypointsReached int `json:"waypoints_reached"`
+	// FailsafeCause and CrashReason detail failures.
+	FailsafeCause string `json:"failsafe_cause,omitempty"`
+	CrashReason   string `json:"crash_reason,omitempty"`
+	// Trajectory is non-nil when Config.RecordTrajectory was set.
+	Trajectory []TrajPoint `json:"trajectory,omitempty"`
+}
+
+// Label returns the injection label or "Gold Run".
+func (r Result) Label() string {
+	if r.Injection == nil {
+		return "Gold Run"
+	}
+	return r.Injection.Label()
+}

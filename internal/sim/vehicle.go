@@ -1,0 +1,305 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"uavres/internal/bubble"
+	"uavres/internal/control"
+	"uavres/internal/ekf"
+	"uavres/internal/failsafe"
+	"uavres/internal/faultinject"
+	"uavres/internal/mathx"
+	"uavres/internal/mission"
+	"uavres/internal/mitigation"
+	"uavres/internal/physics"
+	"uavres/internal/sensors"
+)
+
+// Telemetry is the 1 Hz tracker-rate observation delivered to an optional
+// observer (the telemetry/U-space pipeline or a live monitor).
+type Telemetry struct {
+	T         float64
+	MissionID int
+	EstPos    mathx.Vec3
+	EstVel    mathx.Vec3
+	TruePos   mathx.Vec3
+	Airspeed  float64
+	Bubble    bubble.Sample
+	Phase     string
+	Health    ekf.Health
+	EstState  ekf.State
+	TrueAtt   mathx.Quat
+}
+
+// Observer receives tracker-rate telemetry during a run.
+type Observer func(Telemetry)
+
+// Run simulates one mission to completion under the given configuration.
+// inj is nil for a gold (fault-free) run. obs may be nil.
+func Run(cfg Config, m mission.Mission, inj *faultinject.Injection, obs Observer) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := m.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Environment: wind direction drawn from the run seed.
+	dir := rng.Float64() * 2 * math.Pi
+	wind := physics.NewWind(
+		windFromSeed(cfg, mathx.V3(math.Cos(dir), math.Sin(dir), 0)),
+		cfg.WindGustStd, 2.0,
+		rand.New(rand.NewSource(rng.Int63())),
+	)
+
+	body, err := physics.NewBody(cfg.Airframe, wind)
+	if err != nil {
+		return Result{}, err
+	}
+	start := physics.State{Pos: m.Start, Att: mathx.QuatIdentity()}
+	body.SetState(start)
+
+	imus, err := sensors.NewRedundantIMUs(cfg.IMUCount, cfg.IMUSpec, rand.New(rand.NewSource(rng.Int63())))
+	if err != nil {
+		return Result{}, err
+	}
+	gps := sensors.NewGPS(cfg.GPSSpec, rand.New(rand.NewSource(rng.Int63())))
+	baro := sensors.NewBaro(cfg.BaroSpec, rand.New(rand.NewSource(rng.Int63())))
+	mag := sensors.NewMag(cfg.MagSpec, rand.New(rand.NewSource(rng.Int63())))
+
+	var injector *faultinject.Injector
+	if inj != nil {
+		injector, err = faultinject.New(*inj)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	filter := ekf.New(cfg.EKF)
+	filter.Reset(ekf.State{Att: mathx.QuatIdentity(), Pos: m.Start})
+
+	mitigate, err := mitigation.NewPipeline(cfg.Mitigation)
+	if err != nil {
+		return Result{}, err
+	}
+
+	ctl := control.New(cfg.Gains, cfg.Airframe, 1/cfg.IMUSpec.RateHz)
+	monitor := failsafe.NewMonitor(cfg.Failsafe)
+	crash := failsafe.NewCrashDetector(cfg.Failsafe)
+	guide := newGuidance(m)
+
+	tracker, err := bubble.NewTracker(m, cfg.RiskR, cfg.TrackingInterval)
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := Result{MissionID: m.ID, Injection: inj}
+
+	var (
+		t             float64
+		imuDt         = 1 / cfg.IMUSpec.RateHz
+		lastIMU       sensors.IMUSample
+		haveIMU       bool
+		sp            control.Setpoint
+		monitorTick   = sensors.NewTicker(50)
+		gravityTick   = sensors.NewTicker(25)
+		guideTick     = sensors.NewTicker(50)
+		beenAirborne  bool
+		voteStrikes   int
+		votePersist   = cfg.VotePersistSamples
+		voteAccelTol  = cfg.VoteAccelTol
+		voteGyroTol   = cfg.VoteGyroTol
+		prevEstPos    = m.Start
+		havePrevEst   bool
+		distM         float64
+		distCapPerObs = 3 * m.Drone.MaxSpeedMS * cfg.TrackingInterval
+	)
+	if votePersist <= 0 {
+		votePersist = 5
+	}
+	if voteAccelTol <= 0 {
+		voteAccelTol = 3.0
+	}
+	if voteGyroTol <= 0 {
+		voteGyroTol = 0.3
+	}
+	// On the pad the controller needs an initial setpoint.
+	sp = guide.update(0, m.Start, 0, true)
+
+	steps := int(cfg.MaxSimTime / cfg.PhysicsDt)
+	for i := 0; i < steps; i++ {
+		t = float64(i) * cfg.PhysicsDt
+
+		// --- Sense (250 Hz), corrupt, estimate, control.
+		if imus.Due(t) {
+			all := imus.SampleAll(t, body.SpecificForce(), body.AngularRate())
+			clean := all[imus.Primary()]
+			if injector != nil {
+				// The fault corrupts the sensor output stream: every
+				// affected unit reads the same corrupted values.
+				corrupted := injector.Apply(clean)
+				for i := range all {
+					if inj.AffectsUnit(i) {
+						all[i] = corrupted
+					}
+				}
+			}
+			raw := all[imus.Primary()]
+
+			// Cross-IMU consistency voting (redundancy management): a
+			// primary that persistently disagrees with the unit majority
+			// is switched out long before the failsafe-level checks see
+			// anything.
+			if cfg.RedundancyVoting {
+				if sensors.VoteOutlier(all, imus.Primary(), voteAccelTol, voteGyroTol) {
+					voteStrikes++
+					if voteStrikes >= votePersist {
+						imus.SwitchPrimary()
+						voteStrikes = 0
+						raw = all[imus.Primary()]
+						// The outgoing unit polluted recent predictions:
+						// reopen uncertainty and coarse-realign attitude
+						// from the incoming (trusted) unit.
+						filter.NotifySensorSwitch()
+						filter.RealignLevel(raw.Accel)
+					}
+				} else {
+					voteStrikes = 0
+				}
+			}
+			if cfg.Mitigation.Enabled() {
+				// The mitigation pipeline sits where a real flight stack
+				// would deploy it: after the (possibly faulty) sensor
+				// output, before every consumer.
+				raw, _ = mitigate.Apply(raw)
+			}
+			lastIMU = raw
+			haveIMU = true
+
+			ekfSample := raw
+			if cfg.ShieldEKF {
+				ekfSample = clean // ablation: estimation path protected
+			}
+			filter.Predict(ekfSample, imuDt)
+			if gravityTick.Due(t) {
+				filter.FuseGravity(ekfSample)
+			}
+
+			est := filter.State()
+			rateFeedback := raw.Gyro
+			if cfg.ShieldRateLoop {
+				rateFeedback = clean.Gyro // ablation: control path protected
+			}
+			cmd, _ := ctl.Update(imuDt, control.Estimate{Att: est.Att, Vel: est.Vel, Pos: est.Pos}, rateFeedback, sp)
+			body.SetMotorCommands(cmd)
+		}
+		if gps.Due(t) {
+			st := body.State()
+			filter.FuseGPS(gps.Sample(t, st.Pos, st.Vel))
+		}
+		if baro.Due(t) {
+			filter.FuseBaro(baro.Sample(t, body.State().AltitudeM()))
+		}
+		if mag.Due(t) {
+			// The magnetometer is not a fault-injection target (paper
+			// Section I): it reads true heading plus its own error model.
+			_, _, trueYaw := body.State().Att.Euler()
+			filter.FuseMag(mag.Sample(t, trueYaw))
+		}
+
+		// --- Protective layer (50 Hz).
+		if monitorTick.Due(t) && haveIMU {
+			obs := failsafe.Observation{
+				T: t, IMU: lastIMU, Health: filter.Health(),
+				EstVelHorizMS: filter.State().Vel.NormXY(),
+				MaxSpeedMS:    m.Drone.MaxSpeedMS,
+				StuckSensor:   mitigate.StuckDetected(),
+			}
+			if monitor.Update(obs, imus) == failsafe.PhaseActive {
+				// Flight termination: record and stop.
+				res.Outcome = OutcomeFailsafe
+				res.FailsafeCause = monitor.Cause().String()
+				res.FlightDurationSec = t
+				break
+			}
+			st := body.State()
+			if st.AltitudeM() > 2 {
+				beenAirborne = true
+			}
+			if beenAirborne {
+				crash.Update(t, st.OnGround(), body.TouchdownSpeed(), st.Att.TiltAngle())
+				if crash.Crashed() {
+					res.Outcome = OutcomeCrash
+					res.CrashReason = crash.Reason()
+					res.FlightDurationSec = t
+					break
+				}
+			}
+			if !st.IsFinite() {
+				// Integration blow-up counts as a crash: the vehicle is
+				// physically gone.
+				res.Outcome = OutcomeCrash
+				res.CrashReason = "state blow-up"
+				res.FlightDurationSec = t
+				break
+			}
+		}
+
+		// --- Guidance (50 Hz).
+		if guideTick.Due(t) {
+			est := filter.State()
+			sp = guide.update(t, est.Pos, est.Vel.Norm(), body.State().OnGround())
+			if guide.done() {
+				res.Outcome = OutcomeCompleted
+				res.FlightDurationSec = t
+				break
+			}
+		}
+
+		// --- U-space tracking (1 Hz): bubbles, distance, telemetry.
+		est := filter.State()
+		if s, ok := tracker.Observe(t, est.Pos, body.Airspeed()); ok {
+			if havePrevEst {
+				d := est.Pos.Dist(prevEstPos)
+				// Tracker plausibility filter: a diverged estimate can
+				// teleport; the tracking system bounds per-interval travel
+				// by the drone's physical capability.
+				distM += math.Min(d, distCapPerObs)
+			}
+			prevEstPos = est.Pos
+			havePrevEst = true
+
+			if cfg.RecordTrajectory {
+				res.Trajectory = append(res.Trajectory, TrajPoint{
+					T: t, TruePos: body.State().Pos, EstPos: est.Pos,
+					TiltDeg: mathx.Rad2Deg(body.State().Att.TiltAngle()),
+				})
+			}
+			if obs != nil {
+				obs(Telemetry{
+					T: t, MissionID: m.ID,
+					EstPos: est.Pos, EstVel: est.Vel,
+					TruePos: body.State().Pos, Airspeed: body.Airspeed(),
+					Bubble: s, Phase: fmt.Sprintf("%d", guide.phase),
+					Health: filter.Health(), EstState: est, TrueAtt: body.State().Att,
+				})
+			}
+		}
+
+		body.Step(cfg.PhysicsDt)
+	}
+
+	if res.Outcome == 0 {
+		res.Outcome = OutcomeTimeout
+		res.FlightDurationSec = cfg.MaxSimTime
+	}
+	res.DistanceKm = distM / 1000
+	res.InnerViolations = tracker.InnerViolations()
+	res.OuterViolations = tracker.OuterViolations()
+	res.WaypointsReached = guide.waypointsReached()
+	return res, nil
+}

@@ -1,0 +1,220 @@
+// Package sweep runs one-dimensional parameter sweeps around the paper's
+// fixed experiment design: injection start time (the paper pins T+90 s),
+// injection duration (beyond the paper's four points), the failsafe gyro
+// threshold, and the outer-bubble risk factor R. Each sweep holds
+// everything else at the campaign defaults and reports one row per value.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"uavres/internal/faultinject"
+	"uavres/internal/mathx"
+	"uavres/internal/mission"
+	"uavres/internal/sim"
+)
+
+// Point is one sweep row: the swept value and the aggregated outcome over
+// the missions flown at that value.
+type Point struct {
+	// Value is the swept parameter's value (seconds, deg/s, or unitless).
+	Value float64 `json:"value"`
+	// N is the number of runs aggregated.
+	N int `json:"n"`
+	// CompletedPct, CrashPct, FailsafePct partition the runs.
+	CompletedPct float64 `json:"completed_pct"`
+	CrashPct     float64 `json:"crash_pct"`
+	FailsafePct  float64 `json:"failsafe_pct"`
+	// MeanInner is the mean inner-bubble violation count.
+	MeanInner float64 `json:"mean_inner"`
+	// MeanDurationSec is the mean flight duration.
+	MeanDurationSec float64 `json:"mean_duration_sec"`
+}
+
+// Config selects the experiment held constant across the sweep.
+type Config struct {
+	// Base is the simulation configuration (zero value: defaults).
+	Base sim.Config
+	// Missions are flown at every sweep value (nil: the Valencia set).
+	Missions []mission.Mission
+	// Primitive and Target define the injected fault.
+	Primitive faultinject.Primitive
+	Target    faultinject.Target
+	// Start and Duration define the injection window (overridden by the
+	// respective sweeps).
+	Start    time.Duration
+	Duration time.Duration
+	// Seed is the base seed.
+	Seed int64
+	// Workers bounds parallelism (<= 0: GOMAXPROCS).
+	Workers int
+}
+
+func (c Config) defaults() Config {
+	if c.Base.PhysicsDt == 0 {
+		c.Base = sim.DefaultConfig()
+	}
+	if c.Missions == nil {
+		c.Missions = mission.Valencia()
+	}
+	if c.Primitive == 0 {
+		c.Primitive = faultinject.Zeros
+	}
+	if c.Target == 0 {
+		c.Target = faultinject.TargetGyro
+	}
+	if c.Start == 0 {
+		c.Start = 90 * time.Second
+	}
+	if c.Duration == 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// run executes one (mission, config-mutation) grid and aggregates a Point.
+func (c Config) run(ctx context.Context, value float64, mutate func(*sim.Config, *faultinject.Injection)) Point {
+	type job struct {
+		m   mission.Mission
+		idx int
+	}
+	jobs := make(chan job)
+	results := make([]sim.Result, len(c.Missions))
+	var wg sync.WaitGroup
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				cfg := c.Base
+				cfg.Seed = c.Seed + int64(j.m.ID)*1009
+				inj := &faultinject.Injection{
+					Primitive: c.Primitive, Target: c.Target,
+					Start: c.Start, Duration: c.Duration,
+					Seed: c.Seed + int64(j.m.ID)*31 + 7,
+				}
+				mutate(&cfg, inj)
+				res, err := sim.Run(cfg, j.m, inj, nil)
+				if err == nil {
+					results[j.idx] = res
+				}
+			}
+		}()
+	}
+	for i, m := range c.Missions {
+		select {
+		case <-ctx.Done():
+		case jobs <- job{m: m, idx: i}:
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	p := Point{Value: value}
+	for _, r := range results {
+		if r.Outcome == 0 {
+			continue // cancelled or errored
+		}
+		p.N++
+		switch r.Outcome {
+		case sim.OutcomeCompleted:
+			p.CompletedPct++
+		case sim.OutcomeCrash:
+			p.CrashPct++
+		default:
+			p.FailsafePct++
+		}
+		p.MeanInner += float64(r.InnerViolations)
+		p.MeanDurationSec += r.FlightDurationSec
+	}
+	if p.N > 0 {
+		n := float64(p.N)
+		p.CompletedPct *= 100 / n
+		p.CrashPct *= 100 / n
+		p.FailsafePct *= 100 / n
+		p.MeanInner /= n
+		p.MeanDurationSec /= n
+	}
+	return p
+}
+
+// StartTimes sweeps the injection start — the paper pins it at 90 s; the
+// sweep reveals phase sensitivity (takeoff vs. cruise vs. turn vs.
+// landing approach).
+func StartTimes(ctx context.Context, c Config, startsSec []float64) []Point {
+	c = c.defaults()
+	out := make([]Point, 0, len(startsSec))
+	for _, s := range startsSec {
+		start := s
+		out = append(out, c.run(ctx, start, func(_ *sim.Config, inj *faultinject.Injection) {
+			inj.Start = time.Duration(start * float64(time.Second))
+		}))
+	}
+	return out
+}
+
+// Durations sweeps the injection duration on a finer grid than the
+// paper's {2, 5, 10, 30}.
+func Durations(ctx context.Context, c Config, durationsSec []float64) []Point {
+	c = c.defaults()
+	out := make([]Point, 0, len(durationsSec))
+	for _, d := range durationsSec {
+		dur := d
+		out = append(out, c.run(ctx, dur, func(_ *sim.Config, inj *faultinject.Injection) {
+			inj.Duration = time.Duration(dur * float64(time.Second))
+		}))
+	}
+	return out
+}
+
+// GyroThresholds sweeps the failsafe gyro-rate threshold (paper default
+// 60 deg/s, "configurable in the flight controller settings").
+func GyroThresholds(ctx context.Context, c Config, thresholdsDegS []float64) []Point {
+	c = c.defaults()
+	out := make([]Point, 0, len(thresholdsDegS))
+	for _, th := range thresholdsDegS {
+		deg := th
+		out = append(out, c.run(ctx, deg, func(cfg *sim.Config, _ *faultinject.Injection) {
+			cfg.Failsafe.GyroRateThreshold = mathx.Deg2Rad(deg)
+		}))
+	}
+	return out
+}
+
+// RiskFactors sweeps the outer-bubble risk factor R (paper uses 1).
+func RiskFactors(ctx context.Context, c Config, rs []float64) []Point {
+	c = c.defaults()
+	out := make([]Point, 0, len(rs))
+	for _, r := range rs {
+		rv := r
+		out = append(out, c.run(ctx, rv, func(cfg *sim.Config, _ *faultinject.Injection) {
+			cfg.RiskR = rv
+		}))
+	}
+	return out
+}
+
+// Render prints sweep rows as an aligned table.
+func Render(name, unit string, points []Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweep: %s\n", name)
+	fmt.Fprintf(&b, "%12s %6s %12s %10s %12s %10s %14s\n",
+		unit, "runs", "completed%", "crash%", "failsafe%", "inner(#)", "duration(s)")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%12.2f %6d %11.1f%% %9.1f%% %11.1f%% %10.2f %14.1f\n",
+			p.Value, p.N, p.CompletedPct, p.CrashPct, p.FailsafePct, p.MeanInner, p.MeanDurationSec)
+	}
+	return b.String()
+}

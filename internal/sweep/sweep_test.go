@@ -1,0 +1,120 @@
+package sweep
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"uavres/internal/faultinject"
+	"uavres/internal/mathx"
+	"uavres/internal/mission"
+)
+
+// hop keeps sweep tests fast.
+func hop() []mission.Mission {
+	return []mission.Mission{{
+		ID: 1, Name: "hop", CruiseSpeedMS: 3.3, AltitudeM: 15,
+		Drone:     mission.DroneSpec{Name: "t", DimensionM: 0.8, SafetyDistM: 2, MaxSpeedMS: 5},
+		Start:     mathx.V3(0, 0, 0),
+		Waypoints: []mathx.Vec3{{X: 0, Y: 120, Z: -15}},
+	}}
+}
+
+func fastCfg() Config {
+	return Config{
+		Missions:  hop(),
+		Primitive: faultinject.MinValue,
+		Target:    faultinject.TargetGyro,
+		Start:     20 * time.Second,
+		Duration:  5 * time.Second,
+		Seed:      3,
+		Workers:   1,
+	}
+}
+
+func TestStartTimesSweep(t *testing.T) {
+	// A fault before landing vs. one far beyond the flight's end: the
+	// late window never activates, so the mission completes.
+	points := StartTimes(context.Background(), fastCfg(), []float64{20, 500})
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	early, late := points[0], points[1]
+	if early.N != 1 || late.N != 1 {
+		t.Fatalf("runs: %d, %d", early.N, late.N)
+	}
+	if early.CompletedPct != 0 {
+		t.Errorf("in-flight gyro-min completed %.0f%%", early.CompletedPct)
+	}
+	if late.CompletedPct != 100 {
+		t.Errorf("never-activated fault completed %.0f%%, want 100", late.CompletedPct)
+	}
+}
+
+func TestDurationsSweepMonotoneHarm(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Primitive = faultinject.Noise
+	cfg.Target = faultinject.TargetAccel
+	points := Durations(context.Background(), cfg, []float64{0.5, 5})
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Acc noise: both survivable on this short hop, but the longer
+	// window must not show a higher completion than the shorter one.
+	if points[1].CompletedPct > points[0].CompletedPct {
+		t.Errorf("longer fault completed more: %.0f%% vs %.0f%%",
+			points[1].CompletedPct, points[0].CompletedPct)
+	}
+}
+
+func TestGyroThresholdsSweep(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Primitive = faultinject.Noise
+	cfg.Target = faultinject.TargetGyro
+	points := GyroThresholds(context.Background(), cfg, []float64{30, 100000})
+	if points[0].FailsafePct == 0 {
+		t.Errorf("30 deg/s threshold produced no failsafes: %+v", points[0])
+	}
+	// An absurdly high threshold disables the gyro-rate path entirely;
+	// whatever happens, it is not a gyro-rate failsafe-dominated row
+	// identical to the tight-threshold one.
+	if points[1].FailsafePct == points[0].FailsafePct && points[1].CompletedPct == points[0].CompletedPct {
+		t.Errorf("threshold had no effect: %+v vs %+v", points[0], points[1])
+	}
+}
+
+func TestRiskFactorsSweep(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Primitive = faultinject.Zeros
+	cfg.Target = faultinject.TargetAccel
+	points := RiskFactors(context.Background(), cfg, []float64{1, 4})
+	// A larger outer bubble can only reduce (or keep) outer violations;
+	// here we check the sweep executes and aggregates.
+	for i, p := range points {
+		if p.N != 1 {
+			t.Errorf("point %d runs = %d", i, p.N)
+		}
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	out := Render("demo", "sec", []Point{{Value: 2, N: 10, CompletedPct: 20, CrashPct: 50, FailsafePct: 30, MeanInner: 9.9, MeanDurationSec: 180}})
+	for _, want := range []string{"sweep: demo", "completed%", "20.0%", "180.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	points := StartTimes(ctx, fastCfg(), []float64{20})
+	if len(points) != 1 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if points[0].N != 0 {
+		t.Errorf("cancelled sweep ran %d missions", points[0].N)
+	}
+}

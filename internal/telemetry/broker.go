@@ -1,0 +1,278 @@
+package telemetry
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Connection roles, sent as the first byte after connect.
+const (
+	rolePublisher  = 'P'
+	roleSubscriber = 'S'
+)
+
+// Broker is a TCP publish/subscribe fan-out for telemetry frames — the
+// role the paper's core/edge brokers play between the vehicles and the
+// tracking system. Publishers stream frames; every validated frame is
+// forwarded to all connected subscribers. A subscriber that cannot keep
+// up is disconnected rather than allowed to stall the fleet.
+type Broker struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	subs   map[int]*subscriber
+	nextID int
+	closed bool
+
+	wg sync.WaitGroup
+
+	// Stats counters (read via Stats).
+	framesIn   int
+	framesOut  int
+	dropped    int
+	publishers int
+}
+
+type subscriber struct {
+	ch   chan []byte
+	conn net.Conn
+}
+
+// BrokerStats is a snapshot of broker counters.
+type BrokerStats struct {
+	FramesIn    int
+	FramesOut   int
+	Dropped     int
+	Subscribers int
+	Publishers  int
+}
+
+// NewBroker starts a broker listening on addr (e.g. "127.0.0.1:0").
+func NewBroker(addr string) (*Broker, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: broker listen: %w", err)
+	}
+	b := &Broker{ln: ln, subs: map[int]*subscriber{}}
+	b.wg.Add(1)
+	go b.acceptLoop()
+	return b, nil
+}
+
+// Addr returns the broker's listen address.
+func (b *Broker) Addr() string { return b.ln.Addr().String() }
+
+// Stats returns a snapshot of the broker counters.
+func (b *Broker) Stats() BrokerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BrokerStats{
+		FramesIn:    b.framesIn,
+		FramesOut:   b.framesOut,
+		Dropped:     b.dropped,
+		Subscribers: len(b.subs),
+		Publishers:  b.publishers,
+	}
+}
+
+// Close shuts the broker down and waits for connection handlers to exit.
+func (b *Broker) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	for id, s := range b.subs {
+		close(s.ch)
+		delete(b.subs, id)
+	}
+	b.mu.Unlock()
+	err := b.ln.Close()
+	b.wg.Wait()
+	return err
+}
+
+func (b *Broker) acceptLoop() {
+	defer b.wg.Done()
+	for {
+		conn, err := b.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		b.wg.Add(1)
+		go b.handle(conn)
+	}
+}
+
+func (b *Broker) handle(conn net.Conn) {
+	defer b.wg.Done()
+	defer conn.Close()
+
+	role := make([]byte, 1)
+	if _, err := conn.Read(role); err != nil {
+		return
+	}
+	switch role[0] {
+	case rolePublisher:
+		b.handlePublisher(conn)
+	case roleSubscriber:
+		b.handleSubscriber(conn)
+	}
+}
+
+func (b *Broker) handlePublisher(conn net.Conn) {
+	b.mu.Lock()
+	b.publishers++
+	b.mu.Unlock()
+	defer func() {
+		b.mu.Lock()
+		b.publishers--
+		b.mu.Unlock()
+	}()
+
+	r := bufio.NewReader(conn)
+	for {
+		f, err := ReadFrame(r)
+		if err != nil {
+			// Corrupt frames poison the stream framing; drop the
+			// connection (the publisher will reconnect with clean state).
+			return
+		}
+		raw, err := f.Encode()
+		if err != nil {
+			return
+		}
+		b.fanOut(raw)
+	}
+}
+
+func (b *Broker) fanOut(raw []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.framesIn++
+	for id, s := range b.subs {
+		select {
+		case s.ch <- raw:
+			b.framesOut++
+		default:
+			// Slow subscriber: disconnect rather than stall or buffer
+			// unboundedly.
+			b.dropped++
+			close(s.ch)
+			delete(b.subs, id)
+		}
+	}
+}
+
+func (b *Broker) handleSubscriber(conn net.Conn) {
+	s := &subscriber{ch: make(chan []byte, 256), conn: conn}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	id := b.nextID
+	b.nextID++
+	b.subs[id] = s
+	b.mu.Unlock()
+
+	defer func() {
+		b.mu.Lock()
+		if cur, stillThere := b.subs[id]; stillThere && cur == s {
+			close(s.ch)
+			delete(b.subs, id)
+		}
+		b.mu.Unlock()
+	}()
+
+	w := bufio.NewWriter(conn)
+	for raw := range s.ch {
+		if _, err := w.Write(raw); err != nil {
+			return
+		}
+		if len(s.ch) == 0 {
+			if err := w.Flush(); err != nil {
+				return
+			}
+		}
+	}
+	_ = w.Flush()
+}
+
+// Publisher is a client-side frame publisher.
+type Publisher struct {
+	conn net.Conn
+	w    *bufio.Writer
+	mu   sync.Mutex
+	seq  uint8
+}
+
+// NewPublisher connects to a broker as a publisher.
+func NewPublisher(addr string) (*Publisher, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: publisher dial: %w", err)
+	}
+	if _, err := conn.Write([]byte{rolePublisher}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("telemetry: publisher handshake: %w", err)
+	}
+	return &Publisher{conn: conn, w: bufio.NewWriter(conn)}, nil
+}
+
+// Publish sends one frame, stamping the sequence number.
+func (p *Publisher) Publish(f Frame) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f.Seq = p.seq
+	p.seq++
+	raw, err := f.Encode()
+	if err != nil {
+		return err
+	}
+	if _, err := p.w.Write(raw); err != nil {
+		return fmt.Errorf("telemetry: publish: %w", err)
+	}
+	return p.w.Flush()
+}
+
+// Close closes the connection.
+func (p *Publisher) Close() error { return p.conn.Close() }
+
+// Subscriber is a client-side frame receiver.
+type Subscriber struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// NewSubscriber connects to a broker as a subscriber.
+func NewSubscriber(addr string) (*Subscriber, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: subscriber dial: %w", err)
+	}
+	if _, err := conn.Write([]byte{roleSubscriber}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("telemetry: subscriber handshake: %w", err)
+	}
+	return &Subscriber{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+// Next blocks until the next frame arrives or the connection closes.
+func (s *Subscriber) Next() (Frame, error) {
+	f, err := ReadFrame(s.r)
+	if err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return Frame{}, err
+		}
+		return Frame{}, err
+	}
+	return f, nil
+}
+
+// Close closes the connection.
+func (s *Subscriber) Close() error { return s.conn.Close() }

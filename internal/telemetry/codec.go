@@ -1,0 +1,282 @@
+// Package telemetry implements the flight-data distribution path of the
+// paper's experimental platform (Fig. 1): a compact MAVLink-flavoured
+// binary message codec, a TCP publish/subscribe broker (the "core broker"
+// / "edge broker" pair), and a tracker client that feeds U-space with
+// 1 Hz position reports.
+package telemetry
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Frame layout (little-endian payloads):
+//
+//	offset 0: magic (0xFD)
+//	offset 1: payload length N
+//	offset 2: sequence number
+//	offset 3: system ID (drone/mission number)
+//	offset 4: message ID
+//	offset 5: payload (N bytes)
+//	offset 5+N: CRC-16/CCITT over bytes [1, 5+N)
+const (
+	frameMagic    = 0xFD
+	headerLen     = 5
+	crcLen        = 2
+	maxPayloadLen = 255
+)
+
+// Message IDs.
+const (
+	// MsgHeartbeat announces a live system.
+	MsgHeartbeat uint8 = 0
+	// MsgPosition carries the EKF position/velocity solution.
+	MsgPosition uint8 = 33
+	// MsgAttitude carries attitude and body rates.
+	MsgAttitude uint8 = 30
+	// MsgBubble carries the U-space bubble status.
+	MsgBubble uint8 = 100
+)
+
+// Errors returned by the decoder.
+var (
+	ErrBadMagic   = errors.New("telemetry: bad frame magic")
+	ErrBadCRC     = errors.New("telemetry: CRC mismatch")
+	ErrShortFrame = errors.New("telemetry: short frame")
+)
+
+// Frame is one wire frame.
+type Frame struct {
+	Seq     uint8
+	SysID   uint8
+	MsgID   uint8
+	Payload []byte
+}
+
+// crc16 computes CRC-16/CCITT-FALSE.
+func crc16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// Encode serializes the frame.
+func (f Frame) Encode() ([]byte, error) {
+	if len(f.Payload) > maxPayloadLen {
+		return nil, fmt.Errorf("telemetry: payload %d bytes exceeds %d", len(f.Payload), maxPayloadLen)
+	}
+	buf := make([]byte, headerLen+len(f.Payload)+crcLen)
+	buf[0] = frameMagic
+	buf[1] = uint8(len(f.Payload))
+	buf[2] = f.Seq
+	buf[3] = f.SysID
+	buf[4] = f.MsgID
+	copy(buf[headerLen:], f.Payload)
+	crc := crc16(buf[1 : headerLen+len(f.Payload)])
+	binary.LittleEndian.PutUint16(buf[headerLen+len(f.Payload):], crc)
+	return buf, nil
+}
+
+// ReadFrame reads and validates one frame from r.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	if hdr[0] != frameMagic {
+		return Frame{}, ErrBadMagic
+	}
+	n := int(hdr[1])
+	rest := make([]byte, n+crcLen)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return Frame{}, ErrShortFrame
+		}
+		return Frame{}, err
+	}
+	want := binary.LittleEndian.Uint16(rest[n:])
+	crcInput := make([]byte, 0, headerLen-1+n)
+	crcInput = append(crcInput, hdr[1:]...)
+	crcInput = append(crcInput, rest[:n]...)
+	if crc16(crcInput) != want {
+		return Frame{}, ErrBadCRC
+	}
+	return Frame{Seq: hdr[2], SysID: hdr[3], MsgID: hdr[4], Payload: rest[:n]}, nil
+}
+
+// Heartbeat announces a live system and its state.
+type Heartbeat struct {
+	// TimeSec is the sender's sim time.
+	TimeSec float64
+	// Phase encodes the flight phase (mission-executor state).
+	Phase uint8
+}
+
+// Position is the EKF navigation solution in the local NED frame.
+type Position struct {
+	TimeSec          float64
+	X, Y, Z          float64 // m, NED
+	VX, VY, VZ       float64 // m/s, NED
+	AirspeedMS       float64
+	WaypointsReached uint8
+}
+
+// Attitude is the vehicle attitude and body rates.
+type Attitude struct {
+	TimeSec          float64
+	Roll, Pitch, Yaw float64 // rad
+	P, Q, R          float64 // rad/s body rates
+}
+
+// Bubble is the U-space bubble status at a tracking instant.
+type Bubble struct {
+	TimeSec       float64
+	DeviationM    float64
+	InnerRadiusM  float64
+	OuterRadiusM  float64
+	InnerViolated bool
+	OuterViolated bool
+}
+
+func putF64(b []byte, off int, v float64) int {
+	binary.LittleEndian.PutUint64(b[off:], math.Float64bits(v))
+	return off + 8
+}
+
+func getF64(b []byte, off int) (float64, int) {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[off:])), off + 8
+}
+
+// EncodeHeartbeat builds a heartbeat frame.
+func EncodeHeartbeat(seq, sysID uint8, h Heartbeat) (Frame, error) {
+	p := make([]byte, 9)
+	off := putF64(p, 0, h.TimeSec)
+	p[off] = h.Phase
+	return Frame{Seq: seq, SysID: sysID, MsgID: MsgHeartbeat, Payload: p}, nil
+}
+
+// DecodeHeartbeat parses a heartbeat payload.
+func DecodeHeartbeat(f Frame) (Heartbeat, error) {
+	if f.MsgID != MsgHeartbeat || len(f.Payload) != 9 {
+		return Heartbeat{}, fmt.Errorf("telemetry: not a heartbeat frame (msg %d, %d bytes)", f.MsgID, len(f.Payload))
+	}
+	var h Heartbeat
+	var off int
+	h.TimeSec, off = getF64(f.Payload, 0)
+	h.Phase = f.Payload[off]
+	return h, nil
+}
+
+// EncodePosition builds a position frame.
+func EncodePosition(seq, sysID uint8, m Position) (Frame, error) {
+	p := make([]byte, 8*8+1)
+	off := 0
+	for _, v := range []float64{m.TimeSec, m.X, m.Y, m.Z, m.VX, m.VY, m.VZ, m.AirspeedMS} {
+		off = putF64(p, off, v)
+	}
+	p[off] = m.WaypointsReached
+	return Frame{Seq: seq, SysID: sysID, MsgID: MsgPosition, Payload: p}, nil
+}
+
+// DecodePosition parses a position payload.
+func DecodePosition(f Frame) (Position, error) {
+	if f.MsgID != MsgPosition || len(f.Payload) != 8*8+1 {
+		return Position{}, fmt.Errorf("telemetry: not a position frame (msg %d, %d bytes)", f.MsgID, len(f.Payload))
+	}
+	var m Position
+	off := 0
+	for _, dst := range []*float64{&m.TimeSec, &m.X, &m.Y, &m.Z, &m.VX, &m.VY, &m.VZ, &m.AirspeedMS} {
+		*dst, off = getF64(f.Payload, off)
+	}
+	m.WaypointsReached = f.Payload[off]
+	return m, nil
+}
+
+// EncodeAttitude builds an attitude frame.
+func EncodeAttitude(seq, sysID uint8, m Attitude) (Frame, error) {
+	p := make([]byte, 7*8)
+	off := 0
+	for _, v := range []float64{m.TimeSec, m.Roll, m.Pitch, m.Yaw, m.P, m.Q, m.R} {
+		off = putF64(p, off, v)
+	}
+	return Frame{Seq: seq, SysID: sysID, MsgID: MsgAttitude, Payload: p}, nil
+}
+
+// DecodeAttitude parses an attitude payload.
+func DecodeAttitude(f Frame) (Attitude, error) {
+	if f.MsgID != MsgAttitude || len(f.Payload) != 7*8 {
+		return Attitude{}, fmt.Errorf("telemetry: not an attitude frame (msg %d, %d bytes)", f.MsgID, len(f.Payload))
+	}
+	var m Attitude
+	off := 0
+	for _, dst := range []*float64{&m.TimeSec, &m.Roll, &m.Pitch, &m.Yaw, &m.P, &m.Q, &m.R} {
+		*dst, off = getF64(f.Payload, off)
+	}
+	return m, nil
+}
+
+// EncodeBubble builds a bubble-status frame.
+func EncodeBubble(seq, sysID uint8, m Bubble) (Frame, error) {
+	p := make([]byte, 4*8+1)
+	off := 0
+	for _, v := range []float64{m.TimeSec, m.DeviationM, m.InnerRadiusM, m.OuterRadiusM} {
+		off = putF64(p, off, v)
+	}
+	var flags uint8
+	if m.InnerViolated {
+		flags |= 1
+	}
+	if m.OuterViolated {
+		flags |= 2
+	}
+	p[off] = flags
+	return Frame{Seq: seq, SysID: sysID, MsgID: MsgBubble, Payload: p}, nil
+}
+
+// DecodeBubble parses a bubble-status payload.
+func DecodeBubble(f Frame) (Bubble, error) {
+	if f.MsgID != MsgBubble || len(f.Payload) != 4*8+1 {
+		return Bubble{}, fmt.Errorf("telemetry: not a bubble frame (msg %d, %d bytes)", f.MsgID, len(f.Payload))
+	}
+	var m Bubble
+	off := 0
+	for _, dst := range []*float64{&m.TimeSec, &m.DeviationM, &m.InnerRadiusM, &m.OuterRadiusM} {
+		*dst, off = getF64(f.Payload, off)
+	}
+	flags := f.Payload[off]
+	m.InnerViolated = flags&1 != 0
+	m.OuterViolated = flags&2 != 0
+	return m, nil
+}
+
+// ReadFrameBytes decodes one frame from a byte slice (allocation-light
+// counterpart of ReadFrame for benchmarks and in-memory paths).
+func ReadFrameBytes(raw []byte) (Frame, error) {
+	if len(raw) < headerLen+crcLen {
+		return Frame{}, ErrShortFrame
+	}
+	if raw[0] != frameMagic {
+		return Frame{}, ErrBadMagic
+	}
+	n := int(raw[1])
+	if len(raw) < headerLen+n+crcLen {
+		return Frame{}, ErrShortFrame
+	}
+	want := binary.LittleEndian.Uint16(raw[headerLen+n:])
+	if crc16(raw[1:headerLen+n]) != want {
+		return Frame{}, ErrBadCRC
+	}
+	return Frame{Seq: raw[2], SysID: raw[3], MsgID: raw[4], Payload: raw[headerLen : headerLen+n]}, nil
+}

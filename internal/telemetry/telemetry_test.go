@@ -1,0 +1,342 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFrameEncodeDecodeRoundTrip(t *testing.T) {
+	f := Frame{Seq: 7, SysID: 3, MsgID: MsgPosition, Payload: []byte{1, 2, 3, 4, 5}}
+	raw, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 7 || got.SysID != 3 || got.MsgID != MsgPosition || !bytes.Equal(got.Payload, f.Payload) {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestFrameRejectsOversizedPayload(t *testing.T) {
+	f := Frame{Payload: make([]byte, 300)}
+	if _, err := f.Encode(); err == nil {
+		t.Error("oversized payload accepted")
+	}
+}
+
+func TestReadFrameBadMagic(t *testing.T) {
+	raw := []byte{0x55, 0, 0, 0, 0, 0, 0}
+	if _, err := ReadFrame(bytes.NewReader(raw)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReadFrameCorruptCRC(t *testing.T) {
+	f := Frame{Seq: 1, SysID: 2, MsgID: 3, Payload: []byte{9, 9}}
+	raw, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[6] ^= 0xFF // flip a payload bit
+	if _, err := ReadFrame(bytes.NewReader(raw)); !errors.Is(err, ErrBadCRC) {
+		t.Errorf("err = %v, want ErrBadCRC", err)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	f := Frame{MsgID: 1, Payload: []byte{1, 2, 3}}
+	raw, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(raw[:len(raw)-3])); !errors.Is(err, ErrShortFrame) {
+		t.Errorf("err = %v, want ErrShortFrame", err)
+	}
+}
+
+func TestCRC16KnownValue(t *testing.T) {
+	// CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+	if got := crc16([]byte("123456789")); got != 0x29B1 {
+		t.Errorf("crc16 = %#x, want 0x29B1", got)
+	}
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	hb := Heartbeat{TimeSec: 12.5, Phase: 2}
+	f, err := EncodeHeartbeat(1, 4, hb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := DecodeHeartbeat(f); err != nil || got != hb {
+		t.Errorf("heartbeat round trip = %+v, %v", got, err)
+	}
+
+	pos := Position{TimeSec: 90, X: 1.5, Y: -2.5, Z: -15, VX: 3, VY: -1, VZ: 0.1, AirspeedMS: 3.2, WaypointsReached: 2}
+	f, err = EncodePosition(2, 4, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := DecodePosition(f); err != nil || got != pos {
+		t.Errorf("position round trip = %+v, %v", got, err)
+	}
+
+	att := Attitude{TimeSec: 90, Roll: 0.1, Pitch: -0.05, Yaw: 1.7, P: 0.01, Q: 0, R: -0.02}
+	f, err = EncodeAttitude(3, 4, att)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := DecodeAttitude(f); err != nil || got != att {
+		t.Errorf("attitude round trip = %+v, %v", got, err)
+	}
+
+	bub := Bubble{TimeSec: 91, DeviationM: 6.2, InnerRadiusM: 5.8, OuterRadiusM: 5.8, InnerViolated: true}
+	f, err = EncodeBubble(4, 4, bub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := DecodeBubble(f); err != nil || got != bub {
+		t.Errorf("bubble round trip = %+v, %v", got, err)
+	}
+}
+
+func TestDecodeWrongMessageType(t *testing.T) {
+	f, err := EncodeHeartbeat(0, 1, Heartbeat{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodePosition(f); err == nil {
+		t.Error("heartbeat decoded as position")
+	}
+	if _, err := DecodeBubble(f); err == nil {
+		t.Error("heartbeat decoded as bubble")
+	}
+	if _, err := DecodeAttitude(f); err == nil {
+		t.Error("heartbeat decoded as attitude")
+	}
+	pf, err := EncodePosition(0, 1, Position{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeHeartbeat(pf); err == nil {
+		t.Error("position decoded as heartbeat")
+	}
+}
+
+// Property: any frame content survives an encode/decode round trip.
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(seq, sys, msg uint8, payload []byte) bool {
+		if len(payload) > maxPayloadLen {
+			payload = payload[:maxPayloadLen]
+		}
+		in := Frame{Seq: seq, SysID: sys, MsgID: msg, Payload: payload}
+		raw, err := in.Encode()
+		if err != nil {
+			return false
+		}
+		out, err := ReadFrame(bytes.NewReader(raw))
+		if err != nil {
+			return false
+		}
+		return out.Seq == seq && out.SysID == sys && out.MsgID == msg && bytes.Equal(out.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: position payloads round-trip exactly for arbitrary values.
+func TestPositionRoundTripProperty(t *testing.T) {
+	f := func(x, y, z, vx float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(z) || math.IsNaN(vx) {
+			return true // NaN != NaN; skip
+		}
+		in := Position{X: x, Y: y, Z: z, VX: vx}
+		fr, err := EncodePosition(0, 1, in)
+		if err != nil {
+			return false
+		}
+		out, err := DecodePosition(fr)
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBrokerEndToEnd(t *testing.T) {
+	b, err := NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	sub, err := NewSubscriber(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	pub, err := NewPublisher(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	// Give the broker a moment to register the subscriber.
+	waitFor(t, func() bool { return b.Stats().Subscribers == 1 })
+
+	want := Position{TimeSec: 42, X: 1, Y: 2, Z: -15}
+	f, err := EncodePosition(0, 9, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(f); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := sub.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SysID != 9 {
+		t.Errorf("sysID = %d", got.SysID)
+	}
+	pos, err := DecodePosition(got)
+	if err != nil || pos != want {
+		t.Errorf("received %+v, %v", pos, err)
+	}
+}
+
+func TestBrokerMultipleSubscribers(t *testing.T) {
+	b, err := NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	subs := make([]*Subscriber, 3)
+	for i := range subs {
+		s, err := NewSubscriber(b.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		subs[i] = s
+	}
+	waitFor(t, func() bool { return b.Stats().Subscribers == 3 })
+
+	pub, err := NewPublisher(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	f, err := EncodeHeartbeat(0, 1, Heartbeat{TimeSec: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(f); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range subs {
+		got, err := s.Next()
+		if err != nil {
+			t.Fatalf("subscriber %d: %v", i, err)
+		}
+		if got.MsgID != MsgHeartbeat {
+			t.Errorf("subscriber %d got msg %d", i, got.MsgID)
+		}
+	}
+}
+
+func TestBrokerSequenceStamping(t *testing.T) {
+	b, err := NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	sub, err := NewSubscriber(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	waitFor(t, func() bool { return b.Stats().Subscribers == 1 })
+
+	pub, err := NewPublisher(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	for i := 0; i < 3; i++ {
+		f, err := EncodeHeartbeat(0, 1, Heartbeat{TimeSec: float64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pub.Publish(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		got, err := sub.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(got.Seq) != i {
+			t.Errorf("frame %d has seq %d", i, got.Seq)
+		}
+	}
+}
+
+func TestBrokerDisconnectedPublisherOnCorruptStream(t *testing.T) {
+	b, err := NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	pub, err := NewPublisher(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	waitFor(t, func() bool { return b.Stats().Publishers == 1 })
+
+	// Inject a full header of garbage directly: the broker must drop the
+	// connection on the bad magic byte.
+	if _, err := pub.conn.Write([]byte{0x00, 0x01, 0x02, 0x03, 0x04}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return b.Stats().Publishers == 0 })
+}
+
+func TestBrokerCloseIdempotent(t *testing.T) {
+	b, err := NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not met within deadline")
+}

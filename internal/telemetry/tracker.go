@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"uavres/internal/sim"
+)
+
+// TrackerClient adapts a simulated vehicle's 1 Hz telemetry stream into
+// broker frames — the per-vehicle "edge" side of the paper's tracking
+// system. Plug its Observe method into sim.Run as the Observer.
+type TrackerClient struct {
+	pub   *Publisher
+	sysID uint8
+	// Errs receives the first publish error (nil channel drops them);
+	// telemetry failures must not crash the flight.
+	errs chan error
+}
+
+// NewTrackerClient wraps a publisher for one vehicle.
+func NewTrackerClient(pub *Publisher, sysID uint8) *TrackerClient {
+	return &TrackerClient{pub: pub, sysID: sysID, errs: make(chan error, 1)}
+}
+
+// Errs returns a channel carrying the first publish error, if any.
+func (tc *TrackerClient) Errs() <-chan error { return tc.errs }
+
+// Observe publishes one telemetry observation as position + bubble frames.
+// It is shaped to be used directly as a sim.Observer.
+func (tc *TrackerClient) Observe(tel sim.Telemetry) {
+	pos := Position{
+		TimeSec: tel.T,
+		X:       tel.EstPos.X, Y: tel.EstPos.Y, Z: tel.EstPos.Z,
+		VX: tel.EstVel.X, VY: tel.EstVel.Y, VZ: tel.EstVel.Z,
+		AirspeedMS: tel.Airspeed,
+	}
+	bub := Bubble{
+		TimeSec:       tel.T,
+		DeviationM:    tel.Bubble.Deviation,
+		InnerRadiusM:  tel.Bubble.InnerRadius,
+		OuterRadiusM:  tel.Bubble.OuterRadius,
+		InnerViolated: tel.Bubble.InnerViolated,
+		OuterViolated: tel.Bubble.OuterViolated,
+	}
+	pf, err := EncodePosition(0, tc.sysID, pos)
+	if err == nil {
+		err = tc.pub.Publish(pf)
+	}
+	if err == nil {
+		var bf Frame
+		bf, err = EncodeBubble(0, tc.sysID, bub)
+		if err == nil {
+			err = tc.pub.Publish(bf)
+		}
+	}
+	if err != nil {
+		select {
+		case tc.errs <- err:
+		default:
+		}
+	}
+}

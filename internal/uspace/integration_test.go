@@ -1,0 +1,92 @@
+package uspace
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"testing"
+
+	"uavres/internal/mathx"
+	"uavres/internal/mission"
+	"uavres/internal/sim"
+	"uavres/internal/telemetry"
+)
+
+// TestFlightThroughBrokerToUspace exercises the full Fig. 1 data path:
+// a simulated flight publishes tracker-rate telemetry through the TCP
+// broker; the U-space tracking service consumes it and reconstructs the
+// flight's bubble-violation record.
+func TestFlightThroughBrokerToUspace(t *testing.T) {
+	broker, err := telemetry.NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer broker.Close()
+
+	sub, err := telemetry.NewSubscriber(broker.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	tracker := NewTracker()
+	var pumpWG sync.WaitGroup
+	pumpWG.Add(1)
+	var pumpErr error
+	go func() {
+		defer pumpWG.Done()
+		pumpErr = Pump(sub, tracker)
+	}()
+
+	pub, err := telemetry.NewPublisher(broker.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := telemetry.NewTrackerClient(pub, 42)
+
+	m := mission.Mission{
+		ID: 42, Name: "telemetry hop", CruiseSpeedMS: 3.3, AltitudeM: 15,
+		Drone:     mission.DroneSpec{Name: "t", DimensionM: 0.8, SafetyDistM: 2, MaxSpeedMS: 5},
+		Start:     mathx.V3(0, 0, 0),
+		Waypoints: []mathx.Vec3{{X: 0, Y: 100, Z: -15}},
+	}
+	res, err := sim.Run(sim.DefaultConfig(), m, nil, client.Observe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != sim.OutcomeCompleted {
+		t.Fatalf("flight outcome = %v", res.Outcome)
+	}
+	select {
+	case err := <-client.Errs():
+		t.Fatalf("telemetry publish error: %v", err)
+	default:
+	}
+	pub.Close()
+	broker.Close()
+	pumpWG.Wait()
+	if pumpErr != nil && !errors.Is(pumpErr, io.EOF) {
+		// Connection teardown errors are expected forms of stream end.
+		t.Logf("pump ended with: %v", pumpErr)
+	}
+
+	d, tracked := tracker.Drone(42)
+	if !tracked {
+		t.Fatal("U-space never saw drone 42")
+	}
+	// The last report should be near the landing site (waypoint, ground).
+	if d.Pos.DistXY(mathx.V3(0, 100, 0)) > 10 {
+		t.Errorf("last tracked position %v, want near (0, 100)", d.Pos)
+	}
+	// A gold run reports no violations; radii must have been transported.
+	if d.InnerViolations != res.InnerViolations || d.OuterViolations != res.OuterViolations {
+		t.Errorf("U-space violations %d/%d, sim reported %d/%d",
+			d.InnerViolations, d.OuterViolations, res.InnerViolations, res.OuterViolations)
+	}
+	if d.InnerRadius <= 0 || d.OuterRadius < d.InnerRadius {
+		t.Errorf("bubble radii %v/%v", d.InnerRadius, d.OuterRadius)
+	}
+	if got := broker.Stats(); got.FramesIn < 50 {
+		t.Errorf("broker forwarded only %d frames for a ~55 s flight", got.FramesIn)
+	}
+}

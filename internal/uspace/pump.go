@@ -1,0 +1,41 @@
+package uspace
+
+import (
+	"uavres/internal/mathx"
+	"uavres/internal/telemetry"
+)
+
+// FrameSource yields telemetry frames until the stream ends (the
+// *telemetry.Subscriber interface surface the pump needs).
+type FrameSource interface {
+	Next() (telemetry.Frame, error)
+}
+
+// Pump decodes frames from src into tracker reports until the source
+// errors (broker shutdown, connection loss). Unknown or malformed frames
+// are skipped: one bad publisher must not take down airspace tracking.
+// It returns the terminating error.
+func Pump(src FrameSource, tracker *Tracker) error {
+	for {
+		f, err := src.Next()
+		if err != nil {
+			return err
+		}
+		switch f.MsgID {
+		case telemetry.MsgPosition:
+			p, err := telemetry.DecodePosition(f)
+			if err != nil {
+				continue
+			}
+			tracker.ReportPosition(f.SysID, p.TimeSec,
+				mathx.V3(p.X, p.Y, p.Z), mathx.V3(p.VX, p.VY, p.VZ))
+		case telemetry.MsgBubble:
+			b, err := telemetry.DecodeBubble(f)
+			if err != nil {
+				continue
+			}
+			tracker.ReportBubble(f.SysID, b.TimeSec,
+				b.InnerRadiusM, b.OuterRadiusM, b.InnerViolated, b.OuterViolated)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package uspace
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"uavres/internal/telemetry"
+)
+
+// frameQueue is an in-memory FrameSource.
+type frameQueue struct {
+	frames []telemetry.Frame
+	idx    int
+}
+
+func (q *frameQueue) Next() (telemetry.Frame, error) {
+	if q.idx >= len(q.frames) {
+		return telemetry.Frame{}, io.EOF
+	}
+	f := q.frames[q.idx]
+	q.idx++
+	return f, nil
+}
+
+func TestPumpFeedsTracker(t *testing.T) {
+	pos, err := telemetry.EncodePosition(0, 7, telemetry.Position{TimeSec: 5, X: 10, Y: 20, Z: -15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bub, err := telemetry.EncodeBubble(1, 7, telemetry.Bubble{TimeSec: 5, InnerRadiusM: 5, OuterRadiusM: 6, InnerViolated: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := telemetry.EncodeHeartbeat(2, 7, telemetry.Heartbeat{TimeSec: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A malformed position frame (wrong payload length) must be skipped.
+	malformed := telemetry.Frame{SysID: 9, MsgID: telemetry.MsgPosition, Payload: []byte{1, 2, 3}}
+
+	tr := NewTracker()
+	err = Pump(&frameQueue{frames: []telemetry.Frame{pos, bub, hb, malformed}}, tr)
+	if !errors.Is(err, io.EOF) {
+		t.Fatalf("pump ended with %v", err)
+	}
+	d, exists := tr.Drone(7)
+	if !exists {
+		t.Fatal("drone 7 not tracked")
+	}
+	if d.Pos.X != 10 || d.InnerRadius != 5 || d.InnerViolations != 1 {
+		t.Errorf("tracked state = %+v", d)
+	}
+	if _, exists := tr.Drone(9); exists {
+		t.Error("malformed frame created a track")
+	}
+}

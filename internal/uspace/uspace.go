@@ -1,0 +1,195 @@
+// Package uspace implements the U-space-side tracking service: it
+// consumes telemetry position reports from the broker, maintains the last
+// known state of every drone in the airspace, and monitors pairwise
+// separation using the two-layer bubble model — the "tracker" box of the
+// paper's platform (Fig. 1) and the conflict-rate machinery of the
+// authors' companion study.
+package uspace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"uavres/internal/mathx"
+)
+
+// DroneState is the tracker's last known state for one drone.
+type DroneState struct {
+	// SysID identifies the drone (mission number).
+	SysID uint8
+	// TimeSec is the report timestamp.
+	TimeSec float64
+	// Pos and Vel are the reported NED position and velocity.
+	Pos mathx.Vec3
+	Vel mathx.Vec3
+	// InnerRadius and OuterRadius are the drone's current bubble radii
+	// (zero until a bubble report arrives).
+	InnerRadius float64
+	OuterRadius float64
+	// InnerViolations and OuterViolations accumulate reported
+	// own-volume violations.
+	InnerViolations int
+	OuterViolations int
+	// HasPosition is false until the first position report arrives; a
+	// bubble-only track carries no usable location.
+	HasPosition bool
+}
+
+// Conflict is one pairwise separation infringement: two drones closer
+// than the sum of their bubbles.
+type Conflict struct {
+	A, B      uint8
+	TimeSec   float64
+	DistanceM float64
+	// RequiredM is the separation that should have been kept (sum of
+	// outer radii; inner if Severity is SeverityCritical).
+	RequiredM float64
+	// Critical marks an inner-bubble (alert-layer) infringement.
+	Critical bool
+}
+
+// Tracker is the U-space tracking/separation service. Safe for concurrent
+// use: the telemetry pump and monitoring queries may run on different
+// goroutines.
+type Tracker struct {
+	mu     sync.Mutex
+	drones map[uint8]*DroneState
+	// conflicts accumulates detected infringements (deduplicated per
+	// pair per tracking second).
+	conflicts []Conflict
+	lastPair  map[[2]uint8]float64
+}
+
+// NewTracker returns an empty tracking service.
+func NewTracker() *Tracker {
+	return &Tracker{
+		drones:   map[uint8]*DroneState{},
+		lastPair: map[[2]uint8]float64{},
+	}
+}
+
+// ReportPosition ingests a position report and re-evaluates separation.
+func (tr *Tracker) ReportPosition(sysID uint8, timeSec float64, pos, vel mathx.Vec3) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	d := tr.drone(sysID)
+	d.TimeSec = timeSec
+	d.Pos = pos
+	d.Vel = vel
+	d.HasPosition = true
+	tr.checkSeparation(d)
+}
+
+// ReportBubble ingests a bubble status report.
+func (tr *Tracker) ReportBubble(sysID uint8, timeSec float64, innerR, outerR float64, innerViolated, outerViolated bool) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	d := tr.drone(sysID)
+	d.TimeSec = timeSec
+	d.InnerRadius = innerR
+	d.OuterRadius = outerR
+	if innerViolated {
+		d.InnerViolations++
+	}
+	if outerViolated {
+		d.OuterViolations++
+	}
+}
+
+func (tr *Tracker) drone(sysID uint8) *DroneState {
+	d, exists := tr.drones[sysID]
+	if !exists {
+		d = &DroneState{SysID: sysID}
+		tr.drones[sysID] = d
+	}
+	return d
+}
+
+// checkSeparation evaluates the moved drone against every other tracked
+// drone. Caller holds the lock.
+func (tr *Tracker) checkSeparation(moved *DroneState) {
+	for _, other := range tr.drones {
+		if other.SysID == moved.SysID || !other.HasPosition {
+			continue
+		}
+		// Stale tracks (no report within 5 s of the mover's clock) are
+		// not comparable.
+		if moved.TimeSec-other.TimeSec > 5 || other.TimeSec-moved.TimeSec > 5 {
+			continue
+		}
+		dist := moved.Pos.Dist(other.Pos)
+		outerReq := moved.OuterRadius + other.OuterRadius
+		innerReq := moved.InnerRadius + other.InnerRadius
+		if outerReq <= 0 || dist >= outerReq {
+			continue
+		}
+		pair := pairKey(moved.SysID, other.SysID)
+		// One conflict record per pair per tracking second.
+		if last, seen := tr.lastPair[pair]; seen && moved.TimeSec-last < 1 {
+			continue
+		}
+		tr.lastPair[pair] = moved.TimeSec
+		c := Conflict{
+			A: pair[0], B: pair[1], TimeSec: moved.TimeSec,
+			DistanceM: dist, RequiredM: outerReq,
+			Critical: innerReq > 0 && dist < innerReq,
+		}
+		if c.Critical {
+			c.RequiredM = innerReq
+		}
+		tr.conflicts = append(tr.conflicts, c)
+	}
+}
+
+func pairKey(a, b uint8) [2]uint8 {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]uint8{a, b}
+}
+
+// Drones returns a snapshot of all tracked drones, ordered by SysID.
+func (tr *Tracker) Drones() []DroneState {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]DroneState, 0, len(tr.drones))
+	for _, d := range tr.drones {
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SysID < out[j].SysID })
+	return out
+}
+
+// Drone returns the state for one drone.
+func (tr *Tracker) Drone(sysID uint8) (DroneState, bool) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	d, exists := tr.drones[sysID]
+	if !exists {
+		return DroneState{}, false
+	}
+	return *d, true
+}
+
+// Conflicts returns a snapshot of all recorded separation conflicts.
+func (tr *Tracker) Conflicts() []Conflict {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]Conflict, len(tr.conflicts))
+	copy(out, tr.conflicts)
+	return out
+}
+
+// Summary renders a one-line-per-drone airspace picture.
+func (tr *Tracker) Summary() string {
+	drones := tr.Drones()
+	conflicts := tr.Conflicts()
+	s := fmt.Sprintf("airspace: %d drones, %d conflicts\n", len(drones), len(conflicts))
+	for _, d := range drones {
+		s += fmt.Sprintf("  drone %d: t=%.1fs pos=%s bubbles=%.1f/%.1fm violations=%d/%d\n",
+			d.SysID, d.TimeSec, d.Pos, d.InnerRadius, d.OuterRadius,
+			d.InnerViolations, d.OuterViolations)
+	}
+	return s
+}

@@ -1,0 +1,170 @@
+package uspace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"uavres/internal/mathx"
+)
+
+func TestTrackerMaintainsStates(t *testing.T) {
+	tr := NewTracker()
+	tr.ReportPosition(1, 10, mathx.V3(100, 0, -15), mathx.V3(3, 0, 0))
+	tr.ReportPosition(2, 10, mathx.V3(500, 500, -15), mathx.Zero3)
+	tr.ReportBubble(1, 10, 5, 6, false, false)
+
+	drones := tr.Drones()
+	if len(drones) != 2 {
+		t.Fatalf("drones = %d", len(drones))
+	}
+	if drones[0].SysID != 1 || drones[1].SysID != 2 {
+		t.Errorf("order: %d, %d", drones[0].SysID, drones[1].SysID)
+	}
+	d1, exists := tr.Drone(1)
+	if !exists || d1.Pos != mathx.V3(100, 0, -15) || d1.InnerRadius != 5 {
+		t.Errorf("drone 1 = %+v", d1)
+	}
+	if _, exists := tr.Drone(99); exists {
+		t.Error("phantom drone tracked")
+	}
+}
+
+func TestBubbleViolationAccumulation(t *testing.T) {
+	tr := NewTracker()
+	tr.ReportBubble(3, 1, 5, 6, true, false)
+	tr.ReportBubble(3, 2, 5, 6, true, true)
+	tr.ReportBubble(3, 3, 5, 6, false, false)
+	d, _ := tr.Drone(3)
+	if d.InnerViolations != 2 || d.OuterViolations != 1 {
+		t.Errorf("violations = %d/%d, want 2/1", d.InnerViolations, d.OuterViolations)
+	}
+}
+
+func TestSeparationConflictDetected(t *testing.T) {
+	tr := NewTracker()
+	tr.ReportBubble(1, 10, 5, 8, false, false)
+	tr.ReportBubble(2, 10, 5, 8, false, false)
+	tr.ReportPosition(1, 10, mathx.V3(0, 0, -15), mathx.Zero3)
+	// 12 m apart with 8+8=16 m required: outer conflict, not critical.
+	tr.ReportPosition(2, 10.2, mathx.V3(12, 0, -15), mathx.Zero3)
+
+	conflicts := tr.Conflicts()
+	if len(conflicts) != 1 {
+		t.Fatalf("conflicts = %d, want 1", len(conflicts))
+	}
+	c := conflicts[0]
+	if c.A != 1 || c.B != 2 || c.Critical {
+		t.Errorf("conflict = %+v", c)
+	}
+	if c.DistanceM != 12 || c.RequiredM != 16 {
+		t.Errorf("distances = %v/%v", c.DistanceM, c.RequiredM)
+	}
+}
+
+func TestCriticalConflict(t *testing.T) {
+	tr := NewTracker()
+	tr.ReportBubble(1, 10, 5, 8, false, false)
+	tr.ReportBubble(2, 10, 5, 8, false, false)
+	tr.ReportPosition(1, 10, mathx.Zero3, mathx.Zero3)
+	tr.ReportPosition(2, 10.1, mathx.V3(6, 0, 0), mathx.Zero3) // < 5+5
+
+	conflicts := tr.Conflicts()
+	if len(conflicts) != 1 || !conflicts[0].Critical {
+		t.Fatalf("conflicts = %+v", conflicts)
+	}
+	if conflicts[0].RequiredM != 10 {
+		t.Errorf("critical required = %v, want inner sum 10", conflicts[0].RequiredM)
+	}
+}
+
+func TestNoConflictWhenSeparated(t *testing.T) {
+	tr := NewTracker()
+	tr.ReportBubble(1, 10, 5, 8, false, false)
+	tr.ReportBubble(2, 10, 5, 8, false, false)
+	tr.ReportPosition(1, 10, mathx.Zero3, mathx.Zero3)
+	tr.ReportPosition(2, 10, mathx.V3(100, 0, 0), mathx.Zero3)
+	if got := tr.Conflicts(); len(got) != 0 {
+		t.Errorf("conflicts = %+v", got)
+	}
+}
+
+func TestConflictDeduplicatedPerSecond(t *testing.T) {
+	tr := NewTracker()
+	tr.ReportBubble(1, 10, 5, 8, false, false)
+	tr.ReportBubble(2, 10, 5, 8, false, false)
+	// Several sub-second reports of the same infringement.
+	for _, tm := range []float64{10.0, 10.2, 10.4, 10.6} {
+		tr.ReportPosition(1, tm, mathx.Zero3, mathx.Zero3)
+		tr.ReportPosition(2, tm, mathx.V3(10, 0, 0), mathx.Zero3)
+	}
+	if got := len(tr.Conflicts()); got != 1 {
+		t.Errorf("conflicts = %d, want 1 (deduplicated)", got)
+	}
+	// After a second, the persisting conflict is recorded again.
+	tr.ReportPosition(1, 11.2, mathx.Zero3, mathx.Zero3)
+	if got := len(tr.Conflicts()); got != 2 {
+		t.Errorf("conflicts = %d, want 2", got)
+	}
+}
+
+func TestStaleTracksIgnored(t *testing.T) {
+	tr := NewTracker()
+	tr.ReportBubble(1, 10, 5, 8, false, false)
+	tr.ReportBubble(2, 10, 5, 8, false, false)
+	tr.ReportPosition(1, 10, mathx.Zero3, mathx.Zero3)
+	// Drone 2 reports 100 s later at the same spot: drone 1's track is
+	// long stale; no conflict can be concluded.
+	tr.ReportPosition(2, 110, mathx.V3(3, 0, 0), mathx.Zero3)
+	if got := tr.Conflicts(); len(got) != 0 {
+		t.Errorf("conflicts with stale track = %+v", got)
+	}
+}
+
+func TestZeroBubblesNeverConflict(t *testing.T) {
+	tr := NewTracker()
+	// No bubble reports: radii zero, separation undefined.
+	tr.ReportPosition(1, 10, mathx.Zero3, mathx.Zero3)
+	tr.ReportPosition(2, 10, mathx.V3(0.5, 0, 0), mathx.Zero3)
+	if got := tr.Conflicts(); len(got) != 0 {
+		t.Errorf("conflicts without bubbles = %+v", got)
+	}
+}
+
+func TestSummaryRendering(t *testing.T) {
+	tr := NewTracker()
+	tr.ReportPosition(4, 10, mathx.V3(1, 2, -15), mathx.Zero3)
+	s := tr.Summary()
+	if !strings.Contains(s, "1 drones") || !strings.Contains(s, "drone 4") {
+		t.Errorf("summary = %q", s)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	tr := NewTracker()
+	var wg sync.WaitGroup
+	for id := uint8(1); id <= 4; id++ {
+		wg.Add(1)
+		go func(id uint8) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tm := float64(i) * 0.01
+				tr.ReportPosition(id, tm, mathx.V3(float64(id)*100, float64(i), -15), mathx.Zero3)
+				tr.ReportBubble(id, tm, 5, 8, i%7 == 0, false)
+			}
+		}(id)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			tr.Drones()
+			tr.Conflicts()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if len(tr.Drones()) != 4 {
+		t.Errorf("drones = %d", len(tr.Drones()))
+	}
+}
