@@ -21,6 +21,7 @@ import (
 	"uavres/internal/core"
 	"uavres/internal/ekf"
 	"uavres/internal/faultinject"
+	"uavres/internal/lint"
 	"uavres/internal/mathx"
 	"uavres/internal/mission"
 	"uavres/internal/mitigation"
@@ -423,6 +424,27 @@ func BenchmarkMicroMitigation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s.Accel.X += 1e-9 // defeat the stuck guard: nominal streams are noisy
 		_, _ = p.Apply(s)
+	}
+}
+
+// BenchmarkUavlint lints the repository's own internal/ tree with the
+// full analyzer suite, so the static-analysis gate's cost shows up in
+// the perf trajectory alongside the simulation hot paths. The runner is
+// reused across iterations: the first pays the standard-library
+// type-check, the steady state is what CI re-runs feel like.
+func BenchmarkUavlint(b *testing.B) {
+	runner, err := lint.NewRunner(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		findings, err := runner.Run("./internal/...")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(findings) != 0 {
+			b.Fatalf("repository is not lint-clean: %v", findings)
+		}
 	}
 }
 

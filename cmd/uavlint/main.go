@@ -1,0 +1,115 @@
+// Command uavlint runs the simulation-aware static-analysis suite over
+// this repository. It walks the given package patterns (default ./...),
+// applies every enabled analyzer, prints findings as
+//
+//	file:line: [check] message
+//
+// and exits non-zero when anything is found — making it usable as a hard
+// CI gate (see ci.sh).
+//
+// Usage:
+//
+//	uavlint [flags] [patterns]
+//	uavlint -list                 # show the analyzer suite
+//	uavlint -floatcmp=false ./... # disable one analyzer
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"uavres/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	all := lint.All()
+	enabled := map[string]*bool{}
+	for _, a := range all {
+		enabled[a.Name()] = flag.Bool(a.Name(), true, "enable the "+a.Name()+" analyzer: "+a.Doc())
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
+		}
+		return 0
+	}
+
+	var suite []lint.Analyzer
+	for _, a := range all {
+		if *enabled[a.Name()] {
+			suite = append(suite, a)
+		}
+	}
+
+	modRoot, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uavlint:", err)
+		return 2
+	}
+	runner, err := lint.NewRunner(modRoot)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uavlint:", err)
+		return 2
+	}
+	runner.Analyzers = suite
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := runner.Run(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uavlint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		f.Pos.Filename = relPath(f.Pos.Filename)
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "uavlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// relPath shortens a finding path relative to the working directory when
+// possible.
+func relPath(path string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	if rel, err := filepath.Rel(wd, path); err == nil && len(rel) < len(path) {
+		return rel
+	}
+	return path
+}

@@ -136,6 +136,7 @@ func ByFault(results []CaseResult) []GroupStats {
 			}
 		}
 		sort.Slice(rows, func(i, j int) bool {
+			//lint:allow floatcmp exact compare is required for a strict weak sort order
 			if rows[i].CompletedPct != rows[j].CompletedPct {
 				return rows[i].CompletedPct > rows[j].CompletedPct
 			}

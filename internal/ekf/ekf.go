@@ -144,6 +144,7 @@ func New(cfg Config) *Filter {
 // Reset re-initializes the nominal state and covariance.
 func (f *Filter) Reset(st State) {
 	f.st = st
+	//lint:allow floatcmp exact zero-norm only occurs for the zero-value quaternion
 	if f.st.Att.Norm() == 0 {
 		f.st.Att = mathx.QuatIdentity()
 	}

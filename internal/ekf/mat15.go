@@ -33,6 +33,7 @@ func (a *mat) mul(b *mat) mat {
 	for i := 0; i < dim; i++ {
 		for k := 0; k < dim; k++ {
 			aik := a[i][k]
+			//lint:allow floatcmp sparsity skip on structurally zero entries; any nonzero must multiply
 			if aik == 0 {
 				continue
 			}

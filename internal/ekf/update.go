@@ -24,11 +24,13 @@ func (f *Filter) updateScalar(h [dim]float64, y, r float64) (accepted bool, rati
 		var acc float64
 		for j := 0; j < dim; j++ {
 			hj := h[j]
+			//lint:allow floatcmp sparsity skip: observation rows are structurally zero or exact
 			if hj != 0 {
 				acc += f.p[i][j] * hj
 			}
 		}
 		ph[i] = acc
+		//lint:allow floatcmp sparsity skip: observation rows are structurally zero or exact
 		if h[i] != 0 {
 			s += h[i] * acc
 		}
@@ -198,6 +200,7 @@ func (f *Filter) FuseGravity(s sensors.IMUSample) {
 	}
 	accel := s.Accel.Sub(f.st.AccelBias)
 	norm := accel.Norm()
+	//lint:allow floatcmp exact zero-norm guard before dividing by the norm
 	if math.Abs(norm-physics.Gravity) > f.cfg.GravityMaxDev || norm == 0 {
 		return
 	}

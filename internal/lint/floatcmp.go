@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags == and != between floating-point expressions in
+// non-test code. The EKF, physics integration, and result aggregation
+// all operate on accumulated floating-point state; exact equality on
+// such values is almost always a latent bug (it silently flips with any
+// reordering of arithmetic) and must be replaced by a tolerance compare
+// — or explicitly exempted where a bit-exact sentinel or sparsity check
+// is intended.
+type FloatCmp struct{}
+
+func (FloatCmp) Name() string { return "floatcmp" }
+func (FloatCmp) Doc() string {
+	return "flag ==/!= between floating-point expressions outside tests; use tolerance compares"
+}
+
+func (FloatCmp) Visitor(pkg *Package, f *File, report ReportFunc) VisitFunc {
+	if f.IsTest {
+		return nil
+	}
+	return func(n ast.Node, _ []ast.Node) {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return
+		}
+		if !isFloat(pkg.TypesInfo.TypeOf(be.X)) && !isFloat(pkg.TypesInfo.TypeOf(be.Y)) {
+			return
+		}
+		if sameExpr(be.X, be.Y) {
+			report(be.OpPos, "floating-point self-comparison; use math.IsNaN")
+			return
+		}
+		report(be.OpPos, "floating-point %s comparison; use a tolerance (e.g. mathx.ApproxEqual)", be.Op)
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// sameExpr reports the x != x NaN-check idiom (identical identifier or
+// selector chains on both sides).
+func sameExpr(x, y ast.Expr) bool {
+	switch xv := x.(type) {
+	case *ast.Ident:
+		yv, ok := y.(*ast.Ident)
+		return ok && xv.Name == yv.Name
+	case *ast.SelectorExpr:
+		yv, ok := y.(*ast.SelectorExpr)
+		return ok && xv.Sel.Name == yv.Sel.Name && sameExpr(xv.X, yv.X)
+	}
+	return false
+}

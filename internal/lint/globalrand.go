@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// GlobalRand forbids package-level math/rand functions in internal/
+// library code. The campaign's 850 cases are seeded per run; randomness
+// must flow through an injected *rand.Rand (as internal/sensors does) so
+// two runs with the same seed produce bit-identical trajectories
+// regardless of scheduling, worker count, or what other code drew from
+// the global source first.
+type GlobalRand struct{}
+
+func (GlobalRand) Name() string { return "globalrand" }
+func (GlobalRand) Doc() string {
+	return "forbid package-level math/rand calls in internal/; inject a *rand.Rand instead"
+}
+
+// randConstructors are the math/rand functions that build an explicit
+// generator rather than drawing from the shared global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func (GlobalRand) Visitor(pkg *Package, f *File, report ReportFunc) VisitFunc {
+	if f.IsTest || !pkg.Internal {
+		return nil
+	}
+	return func(n ast.Node, _ []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Obj != nil { // Obj != nil: a local, not the import
+			return
+		}
+		path := f.Imports[id.Name]
+		if path != "math/rand" && path != "math/rand/v2" {
+			return
+		}
+		if randConstructors[sel.Sel.Name] {
+			return
+		}
+		report(call.Pos(), "package-level %s.%s draws from the shared global source; "+
+			"inject a seeded *rand.Rand for reproducible runs", id.Name, sel.Sel.Name)
+	}
+}

@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// MutexHeld is a heuristic lock-discipline check. A struct field whose
+// declaration carries a "guarded by <mu>" comment must only be touched
+// by methods that lock <mu> somewhere in their body (directly or via
+// defer). Methods whose name ends in "Locked" are exempt by convention:
+// their documented contract is that the caller already holds the lock.
+// This is deliberately method-granular — it does not prove the access
+// happens under the critical section — but it catches the common
+// regression of adding a fast-path accessor and forgetting the lock.
+type MutexHeld struct{}
+
+func (MutexHeld) Name() string { return "mutexheld" }
+func (MutexHeld) Doc() string {
+	return `flag "guarded by mu" fields accessed in methods that never lock mu`
+}
+
+var guardedBy = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardedField records one annotated field of one struct type.
+type guardedField struct {
+	structName string
+	field      string
+	mutex      string
+}
+
+func (MutexHeld) CheckPackage(pkg *Package, report ReportFunc) {
+	guards := map[string]map[string]string{} // struct -> field -> mutex
+	for _, f := range pkg.Files {
+		if f.IsTest {
+			continue
+		}
+		collectGuards(f.AST, guards)
+	}
+	if len(guards) == 0 {
+		return
+	}
+	for _, f := range pkg.Files {
+		if f.IsTest {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			checkMethod(fd, guards, report)
+		}
+	}
+}
+
+// collectGuards scans struct declarations for annotated fields. The
+// annotation may sit in the field's trailing line comment or its doc
+// comment.
+func collectGuards(file *ast.File, guards map[string]map[string]string) {
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				continue
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if guards[ts.Name.Name] == nil {
+						guards[ts.Name.Name] = map[string]string{}
+					}
+					guards[ts.Name.Name][name.Name] = mu
+				}
+			}
+		}
+	}
+}
+
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Comment, field.Doc} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedBy.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// checkMethod reports guarded-field accesses in methods of an annotated
+// struct that never lock the corresponding mutex.
+func checkMethod(fd *ast.FuncDecl, guards map[string]map[string]string, report ReportFunc) {
+	recvType := receiverTypeName(fd)
+	fields := guards[recvType]
+	if fields == nil || strings.HasSuffix(fd.Name.Name, "Locked") {
+		return
+	}
+	recvName := ""
+	if names := fd.Recv.List[0].Names; len(names) > 0 {
+		recvName = names[0].Name
+	}
+	if recvName == "" || recvName == "_" {
+		return
+	}
+
+	locked := map[string]bool{} // mutex name -> Lock/RLock called
+	type access struct {
+		sel   *ast.SelectorExpr
+		mutex string
+	}
+	var accesses []access
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// recv.mu.Lock() / recv.mu.RLock(): the inner selector is
+		// recv.mu, the outer picks the method.
+		if inner, ok := sel.X.(*ast.SelectorExpr); ok {
+			if id, ok := inner.X.(*ast.Ident); ok && id.Name == recvName {
+				switch sel.Sel.Name {
+				case "Lock", "RLock", "TryLock", "TryRLock":
+					locked[inner.Sel.Name] = true
+				}
+			}
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == recvName {
+			if mu, guarded := fields[sel.Sel.Name]; guarded {
+				accesses = append(accesses, access{sel: sel, mutex: mu})
+			}
+		}
+		return true
+	})
+	for _, a := range accesses {
+		if locked[a.mutex] {
+			continue
+		}
+		report(a.sel.Pos(), "%s.%s is guarded by %s, but method %s never locks it",
+			recvType, a.sel.Sel.Name, a.mutex, fd.Name.Name)
+	}
+}
+
+func receiverTypeName(fd *ast.FuncDecl) string {
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}

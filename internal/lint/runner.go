@@ -1,0 +1,319 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// metaCheck names the pseudo-analyzer that reports malformed suppression
+// directives. It cannot itself be suppressed.
+const metaCheck = "lint"
+
+// Runner loads packages and applies the analyzer suite. A Runner may be
+// reused across calls to Run; the standard-library type-check cache is
+// retained, which makes repeated runs (watch mode, benchmarks) much
+// cheaper than the first.
+type Runner struct {
+	// ModPath and ModRoot identify the module under analysis. NewRunner
+	// fills them from go.mod.
+	ModPath string
+	ModRoot string
+	// Analyzers is the suite to apply; defaults to All().
+	Analyzers []Analyzer
+	// TreatAllInternal applies the internal-only analyzers to every
+	// package regardless of directory. Used by fixture tests.
+	TreatAllInternal bool
+
+	fset *token.FileSet
+	imp  *moduleImporter
+}
+
+// NewRunner builds a Runner for the module rooted at modRoot, reading
+// the module path from go.mod.
+func NewRunner(modRoot string) (*Runner, error) {
+	abs, err := filepath.Abs(modRoot)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{ModPath: modPath, ModRoot: abs, Analyzers: All()}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if p, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(p), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// Run lints the packages matched by the given patterns (directories, or
+// recursive "dir/..." patterns, resolved relative to the process working
+// directory) and returns the surviving findings sorted by position.
+func (r *Runner) Run(patterns ...string) ([]Finding, error) {
+	if r.fset == nil {
+		r.fset = token.NewFileSet()
+		r.imp = newModuleImporter(r.ModPath, r.ModRoot, r.fset)
+	}
+	if r.Analyzers == nil {
+		r.Analyzers = All()
+	}
+	dirs, err := resolvePatterns(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, dir := range dirs {
+		pkgs, err := r.load(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, pkg := range pkgs {
+			findings = append(findings, r.lintPackage(pkg)...)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return findings, nil
+}
+
+// resolvePatterns expands "dir/..." patterns into the directories that
+// contain Go files, skipping testdata, vendor, and hidden directories.
+func resolvePatterns(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, p := range patterns {
+		root, recursive := strings.CutSuffix(p, "...")
+		root = filepath.Clean(strings.TrimSuffix(root, "/"))
+		if root == "" {
+			root = "."
+		}
+		if !recursive {
+			add(root)
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// load parses every Go file in dir (including tests, which most
+// analyzers then skip) and type-checks the non-test slice.
+func (r *Runner) load(dir string) ([]*Package, error) {
+	astPkgs, err := parser.ParseDir(r.fset, dir, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	importPath := r.ModPath
+	internal := r.TreatAllInternal
+	if rel, err := filepath.Rel(r.ModRoot, abs); err == nil && !strings.HasPrefix(rel, "..") {
+		if rel != "." {
+			importPath = r.ModPath + "/" + filepath.ToSlash(rel)
+		}
+		internal = internal || rel == "internal" || strings.HasPrefix(filepath.ToSlash(rel), "internal/")
+	}
+
+	var pkgs []*Package
+	for name, astPkg := range astPkgs {
+		pkg := &Package{
+			ImportPath: importPath,
+			Dir:        dir,
+			Internal:   internal,
+			Fset:       r.fset,
+		}
+		if strings.HasSuffix(name, "_test") {
+			// External test package: same import path, test files only.
+			pkg.ImportPath += "_test"
+		}
+		paths := make([]string, 0, len(astPkg.Files))
+		for p := range astPkg.Files {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			af := astPkg.Files[p]
+			pkg.Files = append(pkg.Files, &File{
+				Path:    p,
+				AST:     af,
+				IsTest:  strings.HasSuffix(p, "_test.go"),
+				Imports: importNames(af),
+			})
+		}
+		r.imp.typeCheck(pkg)
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// importNames maps each file-local import name to its import path.
+// Dot and blank imports are skipped — the package-qualified analyzers
+// cannot see through them.
+func importNames(f *ast.File) map[string]string {
+	m := map[string]string{}
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path[strings.LastIndex(path, "/")+1:]
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == "." || name == "_" {
+			continue
+		}
+		m[name] = path
+	}
+	return m
+}
+
+// lintPackage runs the suite over one package: suppression-directive
+// parsing, the shared per-file AST walk for node analyzers, then the
+// package-level analyzers, and finally suppression filtering.
+func (r *Runner) lintPackage(pkg *Package) []Finding {
+	var raw []Finding
+	reportAs := func(check string) ReportFunc {
+		return func(pos token.Pos, format string, args ...any) {
+			raw = append(raw, Finding{
+				Pos:     r.fset.Position(pos),
+				Check:   check,
+				Message: fmt.Sprintf(format, args...),
+			})
+		}
+	}
+
+	// Directives are validated against the full registry, not the
+	// enabled suite: disabling an analyzer must not turn its (valid)
+	// suppressions into unknown-check findings.
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name()] = true
+	}
+	for _, a := range r.Analyzers {
+		known[a.Name()] = true
+	}
+	for _, f := range pkg.Files {
+		f.allows = nil
+		parseAllows(f, r.fset, known, reportAs(metaCheck))
+	}
+
+	for _, f := range pkg.Files {
+		var visitors []VisitFunc
+		for _, a := range r.Analyzers {
+			na, ok := a.(NodeAnalyzer)
+			if !ok {
+				continue
+			}
+			if v := na.Visitor(pkg, f, reportAs(a.Name())); v != nil {
+				visitors = append(visitors, v)
+			}
+		}
+		if len(visitors) == 0 {
+			continue
+		}
+		// The shared walk: one traversal per file no matter how many
+		// analyzers are enabled.
+		var stack []ast.Node
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			for _, v := range visitors {
+				v(n, stack)
+			}
+			return true
+		})
+	}
+
+	for _, a := range r.Analyzers {
+		if pa, ok := a.(PackageAnalyzer); ok {
+			pa.CheckPackage(pkg, reportAs(a.Name()))
+		}
+	}
+
+	// Apply suppression directives. Meta findings (malformed directives)
+	// are never suppressable.
+	byFile := map[string]*File{}
+	for _, f := range pkg.Files {
+		byFile[f.Path] = f
+	}
+	findings := raw[:0]
+	for _, fd := range raw {
+		if fd.Check != metaCheck {
+			if f := byFile[fd.Pos.Filename]; f != nil && f.allowed(fd.Check, fd.Pos.Line) {
+				continue
+			}
+		}
+		findings = append(findings, fd)
+	}
+	return findings
+}

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces a suppression directive comment:
+//
+//	//lint:allow <check> <reason>
+//
+// The directive silences findings of <check> (or every check, with the
+// special name "all") on the same line and on the line immediately
+// below — so it works both as a trailing comment and as a standalone
+// comment above the offending statement.
+const allowPrefix = "//lint:allow"
+
+type allowDirective struct {
+	line   int
+	check  string
+	reason string
+	pos    token.Pos
+}
+
+// parseAllows extracts suppression directives from a parsed file. Known
+// analyzer names are passed in so malformed or unknown directives can be
+// reported: an unexplained exemption is itself a determinism-contract
+// violation.
+func parseAllows(f *File, fset *token.FileSet, known map[string]bool, report ReportFunc) {
+	for _, cg := range f.AST.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, allowPrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, allowPrefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. "//lint:allowfoo" is not a directive
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				report(c.Pos(), "malformed %s directive: missing check name", allowPrefix)
+				continue
+			}
+			check := fields[0]
+			if check != "all" && !known[check] {
+				report(c.Pos(), "%s names unknown check %q", allowPrefix, check)
+				continue
+			}
+			reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), check))
+			if reason == "" {
+				report(c.Pos(), "%s %s directive needs a reason", allowPrefix, check)
+				continue
+			}
+			f.allows = append(f.allows, allowDirective{
+				line:   fset.Position(c.Pos()).Line,
+				check:  check,
+				reason: reason,
+				pos:    c.Pos(),
+			})
+		}
+	}
+}
+
+// allowed reports whether a finding of check at line is suppressed by a
+// directive in f.
+func (f *File) allowed(check string, line int) bool {
+	for _, a := range f.allows {
+		if a.check != check && a.check != "all" {
+			continue
+		}
+		if a.line == line || a.line == line-1 {
+			return true
+		}
+	}
+	return false
+}

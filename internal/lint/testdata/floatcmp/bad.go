@@ -1,0 +1,23 @@
+// Positive fixture: every line marked "want floatcmp" must fire.
+package fixture
+
+func equalParts(a, b float64) bool {
+	return a == b // want floatcmp
+}
+
+func notEqual(a, b float32) bool {
+	return a != b // want floatcmp
+}
+
+func nanIdiom(x float64) bool {
+	return x != x // want floatcmp
+}
+
+func literalCompare(xs []float64) bool {
+	return xs[0] == 1.5 // want floatcmp
+}
+
+func derivedCompare(a, b float64) bool {
+	sum := a + b
+	return sum == 0 // want floatcmp
+}

@@ -1,0 +1,12 @@
+// Negative fixture: nothing here may fire.
+package fixture
+
+import "math"
+
+func closeEnough(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+func intEqual(a, b int) bool { return a == b }
+
+func strEqual(a, b string) bool { return a == b }
+
+func ordered(a, b float64) bool { return a < b }

@@ -1,0 +1,4 @@
+// Test files are exempt: exact compares are legitimate in assertions.
+package fixture
+
+func exactEqualForTests(a, b float64) bool { return a == b }

@@ -1,0 +1,16 @@
+// Positive fixture: package-level math/rand draws must fire.
+package fixture
+
+import "math/rand"
+
+func roll() float64 {
+	return rand.Float64() // want globalrand
+}
+
+func pick(n int) int {
+	return rand.Intn(n) // want globalrand
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want globalrand
+}

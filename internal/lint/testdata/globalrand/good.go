@@ -1,0 +1,22 @@
+// Negative fixture: injected-generator use and constructors are legal.
+package fixture
+
+import "math/rand"
+
+func rollFrom(rng *rand.Rand) float64 {
+	return rng.Float64()
+}
+
+func newRng(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+type fakeSource struct{}
+
+func (fakeSource) Float64() float64 { return 0.5 }
+
+// A local variable named rand must not be mistaken for the package.
+func shadowed() float64 {
+	rand := fakeSource{}
+	return rand.Float64()
+}

@@ -1,0 +1,17 @@
+// Positive fixture: the annotated field is touched without the lock.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) bump() {
+	c.n++ // want mutexheld
+}
+
+func (c *counter) read() int {
+	return c.n // want mutexheld
+}

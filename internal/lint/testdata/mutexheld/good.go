@@ -1,0 +1,27 @@
+// Negative fixture: locking methods and *Locked helpers are clean.
+package fixture
+
+import "sync"
+
+type gauge struct {
+	mu sync.Mutex
+	// v is the current reading. guarded by mu.
+	v    int
+	name string // not guarded: immutable after construction
+}
+
+func (g *gauge) set(x int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.v = x
+}
+
+func (g *gauge) get() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.vLocked()
+}
+
+func (g *gauge) vLocked() int { return g.v }
+
+func (g *gauge) label() string { return g.name }

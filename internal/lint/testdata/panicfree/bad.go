@@ -1,0 +1,15 @@
+// Positive fixture: panic in plain library functions must fire.
+package fixture
+
+func parse(s string) int {
+	if s == "" {
+		panic("empty input") // want panicfree
+	}
+	return len(s)
+}
+
+func viaClosure(xs []int) func() {
+	return func() {
+		panic("from closure") // want panicfree
+	}
+}

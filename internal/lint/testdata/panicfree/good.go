@@ -1,0 +1,22 @@
+// Negative fixture: init and Must* keep their conventional panics.
+package fixture
+
+func MustParse(s string) int {
+	if s == "" {
+		panic("empty input")
+	}
+	return len(s)
+}
+
+func mustPositive(x int) int {
+	if x <= 0 {
+		panic("not positive")
+	}
+	return x
+}
+
+func init() {
+	if false {
+		panic("unreachable")
+	}
+}

@@ -1,0 +1,20 @@
+// Suppression fixture: valid directives silence findings; malformed
+// directives are findings themselves (and silence nothing).
+package fixture
+
+func sentinel(a, b float64) bool {
+	//lint:allow floatcmp zero is an exact sentinel in this fixture
+	if a == 0 {
+		return true
+	}
+	return a == b //lint:allow floatcmp fixture exercises same-line suppression
+}
+
+func unreasoned(a float64) bool {
+	return a == 1 //lint:allow floatcmp
+}
+
+func unknownCheck(a float64) bool {
+	//lint:allow nosuchcheck because the check name is misspelled
+	return a == 2
+}

@@ -1,0 +1,20 @@
+// Positive fixture: wall-clock reads in library code must fire.
+package fixture
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // want walltime
+}
+
+func pause() {
+	time.Sleep(time.Millisecond) // want walltime
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want walltime
+}
+
+func poll() <-chan time.Time {
+	return time.After(time.Second) // want walltime
+}

@@ -1,0 +1,11 @@
+// Negative fixture: Duration arithmetic and constants never touch the
+// host clock.
+package fixture
+
+import "time"
+
+const tick = 4 * time.Millisecond
+
+func horizon(d time.Duration) time.Duration { return d + tick }
+
+func seconds(d time.Duration) float64 { return d.Seconds() }

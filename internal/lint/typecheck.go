@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// typeInfo wraps the subset of go/types results the analyzers consume.
+type typeInfo struct {
+	types map[ast.Expr]types.TypeAndValue
+}
+
+// TypeOf returns the type of e, or nil when type checking could not
+// determine one (lenient checking never guarantees full coverage).
+func (ti *typeInfo) TypeOf(e ast.Expr) types.Type {
+	if ti == nil {
+		return nil
+	}
+	if tv, ok := ti.types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// moduleImporter resolves imports for type checking: paths inside the
+// module are type-checked from source in the repository tree; everything
+// else (the standard library) is delegated to the compiler's source
+// importer. All results are cached, so the expensive standard-library
+// pass is paid once per Runner, not once per package.
+type moduleImporter struct {
+	modPath string
+	modRoot string
+	fset    *token.FileSet
+	std     types.Importer
+	cache   map[string]*types.Package
+}
+
+func newModuleImporter(modPath, modRoot string, fset *token.FileSet) *moduleImporter {
+	return &moduleImporter{
+		modPath: modPath,
+		modRoot: modRoot,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		cache:   map[string]*types.Package{},
+	}
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.cache[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("lint: import cycle or failed import %q", path)
+		}
+		return p, nil
+	}
+	if path == m.modPath || strings.HasPrefix(path, m.modPath+"/") {
+		dir := filepath.Join(m.modRoot, filepath.FromSlash(strings.TrimPrefix(path, m.modPath)))
+		m.cache[path] = nil // cycle guard
+		p, err := m.checkDir(path, dir, nil)
+		m.cache[path] = p
+		return p, err
+	}
+	p, err := m.std.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	m.cache[path] = p
+	return p, nil
+}
+
+// checkDir parses and type-checks the non-test files of the package in
+// dir. Type errors are ignored: analysis must degrade gracefully on
+// code that is mid-refactor, and the analyzers treat unknown types as
+// "not my concern". When info is non-nil, expression types are recorded
+// into it.
+func (m *moduleImporter) checkDir(path, dir string, info *types.Info) (*types.Package, error) {
+	pkgs, err := parser.ParseDir(m.fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	for _, pkg := range pkgs {
+		files := make([]*ast.File, 0, len(pkg.Files))
+		for _, f := range pkg.Files {
+			files = append(files, f)
+		}
+		conf := types.Config{Importer: m, Error: func(error) {}}
+		p, _ := conf.Check(path, m.fset, files, info)
+		return p, nil
+	}
+	return nil, fmt.Errorf("lint: no buildable package in %s", dir)
+}
+
+// typeCheck records best-effort expression types for the already-parsed
+// non-test files of pkg.
+func (m *moduleImporter) typeCheck(pkg *Package) {
+	files := make([]*ast.File, 0, len(pkg.Files))
+	for _, f := range pkg.Files {
+		if !f.IsTest {
+			files = append(files, f.AST)
+		}
+	}
+	if len(files) == 0 {
+		return
+	}
+	info := &types.Info{Types: map[ast.Expr]types.TypeAndValue{}}
+	conf := types.Config{Importer: m, Error: func(error) {}}
+	p, _ := conf.Check(pkg.ImportPath, pkg.Fset, files, info)
+	if p != nil {
+		m.cache[pkg.ImportPath] = p
+	}
+	pkg.TypesInfo = &typeInfo{types: info.Types}
+}

@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// WallTime forbids wall-clock reads and sleeps in internal/ library
+// code. Simulation time advances through the fixed-step scheduler; any
+// dependence on the host clock makes replays, CI runs, and the paper's
+// campaign figures depend on machine load. Wall time belongs in cmd/
+// entry points and tests only.
+type WallTime struct{}
+
+func (WallTime) Name() string { return "walltime" }
+func (WallTime) Doc() string {
+	return "forbid time.Now/Since/Sleep (and timer constructors) in internal/; use sim time"
+}
+
+// wallFuncs are the time-package functions that couple code to the host
+// clock or scheduler. time.Duration arithmetic and constants stay legal.
+var wallFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTicker": true, "NewTimer": true,
+}
+
+func (WallTime) Visitor(pkg *Package, f *File, report ReportFunc) VisitFunc {
+	if f.IsTest || !pkg.Internal {
+		return nil
+	}
+	return func(n ast.Node, _ []ast.Node) {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Obj != nil {
+			return
+		}
+		if f.Imports[id.Name] != "time" || !wallFuncs[sel.Sel.Name] {
+			return
+		}
+		report(sel.Pos(), "%s.%s reads the wall clock; simulation code must take time "+
+			"from the scheduler so replays stay deterministic", id.Name, sel.Sel.Name)
+	}
+}

@@ -1,0 +1,12 @@
+package mathx
+
+import "math"
+
+// ApproxEqual reports whether a and b agree to within tol (absolute
+// difference). It is the tolerance compare the floatcmp analyzer points
+// to: accumulated floating-point state must never be compared with ==,
+// whose result flips with any reordering of arithmetic. NaN never
+// compares equal to anything, matching IEEE semantics.
+func ApproxEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}

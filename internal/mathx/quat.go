@@ -20,6 +20,7 @@ func QuatIdentity() Quat { return Quat{W: 1} }
 // axis. The axis need not be normalized; a zero axis yields the identity.
 func QuatFromAxisAngle(axis Vec3, angle float64) Quat {
 	n := axis.Norm()
+	//lint:allow floatcmp exact zero-norm guard before dividing by the norm
 	if n == 0 {
 		return QuatIdentity()
 	}
@@ -118,6 +119,7 @@ func (q Quat) Norm() float64 {
 // identity, so downstream rotation code never sees an invalid rotation.
 func (q Quat) Normalized() Quat {
 	n := q.Norm()
+	//lint:allow floatcmp exact zero-norm guard before dividing by the norm
 	if n == 0 || math.IsNaN(n) || math.IsInf(n, 0) {
 		return QuatIdentity()
 	}

@@ -58,6 +58,7 @@ func (v Vec3) NormSq() float64 { return v.Dot(v) }
 // unchanged (there is no meaningful direction to preserve).
 func (v Vec3) Normalized() Vec3 {
 	n := v.Norm()
+	//lint:allow floatcmp exact zero-norm guard before dividing by the norm
 	if n == 0 {
 		return v
 	}

@@ -130,6 +130,7 @@ func (m Mission) CrossTrackDistance(p mathx.Vec3) float64 {
 func distToSegment(p, a, b mathx.Vec3) float64 {
 	ab := b.Sub(a)
 	denom := ab.NormSq()
+	//lint:allow floatcmp exact zero guard for degenerate (zero-length) segments
 	if denom == 0 {
 		return p.Dist(a)
 	}

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"uavres/internal/core"
+	"uavres/internal/mathx"
 )
 
 // Row mirrors one table row as published.
@@ -108,7 +109,9 @@ func Compare(results []core.CaseResult) []Check {
 	add("gold runs complete with zero violations",
 		"100% completed, 0 violations",
 		fmt.Sprintf("%.1f%% completed, %.2f/%.2f violations", gold.CompletedPct, gold.InnerViolations, gold.OuterViolations),
-		gold.CompletedPct == 100 && gold.InnerViolations == 0 && gold.OuterViolations == 0)
+		mathx.ApproxEqual(gold.CompletedPct, 100, 1e-9) &&
+			mathx.ApproxEqual(gold.InnerViolations, 0, 1e-9) &&
+			mathx.ApproxEqual(gold.OuterViolations, 0, 1e-9))
 
 	// Completion declines monotonically with duration.
 	if len(byDur) == 4 {
@@ -195,7 +198,7 @@ func Compare(results []core.CaseResult) []Check {
 		add("Gyro Min never completes",
 			"0%",
 			fmt.Sprintf("%.1f%%", gmin.CompletedPct),
-			gmin.CompletedPct == 0)
+			mathx.ApproxEqual(gmin.CompletedPct, 0, 1e-9))
 	}
 	// IMU Min and Freeze: total failure even at 2 s.
 	for _, label := range []string{"IMU Min", "IMU Freeze"} {
@@ -203,7 +206,7 @@ func Compare(results []core.CaseResult) []Check {
 			add(label+" is a complete mission failure",
 				"0%",
 				fmt.Sprintf("%.1f%%", row.CompletedPct),
-				row.CompletedPct == 0)
+				mathx.ApproxEqual(row.CompletedPct, 0, 1e-9))
 		}
 	}
 	// Failed-run mean durations: severe faults end flights early.

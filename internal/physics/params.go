@@ -7,6 +7,7 @@ package physics
 
 import (
 	"fmt"
+	"math"
 
 	"uavres/internal/mathx"
 )
@@ -109,7 +110,7 @@ func (s State) IsFinite() bool {
 		return false
 	}
 	for _, r := range s.Rotor {
-		if r != r { // NaN check
+		if math.IsNaN(r) {
 			return false
 		}
 	}

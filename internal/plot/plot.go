@@ -89,9 +89,11 @@ func (c Chart) WriteSVG(w io.Writer) error {
 	if minX > maxX || minY > maxY {
 		return fmt.Errorf("plot: no plottable data")
 	}
+	//lint:allow floatcmp exact guard: only a truly degenerate range breaks the scale
 	if maxX == minX {
 		maxX = minX + 1
 	}
+	//lint:allow floatcmp exact guard: only a truly degenerate range breaks the scale
 	if maxY == minY {
 		maxY = minY + 1
 	}

@@ -134,6 +134,7 @@ func (r *RedundantIMUs) Sample(t float64, trueAccel, trueGyro mathx.Vec3) IMUSam
 func (r *RedundantIMUs) Unit(i int) *IMU { return r.units[i] }
 
 func randVec(rng *rand.Rand, std float64) mathx.Vec3 {
+	//lint:allow floatcmp zero is the exact noise-disabled sentinel, never a computed value
 	if std == 0 {
 		return mathx.Zero3
 	}

@@ -27,6 +27,8 @@ type guidance struct {
 
 	climbRate   float64
 	descendRate float64
+	// landedSince is the sim time touchdown was first seen, or -1 while
+	// airborne (0 is a valid timestamp, so it cannot be the sentinel).
 	landedSince float64
 	reached     int
 	holdYaw     float64
@@ -39,6 +41,7 @@ func newGuidance(m mission.Mission) *guidance {
 		phase:       phaseTakeoff,
 		climbRate:   1.5,
 		descendRate: 1.0,
+		landedSince: -1,
 	}
 }
 
@@ -128,13 +131,13 @@ func (g *guidance) update(t float64, estPos mathx.Vec3, estSpeed float64, onGrou
 		// touchdown; ground contact, not the position loop, ends it.
 		target := mathx.V3(last.X, last.Y, 3.0)
 		if onGroundTruth && estSpeed < 0.5 {
-			if g.landedSince == 0 {
+			if g.landedSince < 0 {
 				g.landedSince = t
 			} else if t-g.landedSince > 1.0 {
 				g.phase = phaseDone
 			}
 		} else {
-			g.landedSince = 0
+			g.landedSince = -1
 		}
 		return control.Setpoint{
 			Pos: target, Yaw: g.legYaw(estPos),

@@ -56,6 +56,7 @@ type Config struct {
 }
 
 func (c Config) defaults() Config {
+	//lint:allow floatcmp zero-value detection of an unset config, never a computed value
 	if c.Base.PhysicsDt == 0 {
 		c.Base = sim.DefaultConfig()
 	}

@@ -23,13 +23,17 @@ type Broker struct {
 	ln net.Listener
 
 	mu     sync.Mutex
-	subs   map[int]*subscriber
-	nextID int
-	closed bool
+	subs   map[int]*subscriber // guarded by mu
+	nextID int                 // guarded by mu
+	closed bool                // guarded by mu
+
+	// statsCh is closed and replaced whenever a counter changes, waking
+	// WaitStats callers. guarded by mu.
+	statsCh chan struct{}
 
 	wg sync.WaitGroup
 
-	// Stats counters (read via Stats).
+	// Stats counters (read via Stats). guarded by mu.
 	framesIn   int
 	framesOut  int
 	dropped    int
@@ -56,7 +60,7 @@ func NewBroker(addr string) (*Broker, error) {
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: broker listen: %w", err)
 	}
-	b := &Broker{ln: ln, subs: map[int]*subscriber{}}
+	b := &Broker{ln: ln, subs: map[int]*subscriber{}, statsCh: make(chan struct{})}
 	b.wg.Add(1)
 	go b.acceptLoop()
 	return b, nil
@@ -69,12 +73,40 @@ func (b *Broker) Addr() string { return b.ln.Addr().String() }
 func (b *Broker) Stats() BrokerStats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	return b.statsLocked()
+}
+
+func (b *Broker) statsLocked() BrokerStats {
 	return BrokerStats{
 		FramesIn:    b.framesIn,
 		FramesOut:   b.framesOut,
 		Dropped:     b.dropped,
 		Subscribers: len(b.subs),
 		Publishers:  b.publishers,
+	}
+}
+
+// notifyLocked wakes every WaitStats caller after a counter change.
+func (b *Broker) notifyLocked() {
+	close(b.statsCh)
+	b.statsCh = make(chan struct{})
+}
+
+// WaitStats blocks until pred accepts a stats snapshot. It wakes on
+// every counter change rather than polling, so callers (tests above all)
+// synchronize on broker state without any timing assumptions. If the
+// condition can never become true the call blocks forever — pair it with
+// the test binary's deadline rather than a local timeout.
+func (b *Broker) WaitStats(pred func(BrokerStats) bool) {
+	for {
+		b.mu.Lock()
+		st := b.statsLocked()
+		ch := b.statsCh
+		b.mu.Unlock()
+		if pred(st) {
+			return
+		}
+		<-ch
 	}
 }
 
@@ -90,6 +122,7 @@ func (b *Broker) Close() error {
 		close(s.ch)
 		delete(b.subs, id)
 	}
+	b.notifyLocked()
 	b.mu.Unlock()
 	err := b.ln.Close()
 	b.wg.Wait()
@@ -127,10 +160,12 @@ func (b *Broker) handle(conn net.Conn) {
 func (b *Broker) handlePublisher(conn net.Conn) {
 	b.mu.Lock()
 	b.publishers++
+	b.notifyLocked()
 	b.mu.Unlock()
 	defer func() {
 		b.mu.Lock()
 		b.publishers--
+		b.notifyLocked()
 		b.mu.Unlock()
 	}()
 
@@ -166,6 +201,7 @@ func (b *Broker) fanOut(raw []byte) {
 			delete(b.subs, id)
 		}
 	}
+	b.notifyLocked()
 }
 
 func (b *Broker) handleSubscriber(conn net.Conn) {
@@ -178,6 +214,7 @@ func (b *Broker) handleSubscriber(conn net.Conn) {
 	id := b.nextID
 	b.nextID++
 	b.subs[id] = s
+	b.notifyLocked()
 	b.mu.Unlock()
 
 	defer func() {
@@ -185,6 +222,7 @@ func (b *Broker) handleSubscriber(conn net.Conn) {
 		if cur, stillThere := b.subs[id]; stillThere && cur == s {
 			close(s.ch)
 			delete(b.subs, id)
+			b.notifyLocked()
 		}
 		b.mu.Unlock()
 	}()
@@ -206,9 +244,9 @@ func (b *Broker) handleSubscriber(conn net.Conn) {
 // Publisher is a client-side frame publisher.
 type Publisher struct {
 	conn net.Conn
-	w    *bufio.Writer
 	mu   sync.Mutex
-	seq  uint8
+	w    *bufio.Writer // guarded by mu
+	seq  uint8         // guarded by mu
 }
 
 // NewPublisher connects to a broker as a publisher.

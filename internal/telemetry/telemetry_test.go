@@ -6,7 +6,6 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
-	"time"
 )
 
 func TestFrameEncodeDecodeRoundTrip(t *testing.T) {
@@ -190,7 +189,7 @@ func TestBrokerEndToEnd(t *testing.T) {
 	defer pub.Close()
 
 	// Give the broker a moment to register the subscriber.
-	waitFor(t, func() bool { return b.Stats().Subscribers == 1 })
+	b.WaitStats(func(st BrokerStats) bool { return st.Subscribers == 1 })
 
 	want := Position{TimeSec: 42, X: 1, Y: 2, Z: -15}
 	f, err := EncodePosition(0, 9, want)
@@ -230,7 +229,7 @@ func TestBrokerMultipleSubscribers(t *testing.T) {
 		defer s.Close()
 		subs[i] = s
 	}
-	waitFor(t, func() bool { return b.Stats().Subscribers == 3 })
+	b.WaitStats(func(st BrokerStats) bool { return st.Subscribers == 3 })
 
 	pub, err := NewPublisher(b.Addr())
 	if err != nil {
@@ -267,7 +266,7 @@ func TestBrokerSequenceStamping(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sub.Close()
-	waitFor(t, func() bool { return b.Stats().Subscribers == 1 })
+	b.WaitStats(func(st BrokerStats) bool { return st.Subscribers == 1 })
 
 	pub, err := NewPublisher(b.Addr())
 	if err != nil {
@@ -306,14 +305,14 @@ func TestBrokerDisconnectedPublisherOnCorruptStream(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer pub.Close()
-	waitFor(t, func() bool { return b.Stats().Publishers == 1 })
+	b.WaitStats(func(st BrokerStats) bool { return st.Publishers == 1 })
 
 	// Inject a full header of garbage directly: the broker must drop the
 	// connection on the bad magic byte.
 	if _, err := pub.conn.Write([]byte{0x00, 0x01, 0x02, 0x03, 0x04}); err != nil {
 		t.Fatal(err)
 	}
-	waitFor(t, func() bool { return b.Stats().Publishers == 0 })
+	b.WaitStats(func(st BrokerStats) bool { return st.Publishers == 0 })
 }
 
 func TestBrokerCloseIdempotent(t *testing.T) {
@@ -327,16 +326,4 @@ func TestBrokerCloseIdempotent(t *testing.T) {
 	if err := b.Close(); err != nil {
 		t.Errorf("second close: %v", err)
 	}
-}
-
-func waitFor(t *testing.T, cond func() bool) {
-	t.Helper()
-	deadline := time.Now().Add(3 * time.Second)
-	for time.Now().Before(deadline) {
-		if cond() {
-			return
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	t.Fatal("condition not met within deadline")
 }

@@ -54,11 +54,11 @@ type Conflict struct {
 // goroutines.
 type Tracker struct {
 	mu     sync.Mutex
-	drones map[uint8]*DroneState
+	drones map[uint8]*DroneState // guarded by mu
 	// conflicts accumulates detected infringements (deduplicated per
-	// pair per tracking second).
+	// pair per tracking second). guarded by mu.
 	conflicts []Conflict
-	lastPair  map[[2]uint8]float64
+	lastPair  map[[2]uint8]float64 // guarded by mu
 }
 
 // NewTracker returns an empty tracking service.
@@ -73,19 +73,19 @@ func NewTracker() *Tracker {
 func (tr *Tracker) ReportPosition(sysID uint8, timeSec float64, pos, vel mathx.Vec3) {
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
-	d := tr.drone(sysID)
+	d := tr.droneLocked(sysID)
 	d.TimeSec = timeSec
 	d.Pos = pos
 	d.Vel = vel
 	d.HasPosition = true
-	tr.checkSeparation(d)
+	tr.checkSeparationLocked(d)
 }
 
 // ReportBubble ingests a bubble status report.
 func (tr *Tracker) ReportBubble(sysID uint8, timeSec float64, innerR, outerR float64, innerViolated, outerViolated bool) {
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
-	d := tr.drone(sysID)
+	d := tr.droneLocked(sysID)
 	d.TimeSec = timeSec
 	d.InnerRadius = innerR
 	d.OuterRadius = outerR
@@ -97,7 +97,7 @@ func (tr *Tracker) ReportBubble(sysID uint8, timeSec float64, innerR, outerR flo
 	}
 }
 
-func (tr *Tracker) drone(sysID uint8) *DroneState {
+func (tr *Tracker) droneLocked(sysID uint8) *DroneState {
 	d, exists := tr.drones[sysID]
 	if !exists {
 		d = &DroneState{SysID: sysID}
@@ -106,9 +106,9 @@ func (tr *Tracker) drone(sysID uint8) *DroneState {
 	return d
 }
 
-// checkSeparation evaluates the moved drone against every other tracked
-// drone. Caller holds the lock.
-func (tr *Tracker) checkSeparation(moved *DroneState) {
+// checkSeparationLocked evaluates the moved drone against every other
+// tracked drone. The caller holds tr.mu, as the name demands.
+func (tr *Tracker) checkSeparationLocked(moved *DroneState) {
 	for _, other := range tr.drones {
 		if other.SysID == moved.SysID || !other.HasPosition {
 			continue

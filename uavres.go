@@ -194,6 +194,7 @@ func PlanCampaign(opts CampaignOptions) []Case {
 // CaseResult.Err without aborting the sweep.
 func RunCampaign(ctx context.Context, opts CampaignOptions) []CaseResult {
 	runner := core.NewRunner()
+	//lint:allow floatcmp zero-value detection of an unset config, never a computed value
 	if opts.Config.PhysicsDt != 0 {
 		runner.Config = opts.Config
 	}
