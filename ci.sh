@@ -1,11 +1,14 @@
 #!/usr/bin/env sh
-# Full CI gate: build, vet, simulation-aware lint, tests, and the race
+# Full CI gate: build, vet, simulation-aware lint, tests, the race
 # detector over the concurrent packages (broker, sweep shards, tracker,
-# campaign runner). Any failure fails the gate.
+# campaign runner), and a one-iteration micro-benchmark smoke (the hot
+# paths must at least still run; scripts/bench.sh measures them). Any
+# failure fails the gate.
 set -eux
 
 go build ./...
 go vet ./...
 go run ./cmd/uavlint ./...
 go test ./...
-go test -race ./internal/telemetry/ ./internal/sweep/ ./internal/uspace/ ./internal/core/
+go test -race ./internal/telemetry/ ./internal/sweep/ ./internal/uspace/ ./internal/core/ ./internal/sim/
+go test -run XXX -bench Micro -benchtime=1x -benchmem .

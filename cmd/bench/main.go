@@ -1,0 +1,232 @@
+// Command bench measures the simulator's performance envelope and writes
+// a machine-readable BENCH_<date>.json: hot-path micro-benchmarks (ns/op,
+// allocs/op via testing.Benchmark) plus a timed campaign slice executed
+// twice — straight through ("cold") and with checkpoint-and-fork — to
+// report the end-to-end speedup prefix sharing buys.
+//
+// Usage:
+//
+//	bench [-missions N] [-workers N] [-out BENCH_2026-08-06.json]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"uavres/internal/core"
+	"uavres/internal/ekf"
+	"uavres/internal/mathx"
+	"uavres/internal/mission"
+	"uavres/internal/physics"
+	"uavres/internal/sensors"
+	"uavres/internal/sim"
+)
+
+// MicroResult is one micro-benchmark's outcome.
+type MicroResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// CampaignResult compares straight-through and checkpointed execution of
+// the same campaign slice.
+type CampaignResult struct {
+	Cases         int     `json:"cases"`
+	Missions      int     `json:"missions"`
+	Workers       int     `json:"workers"`
+	ColdSec       float64 `json:"cold_sec"`
+	CheckpointSec float64 `json:"checkpoint_sec"`
+	Speedup       float64 `json:"speedup"`
+	// OutcomesMatch confirms both modes produced identical outcomes and
+	// durations case-for-case (the fork-correctness bar, re-checked on
+	// the real workload).
+	OutcomesMatch bool `json:"outcomes_match"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	Date      string         `json:"date"`
+	GoVersion string         `json:"go_version"`
+	NumCPU    int            `json:"num_cpu"`
+	Micro     []MicroResult  `json:"micro"`
+	Campaign  CampaignResult `json:"campaign"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		missions = flag.Int("missions", 2, "campaign slice size in missions (1-10; 10 = the paper's full 850 cases)")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		out      = flag.String("out", "", "output path (default BENCH_<date>.json)")
+	)
+	flag.Parse()
+	if *missions < 1 {
+		*missions = 1
+	}
+	if *missions > 10 {
+		*missions = 10
+	}
+
+	rep := Report{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+	}
+
+	fmt.Println("bench: micro-benchmarks")
+	rep.Micro = microBenchmarks()
+	for _, m := range rep.Micro {
+		fmt.Printf("  %-28s %12.0f ns/op %6d B/op %4d allocs/op\n",
+			m.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+	}
+
+	fmt.Printf("bench: campaign slice (%d missions)\n", *missions)
+	camp, err := campaignSlice(*missions, *workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 1
+	}
+	rep.Campaign = camp
+	fmt.Printf("  %d cases: cold %.1fs, checkpointed %.1fs -> %.2fx speedup (outcomes match: %v)\n",
+		camp.Cases, camp.ColdSec, camp.CheckpointSec, camp.Speedup, camp.OutcomesMatch)
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + rep.Date + ".json"
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 1
+	}
+	fmt.Printf("report written to %s\n", path)
+	return 0
+}
+
+// microBenchmarks runs the hot-path benchmarks in-process. They mirror
+// the BenchmarkMicro* functions in the repository's bench_test.go.
+func microBenchmarks() []MicroResult {
+	out := []MicroResult{}
+	add := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		out = append(out, MicroResult{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+
+	add("EKFPredict", func(b *testing.B) {
+		f := ekf.New(ekf.DefaultConfig())
+		s := sensors.IMUSample{Accel: mathx.V3(0, 0, -physics.Gravity)}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.T = float64(i) * 0.004
+			f.Predict(s, 0.004)
+		}
+	})
+	add("PhysicsStep", func(b *testing.B) {
+		body, err := physics.NewBody(physics.DefaultParams(), physics.CalmWind())
+		if err != nil {
+			b.Fatal(err)
+		}
+		hover := physics.DefaultParams().HoverThrustFraction()
+		body.SetMotorCommands([4]float64{hover, hover, hover, hover})
+		st := body.State()
+		st.Pos.Z = -20
+		body.SetState(st)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			body.Step(0.002)
+		}
+	})
+	add("SimTenSeconds", func(b *testing.B) {
+		cfg := sim.DefaultConfig()
+		cfg.MaxSimTime = 10 // cannot finish in 10 s: fixed work per iter
+		m := mission.Valencia()[0]
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(cfg, m, nil, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return out
+}
+
+// campaignSlice times the first N missions' cases straight through and
+// with checkpoint-and-fork, verifying the two produce identical results.
+func campaignSlice(missions, workers int) (CampaignResult, error) {
+	scenario := mission.Valencia()[:missions]
+	cases := core.Plan(scenario, 1)
+
+	runMode := func(checkpoint bool) ([]core.CaseResult, float64, error) {
+		r := core.NewRunner()
+		r.Missions = scenario
+		r.Workers = workers
+		r.Checkpoint = checkpoint
+		t0 := time.Now()
+		results := r.RunAll(context.Background(), cases)
+		elapsed := time.Since(t0).Seconds()
+		for _, cr := range results {
+			if cr.Err != "" {
+				return nil, 0, fmt.Errorf("case %s: %s", cr.Case.ID, cr.Err)
+			}
+		}
+		return results, elapsed, nil
+	}
+
+	cold, coldSec, err := runMode(false)
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	forked, cpSec, err := runMode(true)
+	if err != nil {
+		return CampaignResult{}, err
+	}
+
+	match := len(cold) == len(forked)
+	for i := 0; match && i < len(cold); i++ {
+		a, b := cold[i].Result, forked[i].Result
+		//lint:allow floatcmp forked runs must be BIT-identical to cold runs, not approximately equal
+		durEq := a.FlightDurationSec == b.FlightDurationSec
+		//lint:allow floatcmp forked runs must be BIT-identical to cold runs, not approximately equal
+		distEq := a.DistanceKm == b.DistanceKm
+		match = a.Outcome == b.Outcome && durEq && distEq &&
+			a.InnerViolations == b.InnerViolations &&
+			a.OuterViolations == b.OuterViolations
+	}
+
+	res := CampaignResult{
+		Cases:         len(cases),
+		Missions:      missions,
+		Workers:       workers,
+		ColdSec:       coldSec,
+		CheckpointSec: cpSec,
+		OutcomesMatch: match,
+	}
+	if cpSec > 0 {
+		res.Speedup = coldSec / cpSec
+	}
+	return res, nil
+}

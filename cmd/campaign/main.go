@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	campaign [-workers N] [-seed S] [-out results.json] [-subset mNN]
+//	campaign [-workers N] [-seed S] [-out results.json] [-subset mNN] [-checkpoint=false]
 //	campaign -print-faultmodel
 package main
 
@@ -33,6 +33,7 @@ func run() int {
 		seed       = flag.Int64("seed", 1, "campaign base seed")
 		out        = flag.String("out", "campaign_results.json", "JSON results output path (empty = skip)")
 		subset     = flag.String("subset", "", "only run cases whose ID contains this substring (e.g. \"m04\" or \"gyro\")")
+		checkpoint = flag.Bool("checkpoint", true, "share pre-injection prefixes between cases (checkpoint-and-fork; false = simulate every case straight through)")
 		scope      = flag.String("scope", "all", "fault scope: all (paper assumption: every redundant IMU) | primary (unit 0 only — redundancy ablation)")
 		faultmodel = flag.Bool("print-faultmodel", false, "print Table I (the fault model) and exit")
 		quiet      = flag.Bool("q", false, "suppress progress output")
@@ -75,6 +76,7 @@ func run() int {
 
 	runner := core.NewRunner()
 	runner.Workers = *workers
+	runner.Checkpoint = *checkpoint
 	if !*quiet {
 		start := time.Now()
 		runner.Progress = func(done, total int) {

@@ -134,6 +134,11 @@ func NewTracker(m mission.Mission, riskR, interval float64) (*Tracker, error) {
 // InnerRadius returns the mission's static inner bubble radius.
 func (tr *Tracker) InnerRadius() float64 { return tr.inner }
 
+// Due reports whether a tracking instant is due at sim time t without
+// advancing the tracking clock (Observe advances it). The sim loop uses it
+// to skip preparing observation inputs between tracking instants.
+func (tr *Tracker) Due(t float64) bool { return t+1e-9 >= tr.next }
+
 // Observe feeds the drone's estimated position and airspeed at sim time t.
 // It samples at the tracking cadence and returns the sample when one was
 // taken (ok=false between tracking instants).
@@ -183,3 +188,45 @@ func (tr *Tracker) Samples() int { return tr.samples }
 
 // Last returns the most recent sample (zero value before the first).
 func (tr *Tracker) Last() Sample { return tr.lastSample }
+
+// TrackerSnapshot captures the tracker's complete dynamic state, including
+// the outer-bubble calculator (checkpointing).
+type TrackerSnapshot struct {
+	next       float64
+	prevPos    mathx.Vec3
+	havePrev   bool
+	innerViol  int
+	outerViol  int
+	samples    int
+	lastSample Sample
+	outer      Outer
+}
+
+// Snapshot captures the tracking clock, violation counts, and the dynamic
+// outer-bubble state.
+func (tr *Tracker) Snapshot() TrackerSnapshot {
+	return TrackerSnapshot{
+		next:       tr.next,
+		prevPos:    tr.prevPos,
+		havePrev:   tr.havePrev,
+		innerViol:  tr.innerViol,
+		outerViol:  tr.outerViol,
+		samples:    tr.samples,
+		lastSample: tr.lastSample,
+		outer:      *tr.outer,
+	}
+}
+
+// Restore reinstates a state captured with Snapshot. The tracker must wrap
+// the same mission and tracking interval as the snapshot source.
+func (tr *Tracker) Restore(s TrackerSnapshot) {
+	tr.next = s.next
+	tr.prevPos = s.prevPos
+	tr.havePrev = s.havePrev
+	tr.innerViol = s.innerViol
+	tr.outerViol = s.outerViol
+	tr.samples = s.samples
+	tr.lastSample = s.lastSample
+	outer := s.outer
+	tr.outer = &outer
+}

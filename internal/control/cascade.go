@@ -120,6 +120,24 @@ func (c *Controller) Reset() {
 	c.ratePID.Reset()
 }
 
+// ControllerSnapshot captures the cascade's dynamic state: the velocity
+// and rate loop integrators and derivative filters (checkpointing).
+type ControllerSnapshot struct {
+	vel  PID3State
+	rate PID3State
+}
+
+// Snapshot captures both PID loops.
+func (c *Controller) Snapshot() ControllerSnapshot {
+	return ControllerSnapshot{vel: c.velPID.Snapshot(), rate: c.ratePID.Snapshot()}
+}
+
+// Restore reinstates a state captured with Snapshot.
+func (c *Controller) Restore(s ControllerSnapshot) {
+	c.velPID.Restore(s.vel)
+	c.ratePID.Restore(s.rate)
+}
+
 // Update runs one full cascade cycle and returns normalized motor
 // commands. est comes from the EKF; gyroRaw is the raw (possibly
 // fault-corrupted) gyro stream feeding the innermost loop.

@@ -57,6 +57,23 @@ func (c *PID) Reset() {
 // Integral returns the current integral contribution (diagnostics).
 func (c *PID) Integral() float64 { return c.integral }
 
+// PIDState is the snapshot-able dynamic state of one PID loop.
+type PIDState struct {
+	Integral float64
+	Deriv    mathx.DerivativeState
+}
+
+// Snapshot captures the integral and derivative-filter state.
+func (c *PID) Snapshot() PIDState {
+	return PIDState{Integral: c.integral, Deriv: c.deriv.Snapshot()}
+}
+
+// Restore reinstates a state captured with Snapshot.
+func (c *PID) Restore(s PIDState) {
+	c.integral = s.Integral
+	c.deriv.Restore(s.Deriv)
+}
+
 // PID3 applies three independent PID controllers to a vector error.
 type PID3 struct {
 	x, y, z *PID
@@ -86,4 +103,21 @@ func (c *PID3) Reset() {
 	c.x.Reset()
 	c.y.Reset()
 	c.z.Reset()
+}
+
+// PID3State is the snapshot-able dynamic state of a vector PID.
+type PID3State struct {
+	X, Y, Z PIDState
+}
+
+// Snapshot captures all three axes.
+func (c *PID3) Snapshot() PID3State {
+	return PID3State{X: c.x.Snapshot(), Y: c.y.Snapshot(), Z: c.z.Snapshot()}
+}
+
+// Restore reinstates a state captured with Snapshot.
+func (c *PID3) Restore(s PID3State) {
+	c.x.Restore(s.X)
+	c.y.Restore(s.Y)
+	c.z.Restore(s.Z)
 }

@@ -39,14 +39,22 @@ type Case struct {
 // primitive (21 injection types), every duration — 840 faulty cases —
 // plus one gold case per mission: 850 total, matching the paper's count.
 // baseSeed makes the whole campaign reproducible.
+//
+// Every case of one mission shares one environment seed: the paper's
+// experiment varies the FAULT between cases, not the weather, and the
+// shared seed is what lets the runner simulate the common 90-second
+// pre-injection prefix once per mission and fork it per case
+// (checkpoint-and-fork; see Runner). Injection randomness stays per-case
+// via the injection's own seed.
 func Plan(missions []mission.Mission, baseSeed int64) []Case {
 	durations := Durations()
 	cases := make([]Case, 0, len(missions)*(len(durations)*21+1))
 	for _, m := range missions {
+		envSeed := caseSeed(baseSeed, m.ID, 0, 0, 0)
 		cases = append(cases, Case{
 			ID:        fmt.Sprintf("m%02d-gold", m.ID),
 			MissionID: m.ID,
-			Seed:      caseSeed(baseSeed, m.ID, 0, 0, 0),
+			Seed:      envSeed,
 		})
 		for _, target := range faultinject.Targets() {
 			for _, prim := range faultinject.Primitives() {
@@ -63,7 +71,7 @@ func Plan(missions []mission.Mission, baseSeed int64) []Case {
 							slug(target.String()), slug(prim.String()), int(dur.Seconds())),
 						MissionID: m.ID,
 						Injection: inj,
-						Seed:      caseSeed(baseSeed, m.ID, int(target), int(prim), int(dur.Seconds())),
+						Seed:      envSeed,
 					})
 				}
 			}

@@ -21,18 +21,28 @@ func TestPlanMatchesPaperCount(t *testing.T) {
 	}
 	var gold, faulty int
 	ids := map[string]bool{}
-	seeds := map[int64]int{}
+	missionSeed := map[int]int64{}
+	injSeeds := map[int64]int{}
 	for _, c := range cases {
 		if ids[c.ID] {
 			t.Errorf("duplicate case ID %q", c.ID)
 		}
 		ids[c.ID] = true
-		seeds[c.Seed]++
+		// Environment seeds are shared across one mission's cases (that is
+		// what makes prefixes forkable) and distinct between missions.
+		if s, ok := missionSeed[c.MissionID]; ok {
+			if c.Seed != s {
+				t.Errorf("case %s: env seed %d, mission %d uses %d", c.ID, c.Seed, c.MissionID, s)
+			}
+		} else {
+			missionSeed[c.MissionID] = c.Seed
+		}
 		if c.Injection == nil {
 			gold++
 			continue
 		}
 		faulty++
+		injSeeds[c.Injection.Seed]++
 		if err := c.Injection.Validate(); err != nil {
 			t.Errorf("case %s: invalid injection: %v", c.ID, err)
 		}
@@ -43,9 +53,17 @@ func TestPlanMatchesPaperCount(t *testing.T) {
 	if gold != 10 || faulty != 840 {
 		t.Errorf("gold=%d faulty=%d, want 10/840", gold, faulty)
 	}
-	for s, n := range seeds {
+	envSeeds := map[int64]bool{}
+	for _, s := range missionSeed {
+		if envSeeds[s] {
+			t.Errorf("env seed %d shared between missions", s)
+		}
+		envSeeds[s] = true
+	}
+	// Injection randomness stays unique per case.
+	for s, n := range injSeeds {
 		if n > 1 {
-			t.Errorf("seed %d reused %d times", s, n)
+			t.Errorf("injection seed %d reused %d times", s, n)
 		}
 	}
 }
@@ -356,5 +374,59 @@ func TestSortByID(t *testing.T) {
 	SortByID(rs)
 	if rs[0].Case.ID != "a" {
 		t.Error("not sorted")
+	}
+}
+
+// TestRunnerCheckpointMatchesStraight: the checkpoint-and-fork execution
+// path must produce byte-for-byte the results of straight-through
+// execution for a group of cases sharing one environment seed.
+func TestRunnerCheckpointMatchesStraight(t *testing.T) {
+	mkCases := func() []Case {
+		var cases []Case
+		cases = append(cases, Case{ID: "gold", MissionID: 1, Seed: 21})
+		for _, p := range faultinject.Primitives() {
+			for _, target := range faultinject.Targets() {
+				cases = append(cases, Case{
+					ID: "f-" + p.String() + "-" + target.String(), MissionID: 1, Seed: 21,
+					Injection: &faultinject.Injection{
+						Primitive: p, Target: target,
+						Start: 20 * time.Second, Duration: 5 * time.Second,
+						Seed: int64(100*int(p) + int(target)),
+					},
+				})
+			}
+		}
+		return cases
+	}
+
+	run := func(checkpoint bool) []CaseResult {
+		r := NewRunner()
+		r.Missions = shortScenario()
+		r.Workers = 4
+		r.Checkpoint = checkpoint
+		return r.RunAll(context.Background(), mkCases())
+	}
+
+	straight := run(false)
+	forked := run(true)
+	if len(straight) != len(forked) {
+		t.Fatalf("result counts differ: %d vs %d", len(straight), len(forked))
+	}
+	for i := range straight {
+		s, f := straight[i], forked[i]
+		if s.Err != f.Err {
+			t.Errorf("%s: err %q vs %q", s.Case.ID, s.Err, f.Err)
+		}
+		if s.Result.Outcome != f.Result.Outcome ||
+			s.Result.FlightDurationSec != f.Result.FlightDurationSec ||
+			s.Result.DistanceKm != f.Result.DistanceKm ||
+			s.Result.InnerViolations != f.Result.InnerViolations ||
+			s.Result.OuterViolations != f.Result.OuterViolations ||
+			s.Result.WaypointsReached != f.Result.WaypointsReached ||
+			s.Result.FailsafeCause != f.Result.FailsafeCause ||
+			s.Result.CrashReason != f.Result.CrashReason {
+			t.Errorf("%s: checkpointed result differs:\n straight %+v\n forked   %+v",
+				s.Case.ID, s.Result, f.Result)
+		}
 	}
 }

@@ -6,7 +6,9 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
+	"uavres/internal/faultinject"
 	"uavres/internal/mission"
 	"uavres/internal/sim"
 )
@@ -25,11 +27,19 @@ type Runner struct {
 	// Progress, if non-nil, is called after every completed case with
 	// (done, total). Calls are serialized.
 	Progress func(done, total int)
+	// Checkpoint enables checkpoint-and-fork execution: cases sharing a
+	// mission, environment seed, injection scope, and injection start are
+	// simulated once up to the injection point, then forked per case —
+	// each fork bit-identical to a straight-through run (see
+	// sim.TestForkBitIdentical). With the paper's plan, the 84 faulty
+	// cases of each mission share one 90-second prefix. The zero-value
+	// Runner runs every case straight through.
+	Checkpoint bool
 }
 
 // NewRunner returns a runner with the default campaign configuration.
 func NewRunner() *Runner {
-	return &Runner{Config: sim.DefaultConfig()}
+	return &Runner{Config: sim.DefaultConfig(), Checkpoint: true}
 }
 
 // missionByID resolves a mission from the runner's scenario.
@@ -61,6 +71,11 @@ func (r *Runner) RunAll(ctx context.Context, cases []Case) []CaseResult {
 		workers = 1
 	}
 
+	var checkpoints map[prefixKey]*sim.Checkpoint
+	if r.Checkpoint {
+		checkpoints = r.prepareCheckpoints(ctx, cases, workers)
+	}
+
 	results := make([]CaseResult, len(cases))
 	indexCh := make(chan int)
 
@@ -75,7 +90,7 @@ func (r *Runner) RunAll(ctx context.Context, cases []Case) []CaseResult {
 		go func() {
 			defer wg.Done()
 			for idx := range indexCh {
-				results[idx] = r.runCase(cases[idx])
+				results[idx] = r.runCase(cases[idx], checkpoints[casePrefixKey(cases[idx])])
 				if progress != nil {
 					doneMu.Lock()
 					doneObs++
@@ -106,7 +121,106 @@ feed:
 	return results
 }
 
-func (r *Runner) runCase(c Case) CaseResult {
+// prefixKey identifies the cases that can share one simulated prefix:
+// identical mission, environment seed, injection scope, and injection
+// start mean identical vehicle state up to the injection point.
+type prefixKey struct {
+	missionID int
+	seed      int64
+	scope     faultinject.Scope
+	start     time.Duration
+}
+
+// casePrefixKey returns the case's sharing key, or the zero key for cases
+// that cannot fork (gold runs and immediate injections).
+func casePrefixKey(c Case) prefixKey {
+	if c.Injection == nil || c.Injection.Start <= 0 {
+		return prefixKey{}
+	}
+	return prefixKey{
+		missionID: c.MissionID,
+		seed:      c.Seed,
+		scope:     c.Injection.Scope,
+		start:     c.Injection.Start,
+	}
+}
+
+// prepareCheckpoints simulates one shared prefix per group of two or more
+// forkable cases, in parallel. Groups whose prefix fails to build are
+// simply absent from the map; their cases run straight through.
+func (r *Runner) prepareCheckpoints(ctx context.Context, cases []Case, workers int) map[prefixKey]*sim.Checkpoint {
+	groups := map[prefixKey][]int{}
+	for i, c := range cases {
+		k := casePrefixKey(c)
+		if k != (prefixKey{}) {
+			groups[k] = append(groups[k], i)
+		}
+	}
+	keys := make([]prefixKey, 0, len(groups))
+	for k, members := range groups {
+		if len(members) >= 2 {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+
+	checkpoints := make(map[prefixKey]*sim.Checkpoint, len(keys))
+	var mu sync.Mutex
+	keyCh := make(chan prefixKey)
+	var wg sync.WaitGroup
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range keyCh {
+				// The group's first case stands in for its siblings: before
+				// the shared injection start, any same-scope injector is
+				// behaviourally inert.
+				rep := cases[groups[k][0]]
+				m, err := r.missionByID(rep.MissionID)
+				if err != nil {
+					continue
+				}
+				cfg := r.Config
+				cfg.Seed = rep.Seed
+				v, err := sim.NewVehicle(cfg, m, rep.Injection, nil)
+				if err != nil {
+					continue
+				}
+				v.RunUntil(k.start.Seconds())
+				cp := v.Snapshot()
+				mu.Lock()
+				checkpoints[k] = cp
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, k := range keys {
+		select {
+		case <-ctx.Done():
+		case keyCh <- k:
+			continue
+		}
+		break
+	}
+	close(keyCh)
+	wg.Wait()
+	return checkpoints
+}
+
+func (r *Runner) runCase(c Case, cp *sim.Checkpoint) CaseResult {
+	if cp != nil {
+		if v, err := cp.ForkWithInjection(c.Injection, nil); err == nil {
+			return CaseResult{Case: c, Result: v.RunToEnd()}
+		}
+		// A rejected fork (mismatched scope/start, racing plan edits) is
+		// not fatal: fall back to the straight-through path.
+	}
 	m, err := r.missionByID(c.MissionID)
 	if err != nil {
 		return CaseResult{Case: c, Err: err.Error()}

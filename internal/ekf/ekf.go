@@ -163,6 +163,24 @@ func (f *Filter) Reset(st State) {
 // State returns the current nominal estimate.
 func (f *Filter) State() State { return f.st }
 
+// FilterSnapshot captures the filter's complete dynamic state — nominal
+// state, covariance, health, and fusion timers (checkpointing). Every
+// Filter field is a value type, so the snapshot is a plain copy.
+type FilterSnapshot struct {
+	f Filter
+}
+
+// Snapshot captures the filter's state.
+func (f *Filter) Snapshot() FilterSnapshot { return FilterSnapshot{f: *f} }
+
+// Restore reinstates a state captured with Snapshot, keeping the target's
+// own configuration.
+func (f *Filter) Restore(s FilterSnapshot) {
+	cfg := f.cfg
+	*f = s.f
+	f.cfg = cfg
+}
+
 // Health returns the filter's self-assessment.
 func (f *Filter) Health() Health { return f.health }
 
@@ -252,22 +270,23 @@ func (f *Filter) Predict(s sensors.IMUSample, dt float64) {
 	//   dθ' = (I - [ω]x dt) dθ          - I dt dbg
 	//   dv' = -R [a]x dt dθ + dv        - R dt dba
 	//   dp' = dv dt + dp
-	fm := matIdentity()
+	// F's block structure is fixed — identity blocks plus the three dense
+	// 3x3 couplings A/B/C and two scaled-identity couplings — so the
+	// covariance propagation P ← F P Fᵀ is hand-unrolled over the blocks
+	// (see mat.propagate) instead of two generic 15x15 multiplies.
 	wSkew := mathx.Skew(omega)
 	aSkew := mathx.Skew(accelBody)
 	raSkew := rot.Mul(aSkew)
+	var a, b, c [3][3]float64 // A = I - [ω]x dt, B = -R [a]x dt, C = -R dt
 	for i := 0; i < 3; i++ {
 		for j := 0; j < 3; j++ {
-			fm[idxTheta+i][idxTheta+j] -= wSkew.M[i][j] * dt
-			fm[idxVel+i][idxTheta+j] = -raSkew.M[i][j] * dt
-			fm[idxVel+i][idxBa+j] = -rot.M[i][j] * dt
+			a[i][j] = -wSkew.M[i][j] * dt
+			b[i][j] = -raSkew.M[i][j] * dt
+			c[i][j] = -rot.M[i][j] * dt
 		}
-		fm[idxTheta+i][idxBg+i] = -dt
-		fm[idxPos+i][idxVel+i] = dt
+		a[i][i] += 1
 	}
-
-	fp := fm.mul(&f.p)
-	f.p = fp.mulT(&fm)
+	f.p.propagate(&a, &b, &c, dt)
 
 	var q [dim]float64
 	gn := f.cfg.GyroNoise * f.cfg.GyroNoise * dt

@@ -94,3 +94,130 @@ func TestMatAddDiag(t *testing.T) {
 		}
 	}
 }
+
+// TestPropagateMatchesDenseReference: the block-sparse propagate must
+// reproduce the generic dense F·P·Fᵀ it replaced, to float rounding, for
+// random covariances and transition blocks.
+func TestPropagateMatchesDenseReference(t *testing.T) {
+	f := func(seed int64) bool {
+		s := uint64(seed)
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(int64(s>>33)) / float64(1<<30)
+		}
+
+		// Symmetric positive-ish covariance: P = L·Lᵀ scaled down, plus a
+		// diagonal bump.
+		var l mat
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				l[i][j] = next() * 0.3
+			}
+		}
+		p := l.mulT(&l)
+		for i := 0; i < dim; i++ {
+			p[i][i] += 0.1
+		}
+
+		// Random transition blocks on the magnitude scale Predict produces.
+		const dt = 0.004
+		var a, b, c [3][3]float64
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				a[i][j] = next() * 0.01
+				b[i][j] = next() * 0.1
+				c[i][j] = next() * dt
+			}
+			a[i][i] += 1
+		}
+
+		// Dense reference: assemble F explicitly.
+		fm := matIdentity()
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				fm[idxTheta+i][idxTheta+j] = a[i][j]
+				fm[idxVel+i][idxTheta+j] = b[i][j]
+				fm[idxVel+i][idxBa+j] = c[i][j]
+			}
+			fm[idxTheta+i][idxBg+i] = -dt
+			fm[idxPos+i][idxVel+i] = dt
+		}
+		fp := fm.mul(&p)
+		want := fp.mulT(&fm)
+
+		got := p
+		got.propagate(&a, &b, &c, dt)
+
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				d := got[i][j] - want[i][j]
+				if d > 1e-12 || d < -1e-12 {
+					t.Logf("mismatch at %d,%d: got %v want %v", i, j, got[i][j], want[i][j])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// benchBlocks builds representative A/B/C transition blocks and a
+// covariance for the propagation benchmarks.
+func benchBlocks() (p mat, a, b, c [3][3]float64, dt float64) {
+	dt = 0.004
+	s := uint64(9)
+	next := func() float64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return float64(int64(s>>33)) / float64(1<<30)
+	}
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			p[i][j] = next() * 0.1
+		}
+		p[i][i] += 1
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			a[i][j] = next() * 0.01
+			b[i][j] = next() * 0.1
+			c[i][j] = next() * dt
+		}
+		a[i][i] += 1
+	}
+	return
+}
+
+// BenchmarkPropagateBlockSparse measures the hand-unrolled P ← F P Fᵀ.
+func BenchmarkPropagateBlockSparse(bb *testing.B) {
+	p, a, b, c, dt := benchBlocks()
+	bb.ReportAllocs()
+	bb.ResetTimer()
+	for i := 0; i < bb.N; i++ {
+		p.propagate(&a, &b, &c, dt)
+	}
+}
+
+// BenchmarkPropagateDenseReference measures the generic mul/mulT pair the
+// block-sparse version replaced (kept as the test reference).
+func BenchmarkPropagateDenseReference(bb *testing.B) {
+	p, a, b, c, dt := benchBlocks()
+	fm := matIdentity()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			fm[idxTheta+i][idxTheta+j] = a[i][j]
+			fm[idxVel+i][idxTheta+j] = b[i][j]
+			fm[idxVel+i][idxBa+j] = c[i][j]
+		}
+		fm[idxTheta+i][idxBg+i] = -dt
+		fm[idxPos+i][idxVel+i] = dt
+	}
+	bb.ReportAllocs()
+	bb.ResetTimer()
+	for i := 0; i < bb.N; i++ {
+		fp := fm.mul(&p)
+		p = fp.mulT(&fm)
+	}
+}

@@ -1,7 +1,6 @@
 package failsafe
 
 import (
-	"math/rand"
 	"testing"
 
 	"uavres/internal/ekf"
@@ -20,7 +19,7 @@ func spinningSample(t float64) sensors.IMUSample {
 
 func testIMUSet(t *testing.T) *sensors.RedundantIMUs {
 	t.Helper()
-	set, err := sensors.NewRedundantIMUs(3, sensors.DefaultIMUSpec(), rand.New(rand.NewSource(1)))
+	set, err := sensors.NewRedundantIMUs(3, sensors.DefaultIMUSpec(), mathx.NewRand(1))
 	if err != nil {
 		t.Fatal(err)
 	}

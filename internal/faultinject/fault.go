@@ -12,7 +12,6 @@ package faultinject
 
 import (
 	"fmt"
-	"math/rand"
 	"strings"
 	"time"
 
@@ -225,7 +224,7 @@ const NoiseAmpFraction = 0.10
 // for concurrent use; each simulated vehicle owns one.
 type Injector struct {
 	inj Injection
-	rng *rand.Rand
+	rng *mathx.Rand
 
 	startSec float64
 	endSec   float64
@@ -246,11 +245,52 @@ func New(inj Injection) (*Injector, error) {
 	}
 	return &Injector{
 		inj:      inj,
-		rng:      rand.New(rand.NewSource(inj.Seed)),
+		rng:      mathx.NewRand(inj.Seed),
 		startSec: inj.Start.Seconds(),
 		endSec:   inj.Start.Seconds() + inj.Duration.Seconds(),
 	}, nil
 }
+
+// InjectorSnapshot captures the injector's dynamic state (checkpointing).
+type InjectorSnapshot struct {
+	rng           mathx.RandState
+	windowEntered bool
+	frozen        sensors.IMUSample
+	fixedAccel    mathx.Vec3
+	fixedGyro     mathx.Vec3
+	applied       int
+}
+
+// Snapshot captures the primitive's randomness stream and lazily captured
+// window state.
+func (j *Injector) Snapshot() InjectorSnapshot {
+	return InjectorSnapshot{
+		rng:           j.rng.State(),
+		windowEntered: j.windowEntered,
+		frozen:        j.frozen,
+		fixedAccel:    j.fixedAccel,
+		fixedGyro:     j.fixedGyro,
+		applied:       j.applied,
+	}
+}
+
+// Restore reinstates a state captured with Snapshot. The injector must
+// describe the same Injection as at capture time (the window bounds and
+// seed are construction parameters, not dynamic state).
+func (j *Injector) Restore(s InjectorSnapshot) {
+	j.rng.SetState(s.rng)
+	j.windowEntered = s.windowEntered
+	j.frozen = s.frozen
+	j.fixedAccel = s.fixedAccel
+	j.fixedGyro = s.fixedGyro
+	j.applied = s.applied
+}
+
+// SeedFreeze installs the last pre-window sample, as if the injector had
+// observed the sample stream up to that point. A run forked from a
+// checkpoint taken before this injector's window uses it so the Freeze
+// primitive replays the exact value a straight-through run would capture.
+func (j *Injector) SeedFreeze(s sensors.IMUSample) { j.frozen = s }
 
 // Injection returns the experiment description.
 func (j *Injector) Injection() Injection { return j.inj }

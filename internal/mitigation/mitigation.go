@@ -163,6 +163,85 @@ func (p *Pipeline) StuckDetected() bool {
 	return p.stuckAccel.latched || p.stuckGyro.latched
 }
 
+// PipelineSnapshot captures the pipeline's complete dynamic state: the
+// median windows, low-pass states, and stuck-detector latches
+// (checkpointing). Buffers are deep-copied, so one snapshot can seed many
+// forked runs concurrently.
+type PipelineSnapshot struct {
+	medAccel   [3]medianSnapshot
+	medGyro    [3]medianSnapshot
+	lpAccel    mathx.LowPass3State
+	lpGyro     mathx.LowPass3State
+	stuckAccel stuckDetector
+	stuckGyro  stuckDetector
+}
+
+type medianSnapshot struct {
+	buf    []float64
+	idx    int
+	filled int
+}
+
+func (m *medianFilter) snapshot() medianSnapshot {
+	if m == nil {
+		return medianSnapshot{}
+	}
+	s := medianSnapshot{idx: m.idx, filled: m.filled}
+	s.buf = make([]float64, len(m.buf))
+	copy(s.buf, m.buf)
+	return s
+}
+
+func (m *medianFilter) restore(s medianSnapshot) error {
+	if (m == nil) != (s.buf == nil) {
+		return fmt.Errorf("mitigation: median filter snapshot presence mismatch")
+	}
+	if m == nil {
+		return nil
+	}
+	if len(s.buf) != len(m.buf) {
+		return fmt.Errorf("mitigation: median window %d in snapshot, %d in pipeline", len(s.buf), len(m.buf))
+	}
+	copy(m.buf, s.buf)
+	m.idx = s.idx
+	m.filled = s.filled
+	return nil
+}
+
+// Snapshot captures the pipeline's dynamic state.
+func (p *Pipeline) Snapshot() PipelineSnapshot {
+	s := PipelineSnapshot{stuckAccel: p.stuckAccel, stuckGyro: p.stuckGyro}
+	for i := 0; i < 3; i++ {
+		s.medAccel[i] = p.medAccel[i].snapshot()
+		s.medGyro[i] = p.medGyro[i].snapshot()
+	}
+	if p.lpAccel != nil {
+		s.lpAccel = p.lpAccel.Snapshot()
+		s.lpGyro = p.lpGyro.Snapshot()
+	}
+	return s
+}
+
+// Restore reinstates a state captured with Snapshot. The pipeline must be
+// configured identically to the snapshot source.
+func (p *Pipeline) Restore(s PipelineSnapshot) error {
+	for i := 0; i < 3; i++ {
+		if err := p.medAccel[i].restore(s.medAccel[i]); err != nil {
+			return err
+		}
+		if err := p.medGyro[i].restore(s.medGyro[i]); err != nil {
+			return err
+		}
+	}
+	if p.lpAccel != nil {
+		p.lpAccel.Restore(s.lpAccel)
+		p.lpGyro.Restore(s.lpGyro)
+	}
+	p.stuckAccel = s.stuckAccel
+	p.stuckGyro = s.stuckGyro
+	return nil
+}
+
 // medianFilter is a fixed-window per-axis running median.
 type medianFilter struct {
 	buf    []float64

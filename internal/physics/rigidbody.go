@@ -134,6 +134,46 @@ func (b *Body) State() State { return b.state }
 // SetState overrides the body state (tests and scenario setup).
 func (b *Body) SetState(s State) { b.state = s }
 
+// BodySnapshot captures the rigid body's complete dynamic state, including
+// the wind process it is coupled to (checkpointing).
+type BodySnapshot struct {
+	state             State
+	cmd               [4]float64
+	lastSpecificForce mathx.Vec3
+	lastAirspeed      float64
+	touchdownSpeed    float64
+	wasAirborne       bool
+	wind              WindSnapshot
+}
+
+// Snapshot captures the body state, motor commands, derived sensor
+// quantities, and the wind model.
+func (b *Body) Snapshot() BodySnapshot {
+	return BodySnapshot{
+		state:             b.state,
+		cmd:               b.cmd,
+		lastSpecificForce: b.lastSpecificForce,
+		lastAirspeed:      b.lastAirspeed,
+		touchdownSpeed:    b.touchdownSpeed,
+		wasAirborne:       b.wasAirborne,
+		wind:              b.wind.Snapshot(),
+	}
+}
+
+// Restore reinstates a state captured with Snapshot.
+func (b *Body) Restore(s BodySnapshot) error {
+	if err := b.wind.Restore(s.wind); err != nil {
+		return err
+	}
+	b.state = s.state
+	b.cmd = s.cmd
+	b.lastSpecificForce = s.lastSpecificForce
+	b.lastAirspeed = s.lastAirspeed
+	b.touchdownSpeed = s.touchdownSpeed
+	b.wasAirborne = s.wasAirborne
+	return nil
+}
+
 // SetMotorCommands sets the normalized rotor commands in [0, 1]; values
 // outside the range are clamped.
 func (b *Body) SetMotorCommands(cmd [4]float64) {

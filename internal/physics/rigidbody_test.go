@@ -2,7 +2,6 @@ package physics
 
 import (
 	"math"
-	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -261,7 +260,7 @@ func TestMixerSaturationClampsToValidRange(t *testing.T) {
 }
 
 func TestWindStationaryVariance(t *testing.T) {
-	rng := rand.New(rand.NewSource(42))
+	rng := mathx.NewRand(42)
 	w := NewWind(mathx.V3(2, 0, 0), 1.5, 2.0, rng)
 	var stats mathx.Running
 	const dt = 0.01
@@ -292,8 +291,8 @@ func TestCalmWindIsZero(t *testing.T) {
 }
 
 func TestWindDeterministicWithSameSeed(t *testing.T) {
-	a := NewWind(mathx.Zero3, 1, 1, rand.New(rand.NewSource(5)))
-	b := NewWind(mathx.Zero3, 1, 1, rand.New(rand.NewSource(5)))
+	a := NewWind(mathx.Zero3, 1, 1, mathx.NewRand(5))
+	b := NewWind(mathx.Zero3, 1, 1, mathx.NewRand(5))
 	for i := 0; i < 100; i++ {
 		if a.Step(0.01) != b.Step(0.01) {
 			t.Fatal("same-seed wind diverged")

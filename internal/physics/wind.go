@@ -1,8 +1,8 @@
 package physics
 
 import (
+	"fmt"
 	"math"
-	"math/rand"
 
 	"uavres/internal/mathx"
 )
@@ -20,12 +20,12 @@ type Wind struct {
 	GustTau float64
 
 	gust mathx.Vec3
-	rng  *rand.Rand
+	rng  *mathx.Rand
 }
 
 // NewWind returns a wind model driven by the given random source. A nil rng
 // produces a deterministic, gust-free model.
-func NewWind(meanNED mathx.Vec3, gustStd, gustTau float64, rng *rand.Rand) *Wind {
+func NewWind(meanNED mathx.Vec3, gustStd, gustTau float64, rng *mathx.Rand) *Wind {
 	if gustTau <= 0 {
 		gustTau = 1
 	}
@@ -54,3 +54,34 @@ func (w *Wind) Step(dt float64) mathx.Vec3 {
 
 // Current returns the wind velocity without advancing the process.
 func (w *Wind) Current() mathx.Vec3 { return w.MeanNED.Add(w.gust) }
+
+// WindSnapshot captures the wind model's dynamic state (checkpointing).
+type WindSnapshot struct {
+	mean   mathx.Vec3
+	gust   mathx.Vec3
+	rng    mathx.RandState
+	hasRng bool
+}
+
+// Snapshot captures the mean wind, the current gust, and the gust stream.
+func (w *Wind) Snapshot() WindSnapshot {
+	s := WindSnapshot{mean: w.MeanNED, gust: w.gust}
+	if w.rng != nil {
+		s.rng = w.rng.State()
+		s.hasRng = true
+	}
+	return s
+}
+
+// Restore reinstates a state captured with Snapshot.
+func (w *Wind) Restore(s WindSnapshot) error {
+	if s.hasRng != (w.rng != nil) {
+		return fmt.Errorf("physics: wind snapshot rng presence mismatch")
+	}
+	w.MeanNED = s.mean
+	w.gust = s.gust
+	if w.rng != nil {
+		w.rng.SetState(s.rng)
+	}
+	return nil
+}

@@ -1,7 +1,7 @@
 package sensors
 
 import (
-	"math/rand"
+	"fmt"
 
 	"uavres/internal/mathx"
 )
@@ -21,12 +21,12 @@ type GPSSample struct {
 // GPS models a GNSS receiver reporting local-frame position and velocity.
 type GPS struct {
 	spec GPSSpec
-	rng  *rand.Rand
+	rng  *mathx.Rand
 	tick Ticker
 }
 
 // NewGPS returns a receiver model; a nil rng yields an ideal sensor.
-func NewGPS(spec GPSSpec, rng *rand.Rand) *GPS {
+func NewGPS(spec GPSSpec, rng *mathx.Rand) *GPS {
 	return &GPS{spec: spec, rng: rng, tick: NewTicker(spec.RateHz)}
 }
 
@@ -47,6 +47,35 @@ func (g *GPS) Sample(t float64, truePos, trueVel mathx.Vec3) GPSSample {
 	return GPSSample{T: t, PosNED: pos, VelNED: vel, Valid: true}
 }
 
+// GPSSnapshot captures the receiver's dynamic state (checkpointing).
+type GPSSnapshot struct {
+	rng    mathx.RandState
+	hasRng bool
+	tick   Ticker
+}
+
+// Snapshot captures the noise stream and sample clock.
+func (g *GPS) Snapshot() GPSSnapshot {
+	s := GPSSnapshot{tick: g.tick}
+	if g.rng != nil {
+		s.rng = g.rng.State()
+		s.hasRng = true
+	}
+	return s
+}
+
+// Restore reinstates a state captured with Snapshot.
+func (g *GPS) Restore(s GPSSnapshot) error {
+	if s.hasRng != (g.rng != nil) {
+		return fmt.Errorf("sensors: GPS snapshot rng presence mismatch")
+	}
+	g.tick = s.tick
+	if g.rng != nil {
+		g.rng.SetState(s.rng)
+	}
+	return nil
+}
+
 // BaroSample is one barometric altitude measurement.
 type BaroSample struct {
 	// T is the simulation timestamp in seconds.
@@ -59,13 +88,13 @@ type BaroSample struct {
 type Baro struct {
 	spec BaroSpec
 	bias float64
-	rng  *rand.Rand
+	rng  *mathx.Rand
 	tick Ticker
 }
 
 // NewBaro returns a barometer whose constant bias is drawn once from rng;
 // a nil rng yields an ideal sensor.
-func NewBaro(spec BaroSpec, rng *rand.Rand) *Baro {
+func NewBaro(spec BaroSpec, rng *mathx.Rand) *Baro {
 	b := &Baro{spec: spec, rng: rng, tick: NewTicker(spec.RateHz)}
 	if rng != nil {
 		b.bias = rng.NormFloat64() * spec.BiasStdM
@@ -85,6 +114,37 @@ func (b *Baro) Sample(t, trueAltM float64) BaroSample {
 	return BaroSample{T: t, AltM: alt}
 }
 
+// BaroSnapshot captures the barometer's dynamic state (checkpointing).
+type BaroSnapshot struct {
+	bias   float64
+	rng    mathx.RandState
+	hasRng bool
+	tick   Ticker
+}
+
+// Snapshot captures the bias, noise stream, and sample clock.
+func (b *Baro) Snapshot() BaroSnapshot {
+	s := BaroSnapshot{bias: b.bias, tick: b.tick}
+	if b.rng != nil {
+		s.rng = b.rng.State()
+		s.hasRng = true
+	}
+	return s
+}
+
+// Restore reinstates a state captured with Snapshot.
+func (b *Baro) Restore(s BaroSnapshot) error {
+	if s.hasRng != (b.rng != nil) {
+		return fmt.Errorf("sensors: baro snapshot rng presence mismatch")
+	}
+	b.bias = s.bias
+	b.tick = s.tick
+	if b.rng != nil {
+		b.rng.SetState(s.rng)
+	}
+	return nil
+}
+
 // MagSample is one magnetometer-derived heading measurement.
 type MagSample struct {
 	// T is the simulation timestamp in seconds.
@@ -100,7 +160,7 @@ type MagSample struct {
 type Mag struct {
 	spec MagSpec
 	bias float64
-	rng  *rand.Rand
+	rng  *mathx.Rand
 	tick Ticker
 }
 
@@ -122,7 +182,7 @@ func DefaultMagSpec() MagSpec {
 
 // NewMag returns a magnetometer whose constant bias is drawn once from
 // rng; a nil rng yields an ideal sensor.
-func NewMag(spec MagSpec, rng *rand.Rand) *Mag {
+func NewMag(spec MagSpec, rng *mathx.Rand) *Mag {
 	m := &Mag{spec: spec, rng: rng, tick: NewTicker(spec.RateHz)}
 	if rng != nil {
 		m.bias = rng.NormFloat64() * spec.BiasStd
@@ -140,4 +200,35 @@ func (m *Mag) Sample(t, trueYawRad float64) MagSample {
 		yaw += m.rng.NormFloat64() * m.spec.YawNoiseStd
 	}
 	return MagSample{T: t, YawRad: yaw}
+}
+
+// MagSnapshot captures the magnetometer's dynamic state (checkpointing).
+type MagSnapshot struct {
+	bias   float64
+	rng    mathx.RandState
+	hasRng bool
+	tick   Ticker
+}
+
+// Snapshot captures the bias, noise stream, and sample clock.
+func (m *Mag) Snapshot() MagSnapshot {
+	s := MagSnapshot{bias: m.bias, tick: m.tick}
+	if m.rng != nil {
+		s.rng = m.rng.State()
+		s.hasRng = true
+	}
+	return s
+}
+
+// Restore reinstates a state captured with Snapshot.
+func (m *Mag) Restore(s MagSnapshot) error {
+	if s.hasRng != (m.rng != nil) {
+		return fmt.Errorf("sensors: mag snapshot rng presence mismatch")
+	}
+	m.bias = s.bias
+	m.tick = s.tick
+	if m.rng != nil {
+		m.rng.SetState(s.rng)
+	}
+	return nil
 }

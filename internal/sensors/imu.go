@@ -1,7 +1,7 @@
 package sensors
 
 import (
-	"math/rand"
+	"fmt"
 
 	"uavres/internal/mathx"
 )
@@ -23,14 +23,14 @@ type IMU struct {
 	spec      IMUSpec
 	accelBias mathx.Vec3
 	gyroBias  mathx.Vec3
-	rng       *rand.Rand
+	rng       *mathx.Rand
 	tick      Ticker
 	last      IMUSample
 }
 
 // NewIMU returns an IMU whose biases are drawn once from rng. A nil rng
 // yields an ideal (noise- and bias-free) sensor for deterministic tests.
-func NewIMU(spec IMUSpec, rng *rand.Rand) (*IMU, error) {
+func NewIMU(spec IMUSpec, rng *mathx.Rand) (*IMU, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -73,6 +73,48 @@ func (m *IMU) Sample(t float64, trueAccel, trueGyro mathx.Vec3) IMUSample {
 // Last returns the most recent sample (zero value before the first).
 func (m *IMU) Last() IMUSample { return m.last }
 
+// IMUSnapshot captures one unit's complete dynamic state (checkpointing).
+type IMUSnapshot struct {
+	accelBias mathx.Vec3
+	gyroBias  mathx.Vec3
+	rng       mathx.RandState
+	hasRng    bool
+	tick      Ticker
+	last      IMUSample
+}
+
+// Snapshot captures the unit's state: biases, noise stream, sample clock,
+// and last sample.
+func (m *IMU) Snapshot() IMUSnapshot {
+	s := IMUSnapshot{
+		accelBias: m.accelBias,
+		gyroBias:  m.gyroBias,
+		tick:      m.tick,
+		last:      m.last,
+	}
+	if m.rng != nil {
+		s.rng = m.rng.State()
+		s.hasRng = true
+	}
+	return s
+}
+
+// Restore reinstates a state captured with Snapshot. The unit must have
+// been constructed with (or without) an rng matching the snapshot.
+func (m *IMU) Restore(s IMUSnapshot) error {
+	if s.hasRng != (m.rng != nil) {
+		return fmt.Errorf("sensors: IMU snapshot rng presence mismatch")
+	}
+	m.accelBias = s.accelBias
+	m.gyroBias = s.gyroBias
+	m.tick = s.tick
+	m.last = s.last
+	if m.rng != nil {
+		m.rng.SetState(s.rng)
+	}
+	return nil
+}
+
 // RedundantIMUs models PX4's multi-IMU arrangement: one primary plus spare
 // sensors the failsafe isolation stage can switch to. The paper assumes the
 // injected fault affects every redundant sensor, so the set shares one
@@ -84,15 +126,15 @@ type RedundantIMUs struct {
 }
 
 // NewRedundantIMUs creates n IMUs (n >= 1) seeded from rng.
-func NewRedundantIMUs(n int, spec IMUSpec, rng *rand.Rand) (*RedundantIMUs, error) {
+func NewRedundantIMUs(n int, spec IMUSpec, rng *mathx.Rand) (*RedundantIMUs, error) {
 	if n < 1 {
 		n = 1
 	}
 	units := make([]*IMU, 0, n)
 	for i := 0; i < n; i++ {
-		var unitRng *rand.Rand
+		var unitRng *mathx.Rand
 		if rng != nil {
-			unitRng = rand.New(rand.NewSource(rng.Int63()))
+			unitRng = mathx.NewRand(rng.Int63())
 		}
 		u, err := NewIMU(spec, unitRng)
 		if err != nil {
@@ -133,7 +175,40 @@ func (r *RedundantIMUs) Sample(t float64, trueAccel, trueGyro mathx.Vec3) IMUSam
 // Unit returns unit i for inspection.
 func (r *RedundantIMUs) Unit(i int) *IMU { return r.units[i] }
 
-func randVec(rng *rand.Rand, std float64) mathx.Vec3 {
+// RedundantIMUsSnapshot captures the whole set's state (checkpointing).
+type RedundantIMUsSnapshot struct {
+	units   []IMUSnapshot
+	primary int
+}
+
+// Snapshot captures every unit's state plus the primary selection.
+func (r *RedundantIMUs) Snapshot() RedundantIMUsSnapshot {
+	s := RedundantIMUsSnapshot{
+		units:   make([]IMUSnapshot, len(r.units)),
+		primary: r.primary,
+	}
+	for i, u := range r.units {
+		s.units[i] = u.Snapshot()
+	}
+	return s
+}
+
+// Restore reinstates a state captured with Snapshot. The set must have the
+// same unit count as at capture time.
+func (r *RedundantIMUs) Restore(s RedundantIMUsSnapshot) error {
+	if len(s.units) != len(r.units) {
+		return fmt.Errorf("sensors: snapshot has %d IMU units, set has %d", len(s.units), len(r.units))
+	}
+	for i, u := range r.units {
+		if err := u.Restore(s.units[i]); err != nil {
+			return err
+		}
+	}
+	r.primary = s.primary
+	return nil
+}
+
+func randVec(rng *mathx.Rand, std float64) mathx.Vec3 {
 	//lint:allow floatcmp zero is the exact noise-disabled sentinel, never a computed value
 	if std == 0 {
 		return mathx.Zero3
@@ -150,51 +225,79 @@ func randVec(rng *rand.Rand, std float64) mathx.Vec3 {
 // applies its own bias and noise stream. The primary's sample is also
 // retained as its Last.
 func (r *RedundantIMUs) SampleAll(t float64, trueAccel, trueGyro mathx.Vec3) []IMUSample {
-	out := make([]IMUSample, len(r.units))
-	for i, u := range r.units {
-		out[i] = u.Sample(t, trueAccel, trueGyro)
-	}
-	return out
+	return r.SampleAllInto(nil, t, trueAccel, trueGyro)
 }
+
+// SampleAllInto is SampleAll writing into dst (grown if needed), letting
+// the 250 Hz sim loop reuse one buffer instead of allocating per sample.
+func (r *RedundantIMUs) SampleAllInto(dst []IMUSample, t float64, trueAccel, trueGyro mathx.Vec3) []IMUSample {
+	if cap(dst) < len(r.units) {
+		dst = make([]IMUSample, len(r.units))
+	}
+	dst = dst[:len(r.units)]
+	for i, u := range r.units {
+		dst[i] = u.Sample(t, trueAccel, trueGyro)
+	}
+	return dst
+}
+
+// voteMaxUnits bounds the stack scratch in VoteOutlier; real vehicles carry
+// 3-4 redundant IMUs.
+const voteMaxUnits = 8
 
 // VoteOutlier reports whether the unit at index primary disagrees with the
 // per-axis median of all units by more than the tolerances — the
 // cross-IMU consistency check redundancy management runs every sample.
 // With fewer than three units a majority cannot be formed and the vote
-// always passes.
+// always passes. Runs allocation-free for up to voteMaxUnits units.
 func VoteOutlier(samples []IMUSample, primary int, accelTol, gyroTol float64) bool {
-	if len(samples) < 3 || primary < 0 || primary >= len(samples) {
+	n := len(samples)
+	if n < 3 || primary < 0 || primary >= n {
 		return false
 	}
-	med := func(get func(IMUSample) float64) float64 {
-		vals := make([]float64, len(samples))
-		for i, s := range samples {
-			vals[i] = get(s)
+	var scratch [voteMaxUnits]float64
+	vals := scratch[:0]
+	if n > voteMaxUnits {
+		vals = make([]float64, 0, n)
+	}
+	p := samples[primary]
+	for axis := 0; axis < 6; axis++ {
+		vals = vals[:n]
+		for i := range samples {
+			vals[i] = sampleAxis(&samples[i], axis)
 		}
 		// Insertion sort: the set is tiny (3-4 units).
-		for i := 1; i < len(vals); i++ {
+		for i := 1; i < n; i++ {
 			for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
 				vals[j], vals[j-1] = vals[j-1], vals[j]
 			}
 		}
-		return vals[len(vals)/2]
-	}
-	p := samples[primary]
-	accessors := []struct {
-		get func(IMUSample) float64
-		tol float64
-	}{
-		{func(s IMUSample) float64 { return s.Accel.X }, accelTol},
-		{func(s IMUSample) float64 { return s.Accel.Y }, accelTol},
-		{func(s IMUSample) float64 { return s.Accel.Z }, accelTol},
-		{func(s IMUSample) float64 { return s.Gyro.X }, gyroTol},
-		{func(s IMUSample) float64 { return s.Gyro.Y }, gyroTol},
-		{func(s IMUSample) float64 { return s.Gyro.Z }, gyroTol},
-	}
-	for _, a := range accessors {
-		if diff := a.get(p) - med(a.get); diff > a.tol || diff < -a.tol {
+		med := vals[n/2]
+		tol := accelTol
+		if axis >= 3 {
+			tol = gyroTol
+		}
+		if diff := sampleAxis(&p, axis) - med; diff > tol || diff < -tol {
 			return true
 		}
 	}
 	return false
+}
+
+// sampleAxis indexes the six measured scalars: accel XYZ then gyro XYZ.
+func sampleAxis(s *IMUSample, axis int) float64 {
+	switch axis {
+	case 0:
+		return s.Accel.X
+	case 1:
+		return s.Accel.Y
+	case 2:
+		return s.Accel.Z
+	case 3:
+		return s.Gyro.X
+	case 4:
+		return s.Gyro.Y
+	default:
+		return s.Gyro.Z
+	}
 }

@@ -2,7 +2,6 @@ package sensors
 
 import (
 	"math"
-	"math/rand"
 	"testing"
 
 	"uavres/internal/mathx"
@@ -73,7 +72,7 @@ func TestIMURanges(t *testing.T) {
 
 func TestIMUNoiseStatistics(t *testing.T) {
 	spec := DefaultIMUSpec()
-	imu, err := NewIMU(spec, rand.New(rand.NewSource(3)))
+	imu, err := NewIMU(spec, mathx.NewRand(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +91,7 @@ func TestIMUNoiseStatistics(t *testing.T) {
 }
 
 func TestIMUBiasIsConstantPerRun(t *testing.T) {
-	imu, err := NewIMU(DefaultIMUSpec(), rand.New(rand.NewSource(9)))
+	imu, err := NewIMU(DefaultIMUSpec(), mathx.NewRand(9))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +162,7 @@ func TestIMUDueFollowsRate(t *testing.T) {
 }
 
 func TestRedundantIMUsSwitching(t *testing.T) {
-	set, err := NewRedundantIMUs(3, DefaultIMUSpec(), rand.New(rand.NewSource(1)))
+	set, err := NewRedundantIMUs(3, DefaultIMUSpec(), mathx.NewRand(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +184,7 @@ func TestRedundantIMUsSwitching(t *testing.T) {
 }
 
 func TestRedundantIMUsDistinctBiases(t *testing.T) {
-	set, err := NewRedundantIMUs(3, DefaultIMUSpec(), rand.New(rand.NewSource(2)))
+	set, err := NewRedundantIMUs(3, DefaultIMUSpec(), mathx.NewRand(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +213,7 @@ func TestGPSIdealAndNoisy(t *testing.T) {
 		t.Errorf("ideal GPS distorted: %+v", s)
 	}
 
-	noisy := NewGPS(DefaultGPSSpec(), rand.New(rand.NewSource(4)))
+	noisy := NewGPS(DefaultGPSSpec(), mathx.NewRand(4))
 	var errStats mathx.Running
 	for i := 0; i < 5000; i++ {
 		m := noisy.Sample(float64(i)*0.2, pos, vel)
@@ -226,7 +225,7 @@ func TestGPSIdealAndNoisy(t *testing.T) {
 }
 
 func TestBaroBiasAndNoise(t *testing.T) {
-	b := NewBaro(DefaultBaroSpec(), rand.New(rand.NewSource(6)))
+	b := NewBaro(DefaultBaroSpec(), mathx.NewRand(6))
 	var stats mathx.Running
 	for i := 0; i < 5000; i++ {
 		stats.Add(b.Sample(float64(i)*0.04, 50).AltM)
@@ -248,7 +247,7 @@ func TestBaroIdeal(t *testing.T) {
 }
 
 func TestSampleAllPerUnitStreams(t *testing.T) {
-	set, err := NewRedundantIMUs(3, DefaultIMUSpec(), rand.New(rand.NewSource(8)))
+	set, err := NewRedundantIMUs(3, DefaultIMUSpec(), mathx.NewRand(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,7 +322,7 @@ func TestMagIdealAndBiased(t *testing.T) {
 		t.Errorf("ideal mag yaw = %v", got)
 	}
 
-	biased := NewMag(DefaultMagSpec(), rand.New(rand.NewSource(11)))
+	biased := NewMag(DefaultMagSpec(), mathx.NewRand(11))
 	var stats mathx.Running
 	for i := 0; i < 5000; i++ {
 		stats.Add(biased.Sample(float64(i)*0.1, 0.5).YawRad)

@@ -1,9 +1,8 @@
 package sim
 
 import (
-	"fmt"
 	"math"
-	"math/rand"
+	"strconv"
 
 	"uavres/internal/bubble"
 	"uavres/internal/control"
@@ -39,43 +38,107 @@ type Observer func(Telemetry)
 // Run simulates one mission to completion under the given configuration.
 // inj is nil for a gold (fault-free) run. obs may be nil.
 func Run(cfg Config, m mission.Mission, inj *faultinject.Injection, obs Observer) (Result, error) {
-	if err := cfg.Validate(); err != nil {
+	v, err := NewVehicle(cfg, m, inj, obs)
+	if err != nil {
 		return Result{}, err
+	}
+	return v.RunToEnd(), nil
+}
+
+// Vehicle is one fully assembled simulated drone mid-run: physics, wind,
+// sensors, fault injector, EKF, controller, failsafe, guidance, and the
+// U-space tracker, plus the step-loop state that used to live in Run's
+// locals. Factoring it out of Run makes a run interruptible: Snapshot
+// captures everything, and Checkpoint.Fork resumes bit-identically —
+// the basis of checkpoint-and-fork campaign execution.
+type Vehicle struct {
+	cfg Config
+	m   mission.Mission
+	inj *faultinject.Injection
+	obs Observer
+
+	wind     *physics.Wind
+	body     *physics.Body
+	imus     *sensors.RedundantIMUs
+	gps      *sensors.GPS
+	baro     *sensors.Baro
+	mag      *sensors.Mag
+	injector *faultinject.Injector
+	filter   *ekf.Filter
+	mitigate *mitigation.Pipeline
+	ctl      *control.Controller
+	monitor  *failsafe.Monitor
+	crash    *failsafe.CrashDetector
+	guide    *guidance
+	tracker  *bubble.Tracker
+
+	res  Result
+	done bool
+
+	// Step-loop state.
+	step        int // next physics step index; sim time = step * PhysicsDt
+	steps       int
+	imuDt       float64
+	lastIMU     sensors.IMUSample // post-mitigation primary sample
+	lastClean   sensors.IMUSample // pre-injection primary sample
+	haveIMU     bool
+	sp          control.Setpoint
+	monitorTick sensors.Ticker
+	gravityTick sensors.Ticker
+	guideTick   sensors.Ticker
+	beenAir     bool
+	voteStrikes int
+	prevEstPos  mathx.Vec3
+	havePrevEst bool
+	distM       float64
+
+	// Derived constants (from cfg; never snapshotted).
+	votePersist   int
+	voteAccelTol  float64
+	voteGyroTol   float64
+	distCapPerObs float64
+	sampleBuf     []sensors.IMUSample // reused by SampleAllInto
+}
+
+// NewVehicle assembles a vehicle at mission start. inj is nil for a gold
+// run; obs may be nil.
+func NewVehicle(cfg Config, m mission.Mission, inj *faultinject.Injection, obs Observer) (*Vehicle, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if err := m.Validate(); err != nil {
-		return Result{}, err
+		return nil, err
 	}
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := mathx.NewRand(cfg.Seed)
 
 	// Environment: wind direction drawn from the run seed.
 	dir := rng.Float64() * 2 * math.Pi
 	wind := physics.NewWind(
 		windFromSeed(cfg, mathx.V3(math.Cos(dir), math.Sin(dir), 0)),
 		cfg.WindGustStd, 2.0,
-		rand.New(rand.NewSource(rng.Int63())),
+		mathx.NewRand(rng.Int63()),
 	)
 
 	body, err := physics.NewBody(cfg.Airframe, wind)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
-	start := physics.State{Pos: m.Start, Att: mathx.QuatIdentity()}
-	body.SetState(start)
+	body.SetState(physics.State{Pos: m.Start, Att: mathx.QuatIdentity()})
 
-	imus, err := sensors.NewRedundantIMUs(cfg.IMUCount, cfg.IMUSpec, rand.New(rand.NewSource(rng.Int63())))
+	imus, err := sensors.NewRedundantIMUs(cfg.IMUCount, cfg.IMUSpec, mathx.NewRand(rng.Int63()))
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
-	gps := sensors.NewGPS(cfg.GPSSpec, rand.New(rand.NewSource(rng.Int63())))
-	baro := sensors.NewBaro(cfg.BaroSpec, rand.New(rand.NewSource(rng.Int63())))
-	mag := sensors.NewMag(cfg.MagSpec, rand.New(rand.NewSource(rng.Int63())))
+	gps := sensors.NewGPS(cfg.GPSSpec, mathx.NewRand(rng.Int63()))
+	baro := sensors.NewBaro(cfg.BaroSpec, mathx.NewRand(rng.Int63()))
+	mag := sensors.NewMag(cfg.MagSpec, mathx.NewRand(rng.Int63()))
 
 	var injector *faultinject.Injector
 	if inj != nil {
 		injector, err = faultinject.New(*inj)
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
 	}
 
@@ -84,222 +147,313 @@ func Run(cfg Config, m mission.Mission, inj *faultinject.Injection, obs Observer
 
 	mitigate, err := mitigation.NewPipeline(cfg.Mitigation)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
-
-	ctl := control.New(cfg.Gains, cfg.Airframe, 1/cfg.IMUSpec.RateHz)
-	monitor := failsafe.NewMonitor(cfg.Failsafe)
-	crash := failsafe.NewCrashDetector(cfg.Failsafe)
-	guide := newGuidance(m)
 
 	tracker, err := bubble.NewTracker(m, cfg.RiskR, cfg.TrackingInterval)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 
-	res := Result{MissionID: m.ID, Injection: inj}
+	v := &Vehicle{
+		cfg:      cfg,
+		m:        m,
+		inj:      inj,
+		obs:      obs,
+		wind:     wind,
+		body:     body,
+		imus:     imus,
+		gps:      gps,
+		baro:     baro,
+		mag:      mag,
+		injector: injector,
+		filter:   filter,
+		mitigate: mitigate,
+		ctl:      control.New(cfg.Gains, cfg.Airframe, 1/cfg.IMUSpec.RateHz),
+		monitor:  failsafe.NewMonitor(cfg.Failsafe),
+		crash:    failsafe.NewCrashDetector(cfg.Failsafe),
+		guide:    newGuidance(m),
+		tracker:  tracker,
 
-	var (
-		t             float64
-		imuDt         = 1 / cfg.IMUSpec.RateHz
-		lastIMU       sensors.IMUSample
-		haveIMU       bool
-		sp            control.Setpoint
-		monitorTick   = sensors.NewTicker(50)
-		gravityTick   = sensors.NewTicker(25)
-		guideTick     = sensors.NewTicker(50)
-		beenAirborne  bool
-		voteStrikes   int
-		votePersist   = cfg.VotePersistSamples
-		voteAccelTol  = cfg.VoteAccelTol
-		voteGyroTol   = cfg.VoteGyroTol
-		prevEstPos    = m.Start
-		havePrevEst   bool
-		distM         float64
-		distCapPerObs = 3 * m.Drone.MaxSpeedMS * cfg.TrackingInterval
-	)
-	if votePersist <= 0 {
-		votePersist = 5
+		res:         Result{MissionID: m.ID, Injection: inj},
+		steps:       int(cfg.MaxSimTime / cfg.PhysicsDt),
+		imuDt:       1 / cfg.IMUSpec.RateHz,
+		monitorTick: sensors.NewTicker(50),
+		gravityTick: sensors.NewTicker(25),
+		guideTick:   sensors.NewTicker(50),
+		prevEstPos:  m.Start,
+
+		votePersist:   cfg.VotePersistSamples,
+		voteAccelTol:  cfg.VoteAccelTol,
+		voteGyroTol:   cfg.VoteGyroTol,
+		distCapPerObs: 3 * m.Drone.MaxSpeedMS * cfg.TrackingInterval,
+		sampleBuf:     make([]sensors.IMUSample, 0, imus.Count()),
 	}
-	if voteAccelTol <= 0 {
-		voteAccelTol = 3.0
+	if v.votePersist <= 0 {
+		v.votePersist = 5
 	}
-	if voteGyroTol <= 0 {
-		voteGyroTol = 0.3
+	if v.voteAccelTol <= 0 {
+		v.voteAccelTol = 3.0
+	}
+	if v.voteGyroTol <= 0 {
+		v.voteGyroTol = 0.3
+	}
+	if cfg.RecordTrajectory {
+		interval := cfg.TrackingInterval
+		if interval <= 0 {
+			interval = bubble.DefaultTrackingInterval
+		}
+		v.res.Trajectory = make([]TrajPoint, 0, int(cfg.MaxSimTime/interval)+1)
 	}
 	// On the pad the controller needs an initial setpoint.
-	sp = guide.update(0, m.Start, 0, true)
+	v.sp = v.guide.update(0, m.Start, 0, true)
+	return v, nil
+}
 
-	steps := int(cfg.MaxSimTime / cfg.PhysicsDt)
-	for i := 0; i < steps; i++ {
-		t = float64(i) * cfg.PhysicsDt
+// T returns the sim time of the next step to execute (s).
+func (v *Vehicle) T() float64 { return float64(v.step) * v.cfg.PhysicsDt }
 
-		// --- Sense (250 Hz), corrupt, estimate, control.
-		if imus.Due(t) {
-			all := imus.SampleAll(t, body.SpecificForce(), body.AngularRate())
-			clean := all[imus.Primary()]
-			if injector != nil {
-				// The fault corrupts the sensor output stream: every
-				// affected unit reads the same corrupted values.
-				corrupted := injector.Apply(clean)
-				for i := range all {
-					if inj.AffectsUnit(i) {
-						all[i] = corrupted
-					}
+// Done reports whether the run reached an outcome before MaxSimTime.
+func (v *Vehicle) Done() bool { return v.done }
+
+// RunToEnd executes remaining steps until an outcome or MaxSimTime and
+// returns the final result.
+func (v *Vehicle) RunToEnd() Result {
+	for !v.done && v.step < v.steps {
+		v.stepOnce()
+	}
+	return v.finalize()
+}
+
+// RunUntil executes steps while sim time is below tLimit seconds (and no
+// outcome has been reached). The next step to execute after return is the
+// first with t >= tLimit, which makes the split point exact: forking at
+// tLimit and running straight through execute identical step sequences.
+func (v *Vehicle) RunUntil(tLimit float64) {
+	for !v.done && v.step < v.steps && float64(v.step)*v.cfg.PhysicsDt < tLimit {
+		v.stepOnce()
+	}
+}
+
+// finalize derives the Result fields computed after the step loop. It does
+// not mutate the vehicle, so it is safe to call more than once.
+func (v *Vehicle) finalize() Result {
+	res := v.res
+	if res.Outcome == 0 {
+		res.Outcome = OutcomeTimeout
+		res.FlightDurationSec = v.cfg.MaxSimTime
+	}
+	res.DistanceKm = v.distM / 1000
+	res.InnerViolations = v.tracker.InnerViolations()
+	res.OuterViolations = v.tracker.OuterViolations()
+	res.WaypointsReached = v.guide.waypointsReached()
+	return res
+}
+
+// stepOnce advances the simulation by one physics step.
+func (v *Vehicle) stepOnce() {
+	cfg := &v.cfg
+	t := float64(v.step) * cfg.PhysicsDt
+
+	// --- Sense (250 Hz), corrupt, estimate, control.
+	if v.imus.Due(t) {
+		all := v.imus.SampleAllInto(v.sampleBuf, t, v.body.SpecificForce(), v.body.AngularRate())
+		v.sampleBuf = all
+		clean := all[v.imus.Primary()]
+		v.lastClean = clean
+		if v.injector != nil {
+			// The fault corrupts the sensor output stream: every
+			// affected unit reads the same corrupted values.
+			corrupted := v.injector.Apply(clean)
+			for i := range all {
+				if v.inj.AffectsUnit(i) {
+					all[i] = corrupted
 				}
 			}
-			raw := all[imus.Primary()]
+		}
+		raw := all[v.imus.Primary()]
 
-			// Cross-IMU consistency voting (redundancy management): a
-			// primary that persistently disagrees with the unit majority
-			// is switched out long before the failsafe-level checks see
-			// anything.
-			if cfg.RedundancyVoting {
-				if sensors.VoteOutlier(all, imus.Primary(), voteAccelTol, voteGyroTol) {
-					voteStrikes++
-					if voteStrikes >= votePersist {
-						imus.SwitchPrimary()
-						voteStrikes = 0
-						raw = all[imus.Primary()]
-						// The outgoing unit polluted recent predictions:
-						// reopen uncertainty and coarse-realign attitude
-						// from the incoming (trusted) unit.
-						filter.NotifySensorSwitch()
-						filter.RealignLevel(raw.Accel)
-					}
-				} else {
-					voteStrikes = 0
+		// Cross-IMU consistency voting (redundancy management): a
+		// primary that persistently disagrees with the unit majority
+		// is switched out long before the failsafe-level checks see
+		// anything.
+		if cfg.RedundancyVoting {
+			if sensors.VoteOutlier(all, v.imus.Primary(), v.voteAccelTol, v.voteGyroTol) {
+				v.voteStrikes++
+				if v.voteStrikes >= v.votePersist {
+					v.imus.SwitchPrimary()
+					v.voteStrikes = 0
+					raw = all[v.imus.Primary()]
+					// The outgoing unit polluted recent predictions:
+					// reopen uncertainty and coarse-realign attitude
+					// from the incoming (trusted) unit.
+					v.filter.NotifySensorSwitch()
+					v.filter.RealignLevel(raw.Accel)
 				}
+			} else {
+				v.voteStrikes = 0
 			}
-			if cfg.Mitigation.Enabled() {
-				// The mitigation pipeline sits where a real flight stack
-				// would deploy it: after the (possibly faulty) sensor
-				// output, before every consumer.
-				raw, _ = mitigate.Apply(raw)
-			}
-			lastIMU = raw
-			haveIMU = true
+		}
+		if cfg.Mitigation.Enabled() {
+			// The mitigation pipeline sits where a real flight stack
+			// would deploy it: after the (possibly faulty) sensor
+			// output, before every consumer.
+			raw, _ = v.mitigate.Apply(raw)
+		}
+		v.lastIMU = raw
+		v.haveIMU = true
 
-			ekfSample := raw
-			if cfg.ShieldEKF {
-				ekfSample = clean // ablation: estimation path protected
-			}
-			filter.Predict(ekfSample, imuDt)
-			if gravityTick.Due(t) {
-				filter.FuseGravity(ekfSample)
-			}
-
-			est := filter.State()
-			rateFeedback := raw.Gyro
-			if cfg.ShieldRateLoop {
-				rateFeedback = clean.Gyro // ablation: control path protected
-			}
-			cmd, _ := ctl.Update(imuDt, control.Estimate{Att: est.Att, Vel: est.Vel, Pos: est.Pos}, rateFeedback, sp)
-			body.SetMotorCommands(cmd)
+		ekfSample := raw
+		if cfg.ShieldEKF {
+			ekfSample = clean // ablation: estimation path protected
 		}
-		if gps.Due(t) {
-			st := body.State()
-			filter.FuseGPS(gps.Sample(t, st.Pos, st.Vel))
-		}
-		if baro.Due(t) {
-			filter.FuseBaro(baro.Sample(t, body.State().AltitudeM()))
-		}
-		if mag.Due(t) {
-			// The magnetometer is not a fault-injection target (paper
-			// Section I): it reads true heading plus its own error model.
-			_, _, trueYaw := body.State().Att.Euler()
-			filter.FuseMag(mag.Sample(t, trueYaw))
+		v.filter.Predict(ekfSample, v.imuDt)
+		if v.gravityTick.Due(t) {
+			v.filter.FuseGravity(ekfSample)
 		}
 
-		// --- Protective layer (50 Hz).
-		if monitorTick.Due(t) && haveIMU {
-			obs := failsafe.Observation{
-				T: t, IMU: lastIMU, Health: filter.Health(),
-				EstVelHorizMS: filter.State().Vel.NormXY(),
-				MaxSpeedMS:    m.Drone.MaxSpeedMS,
-				StuckSensor:   mitigate.StuckDetected(),
-			}
-			if monitor.Update(obs, imus) == failsafe.PhaseActive {
-				// Flight termination: record and stop.
-				res.Outcome = OutcomeFailsafe
-				res.FailsafeCause = monitor.Cause().String()
-				res.FlightDurationSec = t
-				break
-			}
-			st := body.State()
-			if st.AltitudeM() > 2 {
-				beenAirborne = true
-			}
-			if beenAirborne {
-				crash.Update(t, st.OnGround(), body.TouchdownSpeed(), st.Att.TiltAngle())
-				if crash.Crashed() {
-					res.Outcome = OutcomeCrash
-					res.CrashReason = crash.Reason()
-					res.FlightDurationSec = t
-					break
-				}
-			}
-			if !st.IsFinite() {
-				// Integration blow-up counts as a crash: the vehicle is
-				// physically gone.
-				res.Outcome = OutcomeCrash
-				res.CrashReason = "state blow-up"
-				res.FlightDurationSec = t
-				break
+		est := v.filter.State()
+		rateFeedback := raw.Gyro
+		if cfg.ShieldRateLoop {
+			rateFeedback = clean.Gyro // ablation: control path protected
+		}
+		cmd, _ := v.ctl.Update(v.imuDt, control.Estimate{Att: est.Att, Vel: est.Vel, Pos: est.Pos}, rateFeedback, v.sp)
+		v.body.SetMotorCommands(cmd)
+	}
+
+	// Hoist the per-step state copies: the body state is constant until
+	// body.Step below, and the filter state is constant once the aiding
+	// fusions for this step have run, so each is copied at most once per
+	// step instead of per consumer.
+	gpsDue := v.gps.Due(t)
+	baroDue := v.baro.Due(t)
+	magDue := v.mag.Due(t)
+	monitorDue := v.monitorTick.Due(t)
+	guideDue := v.guideTick.Due(t)
+	trackDue := v.tracker.Due(t)
+
+	var bst physics.State
+	if gpsDue || baroDue || magDue || monitorDue || guideDue || trackDue {
+		bst = v.body.State()
+	}
+
+	if gpsDue {
+		v.filter.FuseGPS(v.gps.Sample(t, bst.Pos, bst.Vel))
+	}
+	if baroDue {
+		v.filter.FuseBaro(v.baro.Sample(t, bst.AltitudeM()))
+	}
+	if magDue {
+		// The magnetometer is not a fault-injection target (paper
+		// Section I): it reads true heading plus its own error model.
+		_, _, trueYaw := bst.Att.Euler()
+		v.filter.FuseMag(v.mag.Sample(t, trueYaw))
+	}
+
+	var est ekf.State
+	if monitorDue || guideDue || trackDue {
+		est = v.filter.State()
+	}
+
+	// --- Protective layer (50 Hz).
+	if monitorDue && v.haveIMU {
+		fobs := failsafe.Observation{
+			T: t, IMU: v.lastIMU, Health: v.filter.Health(),
+			EstVelHorizMS: est.Vel.NormXY(),
+			MaxSpeedMS:    v.m.Drone.MaxSpeedMS,
+			StuckSensor:   v.mitigate.StuckDetected(),
+		}
+		if v.monitor.Update(fobs, v.imus) == failsafe.PhaseActive {
+			// Flight termination: record and stop.
+			v.res.Outcome = OutcomeFailsafe
+			v.res.FailsafeCause = v.monitor.Cause().String()
+			v.res.FlightDurationSec = t
+			v.done = true
+			return
+		}
+		if bst.AltitudeM() > 2 {
+			v.beenAir = true
+		}
+		if v.beenAir {
+			v.crash.Update(t, bst.OnGround(), v.body.TouchdownSpeed(), bst.Att.TiltAngle())
+			if v.crash.Crashed() {
+				v.res.Outcome = OutcomeCrash
+				v.res.CrashReason = v.crash.Reason()
+				v.res.FlightDurationSec = t
+				v.done = true
+				return
 			}
 		}
-
-		// --- Guidance (50 Hz).
-		if guideTick.Due(t) {
-			est := filter.State()
-			sp = guide.update(t, est.Pos, est.Vel.Norm(), body.State().OnGround())
-			if guide.done() {
-				res.Outcome = OutcomeCompleted
-				res.FlightDurationSec = t
-				break
-			}
+		if !bst.IsFinite() {
+			// Integration blow-up counts as a crash: the vehicle is
+			// physically gone.
+			v.res.Outcome = OutcomeCrash
+			v.res.CrashReason = "state blow-up"
+			v.res.FlightDurationSec = t
+			v.done = true
+			return
 		}
+	}
 
-		// --- U-space tracking (1 Hz): bubbles, distance, telemetry.
-		est := filter.State()
-		if s, ok := tracker.Observe(t, est.Pos, body.Airspeed()); ok {
-			if havePrevEst {
-				d := est.Pos.Dist(prevEstPos)
+	// --- Guidance (50 Hz).
+	if guideDue {
+		v.sp = v.guide.update(t, est.Pos, est.Vel.Norm(), bst.OnGround())
+		if v.guide.done() {
+			v.res.Outcome = OutcomeCompleted
+			v.res.FlightDurationSec = t
+			v.done = true
+			return
+		}
+	}
+
+	// --- U-space tracking (1 Hz): bubbles, distance, telemetry.
+	if trackDue {
+		if s, ok := v.tracker.Observe(t, est.Pos, v.body.Airspeed()); ok {
+			if v.havePrevEst {
+				d := est.Pos.Dist(v.prevEstPos)
 				// Tracker plausibility filter: a diverged estimate can
 				// teleport; the tracking system bounds per-interval travel
 				// by the drone's physical capability.
-				distM += math.Min(d, distCapPerObs)
+				v.distM += math.Min(d, v.distCapPerObs)
 			}
-			prevEstPos = est.Pos
-			havePrevEst = true
+			v.prevEstPos = est.Pos
+			v.havePrevEst = true
 
 			if cfg.RecordTrajectory {
-				res.Trajectory = append(res.Trajectory, TrajPoint{
-					T: t, TruePos: body.State().Pos, EstPos: est.Pos,
-					TiltDeg: mathx.Rad2Deg(body.State().Att.TiltAngle()),
+				v.res.Trajectory = append(v.res.Trajectory, TrajPoint{
+					T: t, TruePos: bst.Pos, EstPos: est.Pos,
+					TiltDeg: mathx.Rad2Deg(bst.Att.TiltAngle()),
 				})
 			}
-			if obs != nil {
-				obs(Telemetry{
-					T: t, MissionID: m.ID,
+			if v.obs != nil {
+				v.obs(Telemetry{
+					T: t, MissionID: v.m.ID,
 					EstPos: est.Pos, EstVel: est.Vel,
-					TruePos: body.State().Pos, Airspeed: body.Airspeed(),
-					Bubble: s, Phase: fmt.Sprintf("%d", guide.phase),
-					Health: filter.Health(), EstState: est, TrueAtt: body.State().Att,
+					TruePos: bst.Pos, Airspeed: v.body.Airspeed(),
+					Bubble: s, Phase: v.guide.phase.label(),
+					Health: v.filter.Health(), EstState: est, TrueAtt: bst.Att,
 				})
 			}
 		}
-
-		body.Step(cfg.PhysicsDt)
 	}
 
-	if res.Outcome == 0 {
-		res.Outcome = OutcomeTimeout
-		res.FlightDurationSec = cfg.MaxSimTime
+	v.body.Step(cfg.PhysicsDt)
+	v.step++
+}
+
+// label formats the phase for telemetry without allocating on the common
+// path (the 1 Hz observer used to Sprintf this every sample).
+func (p flightPhase) label() string {
+	switch p {
+	case phaseTakeoff:
+		return "1"
+	case phaseCruise:
+		return "2"
+	case phaseLand:
+		return "3"
+	case phaseDone:
+		return "4"
+	default:
+		return strconv.Itoa(int(p))
 	}
-	res.DistanceKm = distM / 1000
-	res.InnerViolations = tracker.InnerViolations()
-	res.OuterViolations = tracker.OuterViolations()
-	res.WaypointsReached = guide.waypointsReached()
-	return res, nil
 }

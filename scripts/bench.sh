@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Performance report: micro-benchmarks (go test -bench=Micro -benchmem)
+# plus the cold-vs-checkpointed campaign timing, emitted as
+# BENCH_<date>.json by cmd/bench. Pass -missions 10 for the paper's full
+# 850-case campaign (the default slice is 2 missions / 170 cases).
+set -eu
+
+go test -run XXX -bench Micro -benchmem .
+go test -run XXX -bench Propagate -benchmem ./internal/ekf/
+exec go run ./cmd/bench "$@"
