@@ -25,6 +25,7 @@ import (
 	"uavres/internal/mathx"
 	"uavres/internal/mission"
 	"uavres/internal/mitigation"
+	"uavres/internal/obs"
 	"uavres/internal/physics"
 	"uavres/internal/sensors"
 	"uavres/internal/sim"
@@ -557,5 +558,41 @@ func BenchmarkMicroSimTenSeconds(b *testing.B) {
 		if _, err := sim.Run(cfg, m, nil, nil); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkMicroObsCounterInc measures the observability hot path: one
+// resolved-counter increment, the cost the flight-data recorder adds to
+// every 500 Hz physics step. Must stay 0 allocs/op.
+func BenchmarkMicroObsCounterInc(b *testing.B) {
+	c := obs.NewRegistry().Counter("steps")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkMicroObsHistogramObserve measures one histogram observation
+// (bucket scan + two atomic adds + CAS sum). Must stay 0 allocs/op.
+func BenchmarkMicroObsHistogramObserve(b *testing.B) {
+	h := obs.NewRegistry().Histogram("lat", []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%37) * 0.1)
+	}
+}
+
+// BenchmarkMicroObsTraceAppend measures one trace-ring append (including
+// steady-state eviction once the ring is full). Must stay 0 allocs/op.
+func BenchmarkMicroObsTraceAppend(b *testing.B) {
+	tb := obs.NewTraceBuffer(obs.DefaultTraceCapacity)
+	e := obs.Event{Kind: obs.EventPhase, Detail: "2"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.T = float64(i)
+		tb.Append(e)
 	}
 }

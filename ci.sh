@@ -1,8 +1,10 @@
 #!/usr/bin/env sh
 # Full CI gate: build, vet, simulation-aware lint, tests, the race
 # detector over the concurrent packages (broker, sweep shards, tracker,
-# campaign runner), and a one-iteration micro-benchmark smoke (the hot
-# paths must at least still run; scripts/bench.sh measures them). Any
+# campaign runner, metrics registry), a one-iteration micro-benchmark
+# smoke (the hot paths must at least still run; scripts/bench.sh
+# measures them), and an observability smoke: a one-mission campaign
+# must emit a metrics snapshot that passes the schema validator. Any
 # failure fails the gate.
 set -eux
 
@@ -10,5 +12,12 @@ go build ./...
 go vet ./...
 go run ./cmd/uavlint ./...
 go test ./...
-go test -race ./internal/telemetry/ ./internal/sweep/ ./internal/uspace/ ./internal/core/ ./internal/sim/
+go test -race ./internal/telemetry/ ./internal/sweep/ ./internal/uspace/ ./internal/core/ ./internal/sim/ ./internal/obs/
 go test -run XXX -bench Micro -benchtime=1x -benchmem .
+
+# Observability smoke: run one mission's cases with metrics capture,
+# then validate the snapshot's JSON schema with the same binary.
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+go run ./cmd/campaign -subset m01 -q -out "$tmpdir/results.json" -metrics-out "$tmpdir/metrics.json"
+go run ./cmd/campaign -validate-metrics "$tmpdir/metrics.json"

@@ -23,6 +23,7 @@ import (
 	"uavres/internal/ekf"
 	"uavres/internal/mathx"
 	"uavres/internal/mission"
+	"uavres/internal/obs"
 	"uavres/internal/physics"
 	"uavres/internal/sensors"
 	"uavres/internal/sim"
@@ -169,6 +170,32 @@ func microBenchmarks() []MicroResult {
 			if _, err := sim.Run(cfg, m, nil, nil); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+	add("ObsCounterInc", func(b *testing.B) {
+		c := obs.NewRegistry().Counter("steps")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	add("ObsHistogramObserve", func(b *testing.B) {
+		h := obs.NewRegistry().Histogram("lat", []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Observe(float64(i%37) * 0.1)
+		}
+	})
+	add("ObsTraceAppend", func(b *testing.B) {
+		tb := obs.NewTraceBuffer(obs.DefaultTraceCapacity)
+		e := obs.Event{Kind: obs.EventPhase, Detail: "2"}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.T = float64(i)
+			tb.Append(e)
 		}
 	})
 	return out

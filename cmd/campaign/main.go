@@ -6,6 +6,8 @@
 // Usage:
 //
 //	campaign [-workers N] [-seed S] [-out results.json] [-subset mNN] [-checkpoint=false]
+//	campaign [-metrics-out metrics.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	campaign -validate-metrics metrics.json
 //	campaign -print-faultmodel
 package main
 
@@ -14,12 +16,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"uavres/internal/core"
 	"uavres/internal/faultinject"
 	"uavres/internal/mission"
+	"uavres/internal/obs"
 	"uavres/internal/paperdata"
 )
 
@@ -37,12 +42,43 @@ func run() int {
 		scope      = flag.String("scope", "all", "fault scope: all (paper assumption: every redundant IMU) | primary (unit 0 only — redundancy ablation)")
 		faultmodel = flag.Bool("print-faultmodel", false, "print Table I (the fault model) and exit")
 		quiet      = flag.Bool("q", false, "suppress progress output")
+
+		metricsOut      = flag.String("metrics-out", "", "write the campaign metrics snapshot as JSON to this path")
+		validateMetrics = flag.String("validate-metrics", "", "validate a metrics snapshot JSON file and exit (CI schema gate)")
+		cpuprofile      = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memprofile      = flag.String("memprofile", "", "write a heap profile to this path")
 	)
 	flag.Parse()
 
 	if *faultmodel {
 		fmt.Print(core.RenderFaultModel())
 		return 0
+	}
+	if *validateMetrics != "" {
+		data, err := os.ReadFile(*validateMetrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			return 1
+		}
+		if err := obs.ValidateSnapshotJSON(data); err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			return 1
+		}
+		fmt.Printf("campaign: %s is a valid metrics snapshot\n", *validateMetrics)
+		return 0
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	cases := core.Plan(mission.Valencia(), *seed)
@@ -74,14 +110,21 @@ func run() int {
 	}
 	fmt.Printf("campaign: %d cases, seed %d\n", len(cases), *seed)
 
+	// The wall clock enters here and nowhere deeper: the runner and the
+	// simulation below it only ever see this injected obs.Clock.
+	start := time.Now()
+	clock := func() float64 { return time.Since(start).Seconds() }
+
+	reg := obs.NewRegistry()
 	runner := core.NewRunner()
 	runner.Workers = *workers
 	runner.Checkpoint = *checkpoint
+	runner.Obs = reg
+	runner.Clock = clock
 	if !*quiet {
-		start := time.Now()
 		runner.Progress = func(done, total int) {
 			if done%50 == 0 || done == total {
-				elapsed := time.Since(start).Seconds()
+				elapsed := clock()
 				fmt.Printf("  %4d/%d (%.0f%%, %.1fs elapsed, ~%.0fs left)\n",
 					done, total, 100*float64(done)/float64(total), elapsed,
 					elapsed/float64(done)*float64(total-done))
@@ -114,6 +157,38 @@ func run() int {
 			return 1
 		}
 		fmt.Printf("results written to %s\n", *out)
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			return 1
+		}
+		werr := reg.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "campaign: writing metrics: %v\n", werr)
+			return 1
+		}
+		fmt.Printf("metrics written to %s\n", *metricsOut)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			return 1
+		}
+		runtime.GC() // get up-to-date heap statistics
+		werr := pprof.WriteHeapProfile(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "campaign: writing heap profile: %v\n", werr)
+			return 1
+		}
 	}
 	if failures > 0 {
 		return 1

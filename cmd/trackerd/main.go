@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	trackerd -addr 127.0.0.1:14550 [-interval 5s]
+//	trackerd -addr 127.0.0.1:14550 [-interval 5s] [-metrics-addr 127.0.0.1:9100]
+//
+// With -metrics-addr set, an HTTP server exposes Prometheus-text metrics
+// at /metrics (broker counters, tracker gauges, uptime) and the standard
+// Go profiling endpoints under /debug/pprof/.
 //
 // Vehicles publish frames to the same address (see examples/bubblemonitor
 // for an end-to-end wiring).
@@ -15,14 +19,35 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"uavres/internal/obs"
 	"uavres/internal/telemetry"
 	"uavres/internal/uspace"
 )
+
+// newMetricsMux builds the observability endpoint: Prometheus-text
+// metrics plus the pprof handlers, on a private mux (nothing else in the
+// process can accidentally extend the default mux into this listener).
+func newMetricsMux(reg *obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
 func main() {
 	os.Exit(run())
@@ -30,8 +55,9 @@ func main() {
 
 func run() int {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:14550", "broker listen address")
-		interval = flag.Duration("interval", 5*time.Second, "airspace summary print interval")
+		addr        = flag.String("addr", "127.0.0.1:14550", "broker listen address")
+		interval    = flag.Duration("interval", 5*time.Second, "airspace summary print interval")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -44,6 +70,25 @@ func run() int {
 	fmt.Printf("trackerd: broker listening on %s\n", broker.Addr())
 
 	tracker := uspace.NewTracker()
+
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		broker.RegisterMetrics(reg)
+		reg.GaugeFunc("uspace_drones_tracked", func() float64 { return float64(len(tracker.Drones())) })
+		reg.GaugeFunc("uspace_conflicts_total", func() float64 { return float64(len(tracker.Conflicts())) })
+		startedAt := time.Now()
+		reg.GaugeFunc("trackerd_uptime_seconds", func() float64 { return time.Since(startedAt).Seconds() })
+
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trackerd:", err)
+			return 1
+		}
+		defer ln.Close()
+		srv := &http.Server{Handler: newMetricsMux(reg)}
+		go func() { _ = srv.Serve(ln) }()
+		fmt.Printf("trackerd: metrics on http://%s/metrics, profiles on /debug/pprof/\n", ln.Addr())
+	}
 
 	sub, err := telemetry.NewSubscriber(broker.Addr())
 	if err != nil {

@@ -3,13 +3,16 @@ package core
 import (
 	"bytes"
 	"context"
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"uavres/internal/faultinject"
 	"uavres/internal/mathx"
 	"uavres/internal/mission"
+	"uavres/internal/obs"
 	"uavres/internal/sim"
 )
 
@@ -428,5 +431,142 @@ func TestRunnerCheckpointMatchesStraight(t *testing.T) {
 			t.Errorf("%s: checkpointed result differs:\n straight %+v\n forked   %+v",
 				s.Case.ID, s.Result, f.Result)
 		}
+		if !reflect.DeepEqual(s.Result.Diagnostics, f.Result.Diagnostics) {
+			t.Errorf("%s: diagnostics differ between straight and forked:\n straight %+v\n forked   %+v",
+				s.Case.ID, s.Result.Diagnostics, f.Result.Diagnostics)
+		}
+	}
+}
+
+// progressRecord captures one Progress callback.
+type progressRecord struct{ done, total int }
+
+// checkProgress asserts the satellite-task contract: Progress is invoked
+// exactly once per case with monotonically increasing done and a constant
+// total, ending at done == total.
+func checkProgress(t *testing.T, label string, calls []progressRecord, total int) {
+	t.Helper()
+	if len(calls) != total {
+		t.Fatalf("%s: progress called %d times for %d cases", label, len(calls), total)
+	}
+	for i, c := range calls {
+		if c.done != i+1 {
+			t.Errorf("%s: call %d reported done=%d, want %d", label, i, c.done, i+1)
+		}
+		if c.total != total {
+			t.Errorf("%s: call %d reported total=%d, want %d", label, i, c.total, total)
+		}
+	}
+}
+
+// progressCases builds a case mix with a forkable group (two faulty cases
+// sharing mission, seed, scope, and start), a gold run, and an erroring
+// case — every path Progress must still fire on.
+func progressCases() []Case {
+	mk := func(p faultinject.Primitive, seed int64) *faultinject.Injection {
+		return &faultinject.Injection{
+			Primitive: p, Target: faultinject.TargetGyro,
+			Start: 20 * time.Second, Duration: 2 * time.Second, Seed: seed,
+		}
+	}
+	return []Case{
+		{ID: "gold", MissionID: 1, Seed: 31},
+		{ID: "f1", MissionID: 1, Seed: 31, Injection: mk(faultinject.Zeros, 1)},
+		{ID: "f2", MissionID: 1, Seed: 31, Injection: mk(faultinject.Noise, 2)},
+		{ID: "broken", MissionID: 99, Seed: 31},
+	}
+}
+
+func TestRunnerProgressContract(t *testing.T) {
+	for _, checkpoint := range []bool{false, true} {
+		label := "straight"
+		if checkpoint {
+			label = "checkpoint"
+		}
+		r := NewRunner()
+		r.Missions = shortScenario()
+		r.Workers = 3
+		r.Checkpoint = checkpoint
+		var calls []progressRecord
+		r.Progress = func(done, total int) { calls = append(calls, progressRecord{done, total}) }
+		cases := progressCases()
+		r.RunAll(context.Background(), cases)
+		checkProgress(t, label, calls, len(cases))
+	}
+}
+
+// TestRunnerMetrics: with an Obs registry and an injected clock, RunAll
+// accounts for every case exactly once, splits forked vs straight
+// execution, tallies outcomes and errors, and records stage timing from
+// the injected clock only.
+func TestRunnerMetrics(t *testing.T) {
+	r := NewRunner()
+	r.Missions = shortScenario()
+	r.Workers = 2
+	r.Checkpoint = true
+	r.Obs = obs.NewRegistry()
+	var fake struct {
+		mu sync.Mutex
+		t  float64
+	}
+	r.Clock = func() float64 {
+		fake.mu.Lock()
+		defer fake.mu.Unlock()
+		fake.t += 0.125
+		return fake.t
+	}
+	cases := progressCases()
+	r.RunAll(context.Background(), cases)
+
+	val := func(name string) int64 { return r.Obs.Counter(name).Value() }
+	if got := val("campaign_cases_total"); got != int64(len(cases)) {
+		t.Errorf("cases_total = %d, want %d", got, len(cases))
+	}
+	if val("campaign_case_errors_total") != 1 {
+		t.Errorf("errors = %d, want 1 (the unknown-mission case)", val("campaign_case_errors_total"))
+	}
+	// The f1/f2 pair shares a prefix: one checkpoint built, two forks.
+	if val("campaign_prefixes_built_total") != 1 {
+		t.Errorf("prefixes = %d, want 1", val("campaign_prefixes_built_total"))
+	}
+	if val("campaign_cases_forked_total") != 2 {
+		t.Errorf("forked = %d, want 2", val("campaign_cases_forked_total"))
+	}
+	if got := val("campaign_cases_forked_total") + val("campaign_cases_straight_total"); got != int64(len(cases)) {
+		t.Errorf("forked+straight = %d, want %d", got, len(cases))
+	}
+	outcomes := val("campaign_outcome_completed_total") + val("campaign_outcome_crash_total") +
+		val("campaign_outcome_failsafe_total") + val("campaign_outcome_timeout_total")
+	if outcomes != int64(len(cases))-1 {
+		t.Errorf("outcome counters sum to %d, want %d", outcomes, len(cases)-1)
+	}
+	h := r.Obs.Histogram("campaign_case_seconds", caseSecondsBounds)
+	if h.Count() != int64(len(cases)) {
+		t.Errorf("case_seconds count = %d, want %d", h.Count(), len(cases))
+	}
+	if h.Sum() <= 0 {
+		t.Error("case_seconds sum is zero with a ticking clock")
+	}
+	if r.Obs.Gauge("campaign_checkpoint_stage_seconds").Value() <= 0 {
+		t.Error("checkpoint stage seconds not recorded")
+	}
+	if r.Obs.Gauge("campaign_run_stage_seconds").Value() <= 0 {
+		t.Error("run stage seconds not recorded")
+	}
+}
+
+// TestRunnerNoClockStaysZero: without an injected clock the runner never
+// invents wall time (the timing metrics read zero but counting still works).
+func TestRunnerNoClockStaysZero(t *testing.T) {
+	r := NewRunner()
+	r.Missions = shortScenario()
+	r.Obs = obs.NewRegistry()
+	cases := []Case{{ID: "gold", MissionID: 1, Seed: 31}}
+	r.RunAll(context.Background(), cases)
+	if got := r.Obs.Counter("campaign_cases_total").Value(); got != 1 {
+		t.Errorf("cases_total = %d, want 1", got)
+	}
+	if sum := r.Obs.Histogram("campaign_case_seconds", caseSecondsBounds).Sum(); sum != 0 {
+		t.Errorf("case_seconds sum = %v without a clock", sum)
 	}
 }

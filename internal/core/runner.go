@@ -10,6 +10,7 @@ import (
 
 	"uavres/internal/faultinject"
 	"uavres/internal/mission"
+	"uavres/internal/obs"
 	"uavres/internal/sim"
 )
 
@@ -35,6 +36,92 @@ type Runner struct {
 	// cases of each mission share one 90-second prefix. The zero-value
 	// Runner runs every case straight through.
 	Checkpoint bool
+	// Obs, if non-nil, receives campaign-level metrics: case and outcome
+	// counters, fork/prefix accounting, and per-case/per-stage wall-clock
+	// timing. Nil disables instrumentation entirely.
+	Obs *obs.Registry
+	// Clock supplies wall time in seconds for the timing metrics. Nil
+	// means obs.Stopped(): timing metrics stay zero and the library never
+	// reads the wall clock itself (cmd layers inject the real clock).
+	Clock obs.Clock
+}
+
+// now reads the injected clock (0 when none is wired).
+func (r *Runner) now() float64 {
+	if r.Clock == nil {
+		return 0
+	}
+	return r.Clock()
+}
+
+// caseSecondsBounds buckets per-case wall time: checkpointed forks finish
+// in well under a second; straight 400 s missions take a few seconds.
+var caseSecondsBounds = []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+
+// runnerMetrics holds the resolved campaign instruments. All fields are
+// nil-safe to skip: a Runner without Obs never builds one.
+type runnerMetrics struct {
+	cases    *obs.Counter
+	errors   *obs.Counter
+	forked   *obs.Counter
+	straight *obs.Counter
+	prefixes *obs.Counter
+
+	completed *obs.Counter
+	crashed   *obs.Counter
+	failsafed *obs.Counter
+	timedOut  *obs.Counter
+
+	caseSeconds       *obs.Histogram
+	checkpointSeconds *obs.Gauge
+	runSeconds        *obs.Gauge
+}
+
+func newRunnerMetrics(reg *obs.Registry) *runnerMetrics {
+	return &runnerMetrics{
+		cases:    reg.Counter("campaign_cases_total"),
+		errors:   reg.Counter("campaign_case_errors_total"),
+		forked:   reg.Counter("campaign_cases_forked_total"),
+		straight: reg.Counter("campaign_cases_straight_total"),
+		prefixes: reg.Counter("campaign_prefixes_built_total"),
+
+		completed: reg.Counter("campaign_outcome_completed_total"),
+		crashed:   reg.Counter("campaign_outcome_crash_total"),
+		failsafed: reg.Counter("campaign_outcome_failsafe_total"),
+		timedOut:  reg.Counter("campaign_outcome_timeout_total"),
+
+		caseSeconds:       reg.Histogram("campaign_case_seconds", caseSecondsBounds),
+		checkpointSeconds: reg.Gauge("campaign_checkpoint_stage_seconds"),
+		runSeconds:        reg.Gauge("campaign_run_stage_seconds"),
+	}
+}
+
+// observeCase folds one finished case into the campaign counters.
+func (m *runnerMetrics) observeCase(res CaseResult, forked bool, seconds float64) {
+	if m == nil {
+		return
+	}
+	m.cases.Inc()
+	m.caseSeconds.Observe(seconds)
+	if forked {
+		m.forked.Inc()
+	} else {
+		m.straight.Inc()
+	}
+	if res.Err != "" {
+		m.errors.Inc()
+		return
+	}
+	switch res.Result.Outcome {
+	case sim.OutcomeCompleted:
+		m.completed.Inc()
+	case sim.OutcomeCrash:
+		m.crashed.Inc()
+	case sim.OutcomeFailsafe:
+		m.failsafed.Inc()
+	case sim.OutcomeTimeout:
+		m.timedOut.Inc()
+	}
 }
 
 // NewRunner returns a runner with the default campaign configuration.
@@ -71,14 +158,24 @@ func (r *Runner) RunAll(ctx context.Context, cases []Case) []CaseResult {
 		workers = 1
 	}
 
+	var metrics *runnerMetrics
+	if r.Obs != nil {
+		metrics = newRunnerMetrics(r.Obs)
+	}
+
 	var checkpoints map[prefixKey]*sim.Checkpoint
 	if r.Checkpoint {
-		checkpoints = r.prepareCheckpoints(ctx, cases, workers)
+		stageStart := r.now()
+		checkpoints = r.prepareCheckpoints(ctx, cases, workers, metrics)
+		if metrics != nil {
+			metrics.checkpointSeconds.Set(r.now() - stageStart)
+		}
 	}
 
 	results := make([]CaseResult, len(cases))
 	indexCh := make(chan int)
 
+	runStart := r.now()
 	var (
 		wg       sync.WaitGroup
 		doneMu   sync.Mutex
@@ -90,7 +187,10 @@ func (r *Runner) RunAll(ctx context.Context, cases []Case) []CaseResult {
 		go func() {
 			defer wg.Done()
 			for idx := range indexCh {
-				results[idx] = r.runCase(cases[idx], checkpoints[casePrefixKey(cases[idx])])
+				caseStart := r.now()
+				res, forked := r.runCase(cases[idx], checkpoints[casePrefixKey(cases[idx])])
+				results[idx] = res
+				metrics.observeCase(res, forked, r.now()-caseStart)
 				if progress != nil {
 					doneMu.Lock()
 					doneObs++
@@ -111,6 +211,9 @@ feed:
 	}
 	close(indexCh)
 	wg.Wait()
+	if metrics != nil {
+		metrics.runSeconds.Set(r.now() - runStart)
+	}
 
 	// Cases never scheduled (cancelled) are marked explicitly.
 	for i := range results {
@@ -148,7 +251,7 @@ func casePrefixKey(c Case) prefixKey {
 // prepareCheckpoints simulates one shared prefix per group of two or more
 // forkable cases, in parallel. Groups whose prefix fails to build are
 // simply absent from the map; their cases run straight through.
-func (r *Runner) prepareCheckpoints(ctx context.Context, cases []Case, workers int) map[prefixKey]*sim.Checkpoint {
+func (r *Runner) prepareCheckpoints(ctx context.Context, cases []Case, workers int, metrics *runnerMetrics) map[prefixKey]*sim.Checkpoint {
 	groups := map[prefixKey][]int{}
 	for i, c := range cases {
 		k := casePrefixKey(c)
@@ -197,6 +300,9 @@ func (r *Runner) prepareCheckpoints(ctx context.Context, cases []Case, workers i
 				mu.Lock()
 				checkpoints[k] = cp
 				mu.Unlock()
+				if metrics != nil {
+					metrics.prefixes.Inc()
+				}
 			}
 		}()
 	}
@@ -213,25 +319,27 @@ func (r *Runner) prepareCheckpoints(ctx context.Context, cases []Case, workers i
 	return checkpoints
 }
 
-func (r *Runner) runCase(c Case, cp *sim.Checkpoint) CaseResult {
+// runCase executes one case, preferring the forked path when a shared
+// checkpoint exists. The second return reports whether the fork was used.
+func (r *Runner) runCase(c Case, cp *sim.Checkpoint) (CaseResult, bool) {
 	if cp != nil {
 		if v, err := cp.ForkWithInjection(c.Injection, nil); err == nil {
-			return CaseResult{Case: c, Result: v.RunToEnd()}
+			return CaseResult{Case: c, Result: v.RunToEnd()}, true
 		}
 		// A rejected fork (mismatched scope/start, racing plan edits) is
 		// not fatal: fall back to the straight-through path.
 	}
 	m, err := r.missionByID(c.MissionID)
 	if err != nil {
-		return CaseResult{Case: c, Err: err.Error()}
+		return CaseResult{Case: c, Err: err.Error()}, false
 	}
 	cfg := r.Config
 	cfg.Seed = c.Seed
 	res, err := sim.Run(cfg, m, c.Injection, nil)
 	if err != nil {
-		return CaseResult{Case: c, Err: err.Error()}
+		return CaseResult{Case: c, Err: err.Error()}, false
 	}
-	return CaseResult{Case: c, Result: res}
+	return CaseResult{Case: c, Result: res}, false
 }
 
 // SortByID orders results by case ID (stable presentation for reports).

@@ -111,6 +111,19 @@ type Health struct {
 	// innovations (diagnostics).
 	LastGPSPosInnov mathx.Vec3
 	LastGPSVelInnov mathx.Vec3
+	// GPSFusions and BaroFusions count fusion attempts; GPSGateRejects and
+	// BaroGateRejects count attempts the innovation gate rejected (for GPS,
+	// an attempt where any axis failed its gate). Cumulative over the
+	// flight — the observability layer exports them as counters, and being
+	// plain value fields they ride FilterSnapshot through checkpoint forks.
+	GPSFusions      int64
+	BaroFusions     int64
+	GPSGateRejects  int64
+	BaroGateRejects int64
+	// MaxGPSRatio and MaxBaroRatio are the worst test ratios seen over the
+	// flight (running maxima of Last*Ratio).
+	MaxGPSRatio  float64
+	MaxBaroRatio float64
 	// Resets counts hard reset-on-timeout events (velocity/position
 	// snapped back to a rejected-but-persistent aiding source).
 	Resets int

@@ -123,6 +123,13 @@ func (f *Filter) FuseGPS(s sensors.GPSSample) {
 		worst = math.Max(worst, ratio)
 	}
 	f.health.LastGPSRatio = worst
+	if !math.IsInf(worst, 0) { // diverged/NaN updates report +Inf
+		f.health.MaxGPSRatio = math.Max(f.health.MaxGPSRatio, worst)
+	}
+	f.health.GPSFusions++
+	if !allAccepted {
+		f.health.GPSGateRejects++
+	}
 
 	if allAccepted {
 		f.health.GPSRejectSec = 0
@@ -228,6 +235,13 @@ func (f *Filter) FuseBaro(s sensors.BaroSample) {
 	y := s.AltM - (-f.st.Pos.Z)
 	ok, ratio := f.updateScalar(h, y, f.cfg.BaroStd*f.cfg.BaroStd)
 	f.health.LastBaroRatio = ratio
+	if !math.IsInf(ratio, 0) {
+		f.health.MaxBaroRatio = math.Max(f.health.MaxBaroRatio, ratio)
+	}
+	f.health.BaroFusions++
+	if !ok {
+		f.health.BaroGateRejects++
+	}
 	if ok {
 		f.health.BaroRejectSec = 0
 	} else if f.lastBarT > 0 {

@@ -13,6 +13,7 @@ import (
 	"io"
 	"math"
 	"strconv"
+	"strings"
 )
 
 // Format constants.
@@ -197,11 +198,14 @@ func decodeRecord(b []byte) Record {
 	return r
 }
 
+// csvHeader is the exported column order; ReadCSV requires it verbatim.
+const csvHeader = "t,true_x,true_y,true_z,est_x,est_y,est_z,tilt_deg,deviation_m,inner_viol,outer_viol,fault,failsafe"
+
 // WriteCSV exports records as CSV with a header row; the format the
 // paper-style trajectory figures are plotted from.
 func WriteCSV(w io.Writer, records []Record) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString("t,true_x,true_y,true_z,est_x,est_y,est_z,tilt_deg,deviation_m,inner_viol,outer_viol,fault,failsafe\n"); err != nil {
+	if _, err := bw.WriteString(csvHeader + "\n"); err != nil {
 		return fmt.Errorf("flightlog: csv: %w", err)
 	}
 	for _, r := range records {
@@ -229,4 +233,63 @@ func WriteCSV(w io.Writer, records []Record) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// ErrBadCSV reports a malformed CSV export.
+var ErrBadCSV = errors.New("flightlog: malformed csv")
+
+// ReadCSV parses a WriteCSV export back into records. Floats round-trip
+// exactly (the writer uses shortest-form formatting), so
+// WriteCSV -> ReadCSV is lossless including the flag bits.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("flightlog: csv: %w", err)
+		}
+		return nil, fmt.Errorf("%w: missing header row", ErrBadCSV)
+	}
+	if got := strings.TrimRight(sc.Text(), "\r"); got != csvHeader {
+		return nil, fmt.Errorf("%w: header %q", ErrBadCSV, got)
+	}
+
+	var records []Record
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), "\r")
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 13 {
+			return nil, fmt.Errorf("%w: line %d has %d fields, want 13", ErrBadCSV, line, len(fields))
+		}
+		var rec Record
+		for i, dst := range []*float64{
+			&rec.TimeSec, &rec.TrueX, &rec.TrueY, &rec.TrueZ,
+			&rec.EstX, &rec.EstY, &rec.EstZ, &rec.TiltDeg, &rec.DeviationM,
+		} {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d field %d: %v", ErrBadCSV, line, i+1, err)
+			}
+			*dst = v
+		}
+		for j, flag := range []uint16{FlagInnerViolation, FlagOuterViolation, FlagFaultActive, FlagFailsafe} {
+			switch fields[9+j] {
+			case "0":
+			case "1":
+				rec.Flags |= flag
+			default:
+				return nil, fmt.Errorf("%w: line %d field %d: flag must be 0 or 1, got %q", ErrBadCSV, line, 10+j, fields[9+j])
+			}
+		}
+		records = append(records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("flightlog: csv: %w", err)
+	}
+	return records, nil
 }

@@ -1,0 +1,28 @@
+// Negative fixture: the injected-clock pattern internal/obs uses. A
+// Clock function is handed in from the binary's edge; library code reads
+// time only through it, so walltime has nothing to flag — the direct
+// time.Now/time.Since calls live outside internal/ entirely.
+package fixture
+
+// Clock supplies seconds from an arbitrary epoch.
+type Clock func() float64
+
+// Stopped returns a clock pinned at zero (the library default: timing
+// metrics read zero unless a real clock is injected).
+func Stopped() Clock { return func() float64 { return 0 } }
+
+// stage times one pipeline stage against whatever clock it was given.
+type stage struct {
+	clock Clock
+	start float64
+}
+
+func newStage(c Clock) *stage {
+	if c == nil {
+		c = Stopped()
+	}
+	return &stage{clock: c}
+}
+
+func (s *stage) begin()           { s.start = s.clock() }
+func (s *stage) elapsed() float64 { return s.clock() - s.start }

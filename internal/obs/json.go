@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// WriteJSON writes the registry's snapshot as an indented JSON document —
+// the -metrics-out format cmd/campaign emits and ValidateSnapshotJSON
+// checks in CI.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal snapshot: %w", err)
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ValidateSnapshotJSON checks that data is a well-formed metrics snapshot
+// document: the exact top-level shape, non-empty unique metric names,
+// non-negative counters, and internally consistent histograms (counts per
+// bucket matching the declared bounds, bucket totals matching the count).
+// It is the schema gate ci.sh runs against cmd/campaign's -metrics-out.
+func ValidateSnapshotJSON(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Snapshot
+	if err := dec.Decode(&s); err != nil {
+		return fmt.Errorf("obs: snapshot JSON: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("obs: snapshot JSON: trailing data after document")
+	}
+	if s.Counters == nil || s.Gauges == nil || s.Histograms == nil {
+		return fmt.Errorf("obs: snapshot JSON: counters/gauges/histograms must all be present")
+	}
+
+	seen := map[string]bool{}
+	name := func(kind, n string) error {
+		if n == "" {
+			return fmt.Errorf("obs: snapshot JSON: %s with empty name", kind)
+		}
+		if seen[n] {
+			return fmt.Errorf("obs: snapshot JSON: duplicate metric name %q", n)
+		}
+		seen[n] = true
+		return nil
+	}
+
+	for _, c := range s.Counters {
+		if err := name("counter", c.Name); err != nil {
+			return err
+		}
+		if c.Value < 0 {
+			return fmt.Errorf("obs: snapshot JSON: counter %q is negative (%d)", c.Name, c.Value)
+		}
+	}
+	for _, g := range s.Gauges {
+		if err := name("gauge", g.Name); err != nil {
+			return err
+		}
+		if math.IsNaN(g.Value) {
+			return fmt.Errorf("obs: snapshot JSON: gauge %q is NaN", g.Name)
+		}
+	}
+	for _, h := range s.Histograms {
+		if err := name("histogram", h.Name); err != nil {
+			return err
+		}
+		if len(h.Counts) != len(h.Bounds)+1 {
+			return fmt.Errorf("obs: snapshot JSON: histogram %q has %d counts for %d bounds (want bounds+1)",
+				h.Name, len(h.Counts), len(h.Bounds))
+		}
+		for i := 1; i < len(h.Bounds); i++ {
+			if h.Bounds[i] <= h.Bounds[i-1] {
+				return fmt.Errorf("obs: snapshot JSON: histogram %q bounds not strictly increasing at %d", h.Name, i)
+			}
+		}
+		var total int64
+		for i, c := range h.Counts {
+			if c < 0 {
+				return fmt.Errorf("obs: snapshot JSON: histogram %q bucket %d is negative", h.Name, i)
+			}
+			total += c
+		}
+		if total != h.Count {
+			return fmt.Errorf("obs: snapshot JSON: histogram %q buckets sum to %d but count is %d",
+				h.Name, total, h.Count)
+		}
+		if h.Count == 0 && math.Abs(h.Sum) > 0 {
+			return fmt.Errorf("obs: snapshot JSON: histogram %q has sum %v with zero observations", h.Name, h.Sum)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteJSONValidates(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cases").Add(850)
+	r.Gauge("eta").Set(12.5)
+	r.GaugeFunc("live", func() float64 { return 3 })
+	h := r.Histogram("case_seconds", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(2)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSnapshotJSON(buf.Bytes()); err != nil {
+		t.Errorf("own output rejected: %v", err)
+	}
+}
+
+func TestValidateSnapshotJSONRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"not json", `{`, "snapshot JSON"},
+		{"unknown field", `{"counters":[],"gauges":[],"histograms":[],"extra":1}`, "unknown"},
+		{"trailing data", `{"counters":[],"gauges":[],"histograms":[]} {}`, "trailing"},
+		{"missing section", `{"counters":[],"gauges":[]}`, "must all be present"},
+		{"empty name", `{"counters":[{"name":"","value":1}],"gauges":[],"histograms":[]}`, "empty name"},
+		{"duplicate name", `{"counters":[{"name":"a","value":1},{"name":"a","value":2}],"gauges":[],"histograms":[]}`, "duplicate"},
+		{"negative counter", `{"counters":[{"name":"a","value":-1}],"gauges":[],"histograms":[]}`, "negative"},
+		{"bucket arity", `{"counters":[],"gauges":[],"histograms":[{"name":"h","bounds":[1,2],"counts":[1,2],"sum":3,"count":3}]}`, "bounds+1"},
+		{"unsorted bounds", `{"counters":[],"gauges":[],"histograms":[{"name":"h","bounds":[2,1],"counts":[0,0,0],"sum":0,"count":0}]}`, "strictly increasing"},
+		{"count mismatch", `{"counters":[],"gauges":[],"histograms":[{"name":"h","bounds":[1],"counts":[1,1],"sum":3,"count":5}]}`, "sum to"},
+		{"sum without count", `{"counters":[],"gauges":[],"histograms":[{"name":"h","bounds":[1],"counts":[0,0],"sum":3,"count":0}]}`, "zero observations"},
+	}
+	for _, tc := range cases {
+		err := ValidateSnapshotJSON([]byte(tc.doc))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

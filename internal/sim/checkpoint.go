@@ -47,6 +47,7 @@ type Checkpoint struct {
 	crash       failsafe.CrashSnapshot
 	guide       guidance // all-value state; mission slices are read-only
 	tracker     bubble.TrackerSnapshot
+	rec         recorderSnapshot
 
 	lastIMU     sensors.IMUSample
 	lastClean   sensors.IMUSample
@@ -87,6 +88,7 @@ func (v *Vehicle) Snapshot() *Checkpoint {
 		crash:    v.crash.Snapshot(),
 		guide:    *v.guide,
 		tracker:  v.tracker.Snapshot(),
+		rec:      v.rec.snapshot(),
 
 		lastIMU:     v.lastIMU,
 		lastClean:   v.lastClean,
@@ -196,6 +198,9 @@ func (v *Vehicle) restoreFrom(c *Checkpoint) error {
 	g := c.guide
 	v.guide = &g
 	v.tracker.Restore(c.tracker)
+	if err := v.rec.restore(c.rec); err != nil {
+		return err
+	}
 
 	v.step = c.step
 	v.done = c.done

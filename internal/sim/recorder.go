@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"uavres/internal/ekf"
+	"uavres/internal/obs"
+)
+
+// phaseCount covers the flightPhase values 1..4 (takeoff..done).
+const phaseCount = 4
+
+var phaseNames = [phaseCount]string{"takeoff", "cruise", "land", "done"}
+
+// recorder is the vehicle's flight-data recorder: a per-run metrics
+// registry plus a trace-event ring, updated from inside the step loop.
+// Every update is allocation-free (resolved instruments, static detail
+// strings) so the recorder rides the 500 Hz loop without touching the
+// hot-path budget. It is driven exclusively by sim time — never the wall
+// clock — so recorded values are deterministic and fork bit-identically.
+type recorder struct {
+	reg   *obs.Registry
+	trace *obs.TraceBuffer
+
+	// Resolved instruments (lock-free to update).
+	inner       *obs.Counter
+	outer       *obs.Counter
+	gpsRejects  *obs.Counter
+	baroRejects *obs.Counter
+	ekfResets   *obs.Counter
+	switches    *obs.Counter
+	mitigations *obs.Counter
+	maxTilt     *obs.Gauge
+
+	// Edge-detection and first-occurrence state; all value fields, so the
+	// recorderSnapshot copy is a plain struct copy.
+	st recorderState
+}
+
+// recorderState is the recorder's scalar state: rising-edge latches (trace
+// events fire on streak starts, not every instant) and first-occurrence
+// timestamps (-1 until seen).
+type recorderState struct {
+	// steps/phaseSteps are plain ints, not registry counters: the vehicle
+	// is single-goroutine and these are the only instruments touched on
+	// every 500 Hz step, so even an uncontended atomic add is measurable
+	// overhead. The registry exposes them through gauge funcs that read
+	// this state at snapshot time.
+	steps      int64
+	phaseSteps [phaseCount]int64
+
+	lastPhase       flightPhase
+	injActive       bool
+	innerActive     bool
+	outerActive     bool
+	gpsStreak       bool
+	baroStreak      bool
+	prevGPSRejects  int64
+	prevBaroRejects int64
+	prevResets      int
+	prevStuck       bool
+	firstInnerT     float64
+	firstOuterT     float64
+	distFirstOuterM float64
+}
+
+// newRecorder builds the registry, registers every instrument once (the
+// step loop only ever touches resolved instruments), and seeds the edge
+// state. dt is the physics step used to derive per-phase seconds.
+func newRecorder(dt float64) *recorder {
+	reg := obs.NewRegistry()
+	r := &recorder{
+		reg:   reg,
+		trace: obs.NewTraceBuffer(obs.DefaultTraceCapacity),
+		st:    recorderState{firstInnerT: -1, firstOuterT: -1, distFirstOuterM: -1},
+	}
+	reg.GaugeFunc("sim_steps_total", func() float64 { return float64(r.st.steps) })
+	for i, n := range phaseNames {
+		reg.GaugeFunc("sim_steps_phase_"+n, func() float64 { return float64(r.st.phaseSteps[i]) })
+		reg.GaugeFunc("sim_seconds_phase_"+n, func() float64 { return float64(r.st.phaseSteps[i]) * dt })
+	}
+	r.inner = reg.Counter("bubble_inner_violations_total")
+	r.outer = reg.Counter("bubble_outer_violations_total")
+	r.gpsRejects = reg.Counter("ekf_gps_gate_rejects_total")
+	r.baroRejects = reg.Counter("ekf_baro_gate_rejects_total")
+	r.ekfResets = reg.Counter("ekf_resets_total")
+	r.switches = reg.Counter("imu_primary_switches_total")
+	r.mitigations = reg.Counter("mitigation_engagements_total")
+	r.maxTilt = reg.Gauge("sim_max_tilt_deg")
+	return r
+}
+
+// onStep counts one physics step against the current phase. It runs on
+// every 500 Hz step, so it is plain increments only.
+func (r *recorder) onStep(p flightPhase) {
+	r.st.steps++
+	if p >= 1 && int(p) <= phaseCount {
+		r.st.phaseSteps[p-1]++
+	}
+}
+
+// onPhase emits a trace event when the guidance phase changes.
+func (r *recorder) onPhase(t float64, p flightPhase) {
+	if p == r.st.lastPhase {
+		return
+	}
+	r.st.lastPhase = p
+	detail := p.label()
+	if p >= 1 && int(p) <= phaseCount {
+		detail = phaseNames[p-1]
+	}
+	r.trace.Append(obs.Event{T: t, Kind: obs.EventPhase, Detail: detail})
+}
+
+// onInjection tracks the fault window's edges.
+func (r *recorder) onInjection(t float64, active bool) {
+	if active == r.st.injActive {
+		return
+	}
+	r.st.injActive = active
+	kind := obs.EventInjectEnd
+	if active {
+		kind = obs.EventInjectStart
+	}
+	r.trace.Append(obs.Event{T: t, Kind: kind})
+}
+
+// onMitigation tracks the stuck-sensor latch's rising edge.
+func (r *recorder) onMitigation(t float64, stuck bool) {
+	if stuck && !r.st.prevStuck {
+		r.mitigations.Inc()
+		r.trace.Append(obs.Event{T: t, Kind: obs.EventMitigation})
+	}
+	r.st.prevStuck = stuck
+}
+
+// onSensorSwitch records redundancy management switching the primary IMU.
+func (r *recorder) onSensorSwitch(t float64) {
+	r.switches.Inc()
+	r.trace.Append(obs.Event{T: t, Kind: obs.EventSensorSwitch})
+}
+
+// afterGPS folds post-FuseGPS health into counters; trace events fire on
+// the first rejection of a streak (every rejection still counts).
+func (r *recorder) afterGPS(t float64, h ekf.Health) {
+	r.gpsRejects.Add(h.GPSGateRejects - r.st.prevGPSRejects)
+	rejected := h.GPSGateRejects > r.st.prevGPSRejects
+	r.st.prevGPSRejects = h.GPSGateRejects
+	if rejected && !r.st.gpsStreak {
+		r.trace.Append(obs.Event{T: t, Kind: obs.EventGateReject, Detail: "gps", Value: h.LastGPSRatio})
+	}
+	r.st.gpsStreak = rejected
+	r.onResets(t, h)
+}
+
+// afterBaro mirrors afterGPS for the barometer aiding path.
+func (r *recorder) afterBaro(t float64, h ekf.Health) {
+	r.baroRejects.Add(h.BaroGateRejects - r.st.prevBaroRejects)
+	rejected := h.BaroGateRejects > r.st.prevBaroRejects
+	r.st.prevBaroRejects = h.BaroGateRejects
+	if rejected && !r.st.baroStreak {
+		r.trace.Append(obs.Event{T: t, Kind: obs.EventGateReject, Detail: "baro", Value: h.LastBaroRatio})
+	}
+	r.st.baroStreak = rejected
+	r.onResets(t, h)
+}
+
+// onResets detects filter reset-on-timeout events from the health report.
+func (r *recorder) onResets(t float64, h ekf.Health) {
+	if h.Resets > r.st.prevResets {
+		r.ekfResets.Add(int64(h.Resets - r.st.prevResets))
+		r.st.prevResets = h.Resets
+		r.trace.Append(obs.Event{T: t, Kind: obs.EventEKFReset})
+	}
+}
+
+// onTilt keeps the running tilt maximum (50 Hz monitor rate).
+func (r *recorder) onTilt(tiltDeg float64) { r.maxTilt.Max(tiltDeg) }
+
+// onTrack folds one tracking observation: bubble-violation rising edges,
+// first-violation timestamps, and the distance flown when the outer bubble
+// was first broken. distM is the tracker's distance estimate so far.
+func (r *recorder) onTrack(t float64, innerViolated, outerViolated bool, distM float64) {
+	if innerViolated {
+		r.inner.Inc()
+		if !r.st.innerActive {
+			r.trace.Append(obs.Event{T: t, Kind: obs.EventInnerViolation})
+		}
+		if r.st.firstInnerT < 0 {
+			r.st.firstInnerT = t
+		}
+	}
+	r.st.innerActive = innerViolated
+	if outerViolated {
+		r.outer.Inc()
+		if !r.st.outerActive {
+			r.trace.Append(obs.Event{T: t, Kind: obs.EventOuterViolation})
+		}
+		if r.st.firstOuterT < 0 {
+			r.st.firstOuterT = t
+			r.st.distFirstOuterM = distM
+		}
+	}
+	r.st.outerActive = outerViolated
+}
+
+// onOutcome records the terminal event. detail must be a pre-built string
+// (outcome paths run once, so this is off the hot path anyway).
+func (r *recorder) onOutcome(t float64, kind obs.EventKind, detail string) {
+	r.trace.Append(obs.Event{T: t, Kind: kind, Detail: detail})
+}
+
+// recorderSnapshot captures the recorder for checkpointing. Forked
+// vehicles restore it into their own fresh registry and ring, so sibling
+// forks never share instruments (obs.Registry.Restore's contract).
+type recorderSnapshot struct {
+	metrics obs.Snapshot
+	trace   obs.TraceSnapshot
+	st      recorderState
+}
+
+func (r *recorder) snapshot() recorderSnapshot {
+	return recorderSnapshot{metrics: r.reg.Snapshot(), trace: r.trace.Snapshot(), st: r.st}
+}
+
+func (r *recorder) restore(s recorderSnapshot) error {
+	r.st = s.st
+	r.trace.Restore(s.trace)
+	return r.reg.Restore(s.metrics)
+}
+
+// diagnostics assembles the per-case diagnostics block from the recorder
+// and the filter's health report. It reads but never mutates state, so
+// finalize stays safe to call repeatedly.
+func (r *recorder) diagnostics(h ekf.Health) *Diagnostics {
+	distKm := -1.0
+	if r.st.distFirstOuterM >= 0 {
+		distKm = r.st.distFirstOuterM / 1000
+	}
+	return &Diagnostics{
+		FirstInnerViolationSec: r.st.firstInnerT,
+		FirstOuterViolationSec: r.st.firstOuterT,
+		DistanceAtFirstOuterKm: distKm,
+		MaxTiltDeg:             r.maxTilt.Value(),
+		GPSFusions:             h.GPSFusions,
+		GPSGateRejects:         h.GPSGateRejects,
+		BaroFusions:            h.BaroFusions,
+		BaroGateRejects:        h.BaroGateRejects,
+		MaxGPSRatio:            h.MaxGPSRatio,
+		MaxBaroRatio:           h.MaxBaroRatio,
+		EKFResets:              h.Resets,
+		SensorSwitches:         r.switches.Value(),
+		MitigationEngagements:  r.mitigations.Value(),
+		Trace:                  r.trace.Events(),
+		TraceDropped:           r.trace.Dropped(),
+		TraceSummary:           r.trace.CountByKind(),
+	}
+}

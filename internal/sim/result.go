@@ -5,6 +5,7 @@ import (
 
 	"uavres/internal/faultinject"
 	"uavres/internal/mathx"
+	"uavres/internal/obs"
 )
 
 // Outcome classifies how a mission ended, matching the paper's categories.
@@ -79,6 +80,41 @@ type Result struct {
 	CrashReason   string `json:"crash_reason,omitempty"`
 	// Trajectory is non-nil when Config.RecordTrajectory was set.
 	Trajectory []TrajPoint `json:"trajectory,omitempty"`
+	// Diagnostics is the flight-data-recorder block (always populated by
+	// finalize; nil only for results predating the recorder).
+	Diagnostics *Diagnostics `json:"diagnostics,omitempty"`
+}
+
+// Diagnostics is the per-case flight-data-recorder block: the failure
+// timeline and estimator statistics the aggregate outcome tables flatten
+// away. Times are sim seconds; -1 means "never happened".
+type Diagnostics struct {
+	// FirstInnerViolationSec and FirstOuterViolationSec are when each
+	// bubble was first broken (-1: never).
+	FirstInnerViolationSec float64 `json:"first_inner_violation_sec"`
+	FirstOuterViolationSec float64 `json:"first_outer_violation_sec"`
+	// DistanceAtFirstOuterKm is the tracker's distance estimate when the
+	// outer (containment) bubble was first broken (-1: never broken).
+	DistanceAtFirstOuterKm float64 `json:"distance_at_first_outer_km"`
+	// MaxTiltDeg is the largest true tilt seen at monitor rate.
+	MaxTiltDeg float64 `json:"max_tilt_deg"`
+	// EKF aiding statistics (cumulative over the flight).
+	GPSFusions      int64   `json:"gps_fusions"`
+	GPSGateRejects  int64   `json:"gps_gate_rejects"`
+	BaroFusions     int64   `json:"baro_fusions"`
+	BaroGateRejects int64   `json:"baro_gate_rejects"`
+	MaxGPSRatio     float64 `json:"max_gps_ratio"`
+	MaxBaroRatio    float64 `json:"max_baro_ratio"`
+	EKFResets       int     `json:"ekf_resets"`
+	// Redundancy and mitigation activity.
+	SensorSwitches        int64 `json:"sensor_switches"`
+	MitigationEngagements int64 `json:"mitigation_engagements"`
+	// Trace is the retained event timeline (oldest-first); TraceDropped
+	// counts events evicted from the ring; TraceSummary tallies retained
+	// events per kind.
+	Trace        []obs.Event    `json:"trace,omitempty"`
+	TraceDropped int64          `json:"trace_dropped,omitempty"`
+	TraceSummary map[string]int `json:"trace_summary,omitempty"`
 }
 
 // Label returns the injection label or "Gold Run".

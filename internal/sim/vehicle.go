@@ -12,6 +12,7 @@ import (
 	"uavres/internal/mathx"
 	"uavres/internal/mission"
 	"uavres/internal/mitigation"
+	"uavres/internal/obs"
 	"uavres/internal/physics"
 	"uavres/internal/sensors"
 )
@@ -71,6 +72,7 @@ type Vehicle struct {
 	crash    *failsafe.CrashDetector
 	guide    *guidance
 	tracker  *bubble.Tracker
+	rec      *recorder
 
 	res  Result
 	done bool
@@ -174,6 +176,7 @@ func NewVehicle(cfg Config, m mission.Mission, inj *faultinject.Injection, obs O
 		crash:    failsafe.NewCrashDetector(cfg.Failsafe),
 		guide:    newGuidance(m),
 		tracker:  tracker,
+		rec:      newRecorder(cfg.PhysicsDt),
 
 		res:         Result{MissionID: m.ID, Injection: inj},
 		steps:       int(cfg.MaxSimTime / cfg.PhysicsDt),
@@ -247,8 +250,14 @@ func (v *Vehicle) finalize() Result {
 	res.InnerViolations = v.tracker.InnerViolations()
 	res.OuterViolations = v.tracker.OuterViolations()
 	res.WaypointsReached = v.guide.waypointsReached()
+	res.Diagnostics = v.rec.diagnostics(v.filter.Health())
 	return res
 }
+
+// Metrics returns a point-in-time snapshot of the vehicle's flight-data
+// recorder registry (per-phase step counts, violation and gate-reject
+// counters, tilt maximum).
+func (v *Vehicle) Metrics() obs.Snapshot { return v.rec.reg.Snapshot() }
 
 // stepOnce advances the simulation by one physics step.
 func (v *Vehicle) stepOnce() {
@@ -270,6 +279,7 @@ func (v *Vehicle) stepOnce() {
 					all[i] = corrupted
 				}
 			}
+			v.rec.onInjection(t, v.injector.Active(t))
 		}
 		raw := all[v.imus.Primary()]
 
@@ -282,6 +292,7 @@ func (v *Vehicle) stepOnce() {
 				v.voteStrikes++
 				if v.voteStrikes >= v.votePersist {
 					v.imus.SwitchPrimary()
+					v.rec.onSensorSwitch(t)
 					v.voteStrikes = 0
 					raw = all[v.imus.Primary()]
 					// The outgoing unit polluted recent predictions:
@@ -299,6 +310,7 @@ func (v *Vehicle) stepOnce() {
 			// would deploy it: after the (possibly faulty) sensor
 			// output, before every consumer.
 			raw, _ = v.mitigate.Apply(raw)
+			v.rec.onMitigation(t, v.mitigate.StuckDetected())
 		}
 		v.lastIMU = raw
 		v.haveIMU = true
@@ -339,9 +351,11 @@ func (v *Vehicle) stepOnce() {
 
 	if gpsDue {
 		v.filter.FuseGPS(v.gps.Sample(t, bst.Pos, bst.Vel))
+		v.rec.afterGPS(t, v.filter.Health())
 	}
 	if baroDue {
 		v.filter.FuseBaro(v.baro.Sample(t, bst.AltitudeM()))
+		v.rec.afterBaro(t, v.filter.Health())
 	}
 	if magDue {
 		// The magnetometer is not a fault-injection target (paper
@@ -363,11 +377,13 @@ func (v *Vehicle) stepOnce() {
 			MaxSpeedMS:    v.m.Drone.MaxSpeedMS,
 			StuckSensor:   v.mitigate.StuckDetected(),
 		}
+		v.rec.onTilt(mathx.Rad2Deg(bst.Att.TiltAngle()))
 		if v.monitor.Update(fobs, v.imus) == failsafe.PhaseActive {
 			// Flight termination: record and stop.
 			v.res.Outcome = OutcomeFailsafe
 			v.res.FailsafeCause = v.monitor.Cause().String()
 			v.res.FlightDurationSec = t
+			v.rec.onOutcome(t, obs.EventFailsafe, v.res.FailsafeCause)
 			v.done = true
 			return
 		}
@@ -380,6 +396,7 @@ func (v *Vehicle) stepOnce() {
 				v.res.Outcome = OutcomeCrash
 				v.res.CrashReason = v.crash.Reason()
 				v.res.FlightDurationSec = t
+				v.rec.onOutcome(t, obs.EventCrash, v.res.CrashReason)
 				v.done = true
 				return
 			}
@@ -390,6 +407,7 @@ func (v *Vehicle) stepOnce() {
 			v.res.Outcome = OutcomeCrash
 			v.res.CrashReason = "state blow-up"
 			v.res.FlightDurationSec = t
+			v.rec.onOutcome(t, obs.EventCrash, v.res.CrashReason)
 			v.done = true
 			return
 		}
@@ -398,9 +416,11 @@ func (v *Vehicle) stepOnce() {
 	// --- Guidance (50 Hz).
 	if guideDue {
 		v.sp = v.guide.update(t, est.Pos, est.Vel.Norm(), bst.OnGround())
+		v.rec.onPhase(t, v.guide.phase)
 		if v.guide.done() {
 			v.res.Outcome = OutcomeCompleted
 			v.res.FlightDurationSec = t
+			v.rec.onOutcome(t, obs.EventComplete, "")
 			v.done = true
 			return
 		}
@@ -418,6 +438,7 @@ func (v *Vehicle) stepOnce() {
 			}
 			v.prevEstPos = est.Pos
 			v.havePrevEst = true
+			v.rec.onTrack(t, s.InnerViolated, s.OuterViolated, v.distM)
 
 			if cfg.RecordTrajectory {
 				v.res.Trajectory = append(v.res.Trajectory, TrajPoint{
@@ -438,6 +459,7 @@ func (v *Vehicle) stepOnce() {
 	}
 
 	v.body.Step(cfg.PhysicsDt)
+	v.rec.onStep(v.guide.phase)
 	v.step++
 }
 

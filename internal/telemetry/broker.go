@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
+
+	"uavres/internal/obs"
 )
 
 // Connection roles, sent as the first byte after connect.
@@ -84,6 +86,18 @@ func (b *Broker) statsLocked() BrokerStats {
 		Subscribers: len(b.subs),
 		Publishers:  b.publishers,
 	}
+}
+
+// RegisterMetrics re-exports the broker counters through reg as live
+// gauges, evaluated at snapshot/scrape time (cmd/trackerd's /metrics).
+// The gauges read Stats(), so they stay correct without a second set of
+// counters to keep in sync.
+func (b *Broker) RegisterMetrics(reg *obs.Registry) {
+	reg.GaugeFunc("telemetry_frames_in", func() float64 { return float64(b.Stats().FramesIn) })
+	reg.GaugeFunc("telemetry_frames_out", func() float64 { return float64(b.Stats().FramesOut) })
+	reg.GaugeFunc("telemetry_frames_dropped", func() float64 { return float64(b.Stats().Dropped) })
+	reg.GaugeFunc("telemetry_subscribers", func() float64 { return float64(b.Stats().Subscribers) })
+	reg.GaugeFunc("telemetry_publishers", func() float64 { return float64(b.Stats().Publishers) })
 }
 
 // notifyLocked wakes every WaitStats caller after a counter change.

@@ -6,6 +6,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"uavres/internal/obs"
 )
 
 func TestFrameEncodeDecodeRoundTrip(t *testing.T) {
@@ -325,5 +327,67 @@ func TestBrokerCloseIdempotent(t *testing.T) {
 	}
 	if err := b.Close(); err != nil {
 		t.Errorf("second close: %v", err)
+	}
+}
+
+// TestBrokerRegisterMetrics: the broker's counters are re-exported as live
+// gauges through an obs registry, tracking Stats() without a second set of
+// counters.
+func TestBrokerRegisterMetrics(t *testing.T) {
+	b, err := NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	reg := obs.NewRegistry()
+	b.RegisterMetrics(reg)
+
+	gauge := func(s obs.Snapshot, name string) (float64, bool) {
+		for _, g := range s.Gauges {
+			if g.Name == name {
+				return g.Value, true
+			}
+		}
+		return 0, false
+	}
+
+	s := reg.Snapshot()
+	for _, name := range []string{
+		"telemetry_frames_in", "telemetry_frames_out", "telemetry_frames_dropped",
+		"telemetry_subscribers", "telemetry_publishers",
+	} {
+		if v, found := gauge(s, name); !found || v != 0 {
+			t.Errorf("%s = %v, %v; want 0, true", name, v, found)
+		}
+	}
+
+	sub, err := NewSubscriber(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pub, err := NewPublisher(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	b.WaitStats(func(st BrokerStats) bool { return st.Subscribers == 1 && st.Publishers == 1 })
+
+	f, err := EncodePosition(0, 9, Position{TimeSec: 1, X: 1, Y: 2, Z: -15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(f); err != nil {
+		t.Fatal(err)
+	}
+	b.WaitStats(func(st BrokerStats) bool { return st.FramesIn == 1 && st.FramesOut == 1 })
+
+	s = reg.Snapshot()
+	if v, _ := gauge(s, "telemetry_frames_in"); v != 1 {
+		t.Errorf("frames_in gauge = %v, want 1", v)
+	}
+	if v, _ := gauge(s, "telemetry_subscribers"); v != 1 {
+		t.Errorf("subscribers gauge = %v, want 1", v)
 	}
 }

@@ -38,6 +38,11 @@ func TestFlightThroughBrokerToUspace(t *testing.T) {
 		pumpErr = Pump(sub, tracker)
 	}()
 
+	// Subscriber registration is asynchronous (the broker registers it
+	// after reading the role byte); under load the whole flight could
+	// stream before that happens and every frame would fan out to nobody.
+	broker.WaitStats(func(st telemetry.BrokerStats) bool { return st.Subscribers >= 1 })
+
 	pub, err := telemetry.NewPublisher(broker.Addr())
 	if err != nil {
 		t.Fatal(err)
@@ -63,6 +68,13 @@ func TestFlightThroughBrokerToUspace(t *testing.T) {
 	default:
 	}
 	pub.Close()
+	// Closing the broker immediately would race the tail of the stream:
+	// under load (race detector, parallel packages) it can tear down
+	// before ingesting the publisher's final frames. Once the broker has
+	// observed the publisher's disconnect it has read — and synchronously
+	// fanned out — everything the publisher ever sent; Close then flushes
+	// the subscriber's queued frames before dropping its connection.
+	broker.WaitStats(func(st telemetry.BrokerStats) bool { return st.Publishers == 0 })
 	broker.Close()
 	pumpWG.Wait()
 	if pumpErr != nil && !errors.Is(pumpErr, io.EOF) {
