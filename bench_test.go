@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"uavres/internal/bubble"
+	"uavres/internal/control"
 	"uavres/internal/core"
 	"uavres/internal/ekf"
 	"uavres/internal/faultinject"
@@ -468,8 +469,24 @@ func BenchmarkMicroPhysicsStep(b *testing.B) {
 	}
 }
 
-// BenchmarkMicroEKFPredict measures one 15-state EKF prediction.
+// BenchmarkMicroEKFPredict measures one 15-state EKF prediction on the
+// exact per-step covariance path (k=1, comparable across report history).
 func BenchmarkMicroEKFPredict(b *testing.B) {
+	cfg := ekf.DefaultConfig()
+	cfg.CovarianceDecimation = 1
+	f := ekf.New(cfg)
+	s := sensors.IMUSample{Accel: mathx.V3(0, 0, -physics.Gravity)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.T = float64(i) * 0.004
+		f.Predict(s, 0.004)
+	}
+}
+
+// BenchmarkMicroEKFPredictDecimated measures one prediction under the
+// default decimated covariance path (k=4): three cheap transition
+// compositions amortized against one heavier flush.
+func BenchmarkMicroEKFPredictDecimated(b *testing.B) {
 	f := ekf.New(ekf.DefaultConfig())
 	s := sensors.IMUSample{Accel: mathx.V3(0, 0, -physics.Gravity)}
 	b.ResetTimer()
@@ -510,6 +527,37 @@ func BenchmarkMicroMixerAllocate(b *testing.B) {
 	m := physics.NewMixer(physics.DefaultParams())
 	for i := 0; i < b.N; i++ {
 		_ = m.Allocate(14.7, mathx.V3(0.1, -0.1, 0.01))
+	}
+}
+
+// BenchmarkMicroIMUSampleVote measures the 250 Hz sensing step: sampling
+// all three redundant IMUs plus the cross-unit outlier vote.
+func BenchmarkMicroIMUSampleVote(b *testing.B) {
+	imus, err := sensors.NewRedundantIMUs(3, sensors.DefaultIMUSpec(), mathx.NewRand(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]sensors.IMUSample, 0, 3)
+	accel := mathx.V3(0, 0, -physics.Gravity)
+	gyro := mathx.V3(0.01, -0.02, 0.005)
+	cfg := sim.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		all := imus.SampleAllInto(buf, float64(i)*0.004, accel, gyro)
+		_ = sensors.VoteOutlier(all, imus.Primary(), cfg.VoteAccelTol, cfg.VoteGyroTol)
+	}
+}
+
+// BenchmarkMicroControlUpdate measures one full cascade pass (position,
+// velocity, attitude, and rate loops down to rotor commands).
+func BenchmarkMicroControlUpdate(b *testing.B) {
+	ctl := control.New(control.DefaultGains(), physics.DefaultParams(), 0.004)
+	est := control.Estimate{Att: mathx.QuatIdentity(), Vel: mathx.V3(1, 0, 0), Pos: mathx.V3(0, 0, -20)}
+	sp := control.Setpoint{Pos: mathx.V3(50, 10, -25), Yaw: 0.3, CruiseSpeed: 8, MaxClimb: 3, MaxDescend: 2}
+	gyro := mathx.V3(0.01, -0.02, 0.005)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = ctl.Update(0.004, est, gyro, sp)
 	}
 }
 

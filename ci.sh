@@ -21,3 +21,11 @@ tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 go run ./cmd/campaign -subset m01 -q -out "$tmpdir/results.json" -metrics-out "$tmpdir/metrics.json"
 go run ./cmd/campaign -validate-metrics "$tmpdir/metrics.json"
+
+# Optional perf-regression gate: when BENCH_BASELINE points at a committed
+# bench report, measure a fresh one and fail on >10% ns/op or any
+# allocs/op regression (see scripts/bench.sh -compare).
+if [ -n "${BENCH_BASELINE:-}" ]; then
+	go run ./cmd/bench -missions 1 -out "$tmpdir/bench_new.json"
+	go run ./cmd/bench -compare "$BENCH_BASELINE" "$tmpdir/bench_new.json"
+fi

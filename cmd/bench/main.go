@@ -7,6 +7,11 @@
 // Usage:
 //
 //	bench [-missions N] [-workers N] [-out BENCH_2026-08-06.json]
+//	bench -compare OLD.json NEW.json
+//
+// The -compare mode diffs two reports micro-by-micro and exits nonzero
+// when NEW regresses: >10% ns/op on any shared micro, or any increase in
+// allocs/op (CI perf gate; see scripts/bench.sh).
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"testing"
 	"time"
 
+	"uavres/internal/control"
 	"uavres/internal/core"
 	"uavres/internal/ekf"
 	"uavres/internal/mathx"
@@ -37,26 +43,51 @@ type MicroResult struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
+// WallClockEntry is one timed execution mode of the campaign slice.
+type WallClockEntry struct {
+	// Mode is "cold" (straight through), "checkpointed"
+	// (checkpoint-and-fork), or "checkpointed-k1" (checkpointed with
+	// covariance decimation disabled — the exact-path control).
+	Mode string  `json:"mode"`
+	Sec  float64 `json:"sec"`
+}
+
 // CampaignResult compares straight-through and checkpointed execution of
 // the same campaign slice.
 type CampaignResult struct {
-	Cases         int     `json:"cases"`
-	Missions      int     `json:"missions"`
-	Workers       int     `json:"workers"`
-	ColdSec       float64 `json:"cold_sec"`
-	CheckpointSec float64 `json:"checkpoint_sec"`
-	Speedup       float64 `json:"speedup"`
-	// OutcomesMatch confirms both modes produced identical outcomes and
-	// durations case-for-case (the fork-correctness bar, re-checked on
-	// the real workload).
+	Cases    int `json:"cases"`
+	Missions int `json:"missions"`
+	// Workers is the RESOLVED pool size actually used (the -workers flag
+	// after GOMAXPROCS defaulting and case-count clamping).
+	Workers int `json:"workers"`
+	// CovDecimation is the EKF covariance decimation factor the cold and
+	// checkpointed modes ran with (the sim default).
+	CovDecimation int              `json:"cov_decimation"`
+	WallClock     []WallClockEntry `json:"wall_clock"`
+	ColdSec       float64          `json:"cold_sec"`
+	CheckpointSec float64          `json:"checkpoint_sec"`
+	Speedup       float64          `json:"speedup"`
+	// OutcomesMatch confirms cold and checkpointed modes produced
+	// identical outcomes and durations case-for-case (the fork-correctness
+	// bar, re-checked on the real workload).
 	OutcomesMatch bool `json:"outcomes_match"`
+	// DecimationOutcomesMatch confirms the decimated covariance path
+	// (k = CovDecimation) and the exact path (k = 1) reach identical
+	// verdicts on every case: outcome, bubble violations, and the
+	// crash/failsafe split.
+	DecimationOutcomesMatch bool `json:"decimation_outcomes_match"`
 }
 
 // Report is the emitted JSON document.
 type Report struct {
-	Date      string         `json:"date"`
-	GoVersion string         `json:"go_version"`
-	NumCPU    int            `json:"num_cpu"`
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// MicroReps is how many repetitions each micro-benchmark ran; the
+	// reported ns/op is the minimum across them (host steal time only
+	// inflates a run, so the minimum is the least-biased estimator).
+	MicroReps int            `json:"micro_reps,omitempty"`
 	Micro     []MicroResult  `json:"micro"`
 	Campaign  CampaignResult `json:"campaign"`
 }
@@ -70,8 +101,16 @@ func run() int {
 		missions = flag.Int("missions", 2, "campaign slice size in missions (1-10; 10 = the paper's full 850 cases)")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		out      = flag.String("out", "", "output path (default BENCH_<date>.json)")
+		compare  = flag.Bool("compare", false, "compare two reports: bench -compare OLD.json NEW.json (exit 1 on regression)")
 	)
 	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "bench: -compare needs exactly two report paths: OLD.json NEW.json")
+			return 2
+		}
+		return compareReports(flag.Arg(0), flag.Arg(1))
+	}
 	if *missions < 1 {
 		*missions = 1
 	}
@@ -80,9 +119,11 @@ func run() int {
 	}
 
 	rep := Report{
-		Date:      time.Now().UTC().Format("2006-01-02"),
-		GoVersion: runtime.Version(),
-		NumCPU:    runtime.NumCPU(),
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		MicroReps:  microReps,
 	}
 
 	fmt.Println("bench: micro-benchmarks")
@@ -99,8 +140,10 @@ func run() int {
 		return 1
 	}
 	rep.Campaign = camp
-	fmt.Printf("  %d cases: cold %.1fs, checkpointed %.1fs -> %.2fx speedup (outcomes match: %v)\n",
-		camp.Cases, camp.ColdSec, camp.CheckpointSec, camp.Speedup, camp.OutcomesMatch)
+	fmt.Printf("  %d cases, %d workers: cold %.1fs, checkpointed %.1fs -> %.2fx speedup (outcomes match: %v)\n",
+		camp.Cases, camp.Workers, camp.ColdSec, camp.CheckpointSec, camp.Speedup, camp.OutcomesMatch)
+	fmt.Printf("  covariance decimation k=%d vs exact k=1: outcomes match: %v\n",
+		camp.CovDecimation, camp.DecimationOutcomesMatch)
 
 	path := *out
 	if path == "" {
@@ -120,22 +163,42 @@ func run() int {
 	return 0
 }
 
+// microReps is how many repetitions of each micro-benchmark run; the
+// minimum ns/op across them is reported. On a shared single-vCPU host,
+// steal time only ever inflates a run, so the minimum is the least-biased
+// estimator of true cost (see DESIGN.md §11). Allocation counts are
+// deterministic; any repetition serves.
+const microReps = 5
+
 // microBenchmarks runs the hot-path benchmarks in-process. They mirror
 // the BenchmarkMicro* functions in the repository's bench_test.go.
 func microBenchmarks() []MicroResult {
 	out := []MicroResult{}
 	add := func(name string, fn func(b *testing.B)) {
-		r := testing.Benchmark(fn)
+		best := testing.Benchmark(fn)
+		bestNs := float64(best.T.Nanoseconds()) / float64(best.N)
+		for rep := 1; rep < microReps; rep++ {
+			r := testing.Benchmark(fn)
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			if ns < bestNs {
+				best, bestNs = r, ns
+			}
+		}
 		out = append(out, MicroResult{
 			Name:        name,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
+			NsPerOp:     bestNs,
+			AllocsPerOp: best.AllocsPerOp(),
+			BytesPerOp:  best.AllocedBytesPerOp(),
 		})
 	}
 
+	// EKFPredict is pinned to the exact per-step covariance path (k=1) so
+	// the series stays comparable with reports predating decimation;
+	// EKFPredictDecimated measures the default flight configuration.
 	add("EKFPredict", func(b *testing.B) {
-		f := ekf.New(ekf.DefaultConfig())
+		cfg := ekf.DefaultConfig()
+		cfg.CovarianceDecimation = 1
+		f := ekf.New(cfg)
 		s := sensors.IMUSample{Accel: mathx.V3(0, 0, -physics.Gravity)}
 		b.ReportAllocs()
 		b.ResetTimer()
@@ -143,6 +206,21 @@ func microBenchmarks() []MicroResult {
 			s.T = float64(i) * 0.004
 			f.Predict(s, 0.004)
 		}
+	})
+	add("EKFPredictDecimated", func(b *testing.B) {
+		f := ekf.New(ekf.DefaultConfig()) // default k=4
+		s := sensors.IMUSample{Accel: mathx.V3(0, 0, -physics.Gravity)}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.T = float64(i) * 0.004
+			f.Predict(s, 0.004)
+		}
+	})
+	add("Mat15PropagateSym", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		_ = ekf.PropagateSymLoop(b.N)
 	})
 	add("PhysicsStep", func(b *testing.B) {
 		body, err := physics.NewBody(physics.DefaultParams(), physics.CalmWind())
@@ -158,6 +236,33 @@ func microBenchmarks() []MicroResult {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			body.Step(0.002)
+		}
+	})
+	add("IMUSampleVote", func(b *testing.B) {
+		imus, err := sensors.NewRedundantIMUs(3, sensors.DefaultIMUSpec(), mathx.NewRand(3))
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf := make([]sensors.IMUSample, 0, 3)
+		accel := mathx.V3(0, 0, -physics.Gravity)
+		gyro := mathx.V3(0.01, -0.02, 0.005)
+		cfg := sim.DefaultConfig()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			all := imus.SampleAllInto(buf, float64(i)*0.004, accel, gyro)
+			_ = sensors.VoteOutlier(all, imus.Primary(), cfg.VoteAccelTol, cfg.VoteGyroTol)
+		}
+	})
+	add("ControlUpdate", func(b *testing.B) {
+		ctl := control.New(control.DefaultGains(), physics.DefaultParams(), 0.004)
+		est := control.Estimate{Att: mathx.QuatIdentity(), Vel: mathx.V3(1, 0, 0), Pos: mathx.V3(0, 0, -20)}
+		sp := control.Setpoint{Pos: mathx.V3(50, 10, -25), Yaw: 0.3, CruiseSpeed: 8, MaxClimb: 3, MaxDescend: 2}
+		gyro := mathx.V3(0.01, -0.02, 0.005)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, _ = ctl.Update(0.004, est, gyro, sp)
 		}
 	})
 	add("SimTenSeconds", func(b *testing.B) {
@@ -202,16 +307,29 @@ func microBenchmarks() []MicroResult {
 }
 
 // campaignSlice times the first N missions' cases straight through and
-// with checkpoint-and-fork, verifying the two produce identical results.
+// with checkpoint-and-fork, verifying the two produce identical results,
+// then re-runs the checkpointed mode with covariance decimation disabled
+// to verify decimation changes no verdict.
 func campaignSlice(missions, workers int) (CampaignResult, error) {
 	scenario := mission.Valencia()[:missions]
 	cases := core.Plan(scenario, 1)
 
-	runMode := func(checkpoint bool) ([]core.CaseResult, float64, error) {
+	resolved := workers
+	if resolved <= 0 {
+		resolved = runtime.GOMAXPROCS(0)
+	}
+	if resolved > len(cases) {
+		resolved = len(cases)
+	}
+
+	runMode := func(checkpoint bool, covDecim int) ([]core.CaseResult, float64, error) {
 		r := core.NewRunner()
 		r.Missions = scenario
 		r.Workers = workers
 		r.Checkpoint = checkpoint
+		if covDecim > 0 {
+			r.Config.EKF.CovarianceDecimation = covDecim
+		}
 		t0 := time.Now()
 		results := r.RunAll(context.Background(), cases)
 		elapsed := time.Since(t0).Seconds()
@@ -223,11 +341,15 @@ func campaignSlice(missions, workers int) (CampaignResult, error) {
 		return results, elapsed, nil
 	}
 
-	cold, coldSec, err := runMode(false)
+	cold, coldSec, err := runMode(false, 0)
 	if err != nil {
 		return CampaignResult{}, err
 	}
-	forked, cpSec, err := runMode(true)
+	forked, cpSec, err := runMode(true, 0)
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	exact, exactSec, err := runMode(true, 1)
 	if err != nil {
 		return CampaignResult{}, err
 	}
@@ -244,16 +366,104 @@ func campaignSlice(missions, workers int) (CampaignResult, error) {
 			a.OuterViolations == b.OuterViolations
 	}
 
+	// Decimation is a numerical approximation, so only the VERDICT fields
+	// must agree with the exact path: outcome, bubble violations, and the
+	// crash/failsafe split.
+	decimMatch := len(forked) == len(exact)
+	for i := 0; decimMatch && i < len(forked); i++ {
+		a, b := forked[i].Result, exact[i].Result
+		decimMatch = a.Outcome == b.Outcome &&
+			a.InnerViolations == b.InnerViolations &&
+			a.OuterViolations == b.OuterViolations &&
+			a.FailsafeCause == b.FailsafeCause &&
+			a.CrashReason == b.CrashReason
+	}
+
 	res := CampaignResult{
 		Cases:         len(cases),
 		Missions:      missions,
-		Workers:       workers,
-		ColdSec:       coldSec,
-		CheckpointSec: cpSec,
-		OutcomesMatch: match,
+		Workers:       resolved,
+		CovDecimation: sim.DefaultConfig().EKF.CovarianceDecimation,
+		WallClock: []WallClockEntry{
+			{Mode: "cold", Sec: coldSec},
+			{Mode: "checkpointed", Sec: cpSec},
+			{Mode: "checkpointed-k1", Sec: exactSec},
+		},
+		ColdSec:                 coldSec,
+		CheckpointSec:           cpSec,
+		OutcomesMatch:           match,
+		DecimationOutcomesMatch: decimMatch,
 	}
 	if cpSec > 0 {
 		res.Speedup = coldSec / cpSec
 	}
 	return res, nil
+}
+
+// compareReports diffs two bench reports and returns 1 when NEW regresses
+// against OLD: any shared micro more than 10% slower in ns/op, or any
+// increase in allocs/op. Micros present in only one report are noted but
+// never fail the gate.
+func compareReports(oldPath, newPath string) int {
+	load := func(path string) (Report, error) {
+		var rep Report
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return rep, err
+		}
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return rep, fmt.Errorf("%s: %w", path, err)
+		}
+		return rep, nil
+	}
+	oldRep, err := load(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		return 2
+	}
+	newRep, err := load(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		return 2
+	}
+
+	oldBy := map[string]MicroResult{}
+	for _, m := range oldRep.Micro {
+		oldBy[m.Name] = m
+	}
+	fmt.Printf("bench: comparing %s (old) -> %s (new)\n", oldPath, newPath)
+	fmt.Printf("  %-28s %12s %12s %8s %s\n", "micro", "old ns/op", "new ns/op", "delta", "allocs")
+	regressions := 0
+	for _, m := range newRep.Micro {
+		o, ok := oldBy[m.Name]
+		if !ok {
+			fmt.Printf("  %-28s %12s %12.0f %8s %d (new)\n", m.Name, "-", m.NsPerOp, "-", m.AllocsPerOp)
+			continue
+		}
+		delete(oldBy, m.Name)
+		delta := 0.0
+		if o.NsPerOp > 0 {
+			delta = (m.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		}
+		verdict := ""
+		if delta > 10 {
+			verdict = "  REGRESSION: >10% slower"
+			regressions++
+		}
+		if m.AllocsPerOp > o.AllocsPerOp {
+			verdict += fmt.Sprintf("  REGRESSION: allocs/op %d -> %d", o.AllocsPerOp, m.AllocsPerOp)
+			regressions++
+		}
+		fmt.Printf("  %-28s %12.0f %12.0f %+7.1f%% %d->%d%s\n",
+			m.Name, o.NsPerOp, m.NsPerOp, delta, o.AllocsPerOp, m.AllocsPerOp, verdict)
+	}
+	for name := range oldBy {
+		fmt.Printf("  %-28s dropped from new report\n", name)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "bench: %d regression(s) against %s\n", regressions, oldPath)
+		return 1
+	}
+	fmt.Println("bench: no regressions")
+	return 0
 }

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	campaign [-workers N] [-seed S] [-out results.json] [-subset mNN] [-checkpoint=false]
+//	campaign [-cov-decim K] [-cov-settle SEC]
 //	campaign [-metrics-out metrics.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	campaign -validate-metrics metrics.json
 //	campaign -print-faultmodel
@@ -22,10 +23,12 @@ import (
 	"time"
 
 	"uavres/internal/core"
+	"uavres/internal/ekf"
 	"uavres/internal/faultinject"
 	"uavres/internal/mission"
 	"uavres/internal/obs"
 	"uavres/internal/paperdata"
+	"uavres/internal/sim"
 )
 
 func main() {
@@ -40,6 +43,8 @@ func run() int {
 		subset     = flag.String("subset", "", "only run cases whose ID contains this substring (e.g. \"m04\" or \"gyro\")")
 		checkpoint = flag.Bool("checkpoint", true, "share pre-injection prefixes between cases (checkpoint-and-fork; false = simulate every case straight through)")
 		scope      = flag.String("scope", "all", "fault scope: all (paper assumption: every redundant IMU) | primary (unit 0 only — redundancy ablation)")
+		covDecim   = flag.Int("cov-decim", ekf.DefaultConfig().CovarianceDecimation, "EKF covariance decimation factor k: propagate covariance every k-th predict (1 = exact per-step path; faulted flights keep the exact path from launch through the fault window + settle margin)")
+		covSettle  = flag.Float64("cov-settle", sim.DefaultConfig().CovSettleSec, "seconds of full-rate covariance propagation kept after a fault window closes before decimation engages (only meaningful with -cov-decim > 1)")
 		faultmodel = flag.Bool("print-faultmodel", false, "print Table I (the fault model) and exit")
 		quiet      = flag.Bool("q", false, "suppress progress output")
 
@@ -115,12 +120,39 @@ func run() int {
 	start := time.Now()
 	clock := func() float64 { return time.Since(start).Seconds() }
 
+	if *covDecim < 1 {
+		fmt.Fprintf(os.Stderr, "campaign: -cov-decim %d < 1\n", *covDecim)
+		return 1
+	}
 	reg := obs.NewRegistry()
 	runner := core.NewRunner()
 	runner.Workers = *workers
 	runner.Checkpoint = *checkpoint
 	runner.Obs = reg
 	runner.Clock = clock
+	runner.Config.EKF.CovarianceDecimation = *covDecim
+	runner.Config.CovSettleSec = *covSettle
+
+	// Stream results to disk as cases finish: the runner strips the heavy
+	// per-case payloads from its retained slice once the writer owns them,
+	// bounding resident memory at the in-flight cases.
+	var (
+		stream    *core.ResultsFileWriter
+		streamErr error
+	)
+	if *out != "" {
+		var err error
+		stream, err = core.NewResultsFileWriter(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaign: opening results stream: %v\n", err)
+			return 1
+		}
+		runner.OnResult = func(res core.CaseResult) {
+			if err := stream.Write(res); err != nil && streamErr == nil {
+				streamErr = err
+			}
+		}
+	}
 	if !*quiet {
 		runner.Progress = func(done, total int) {
 			if done%50 == 0 || done == total {
@@ -151,9 +183,12 @@ func run() int {
 		fmt.Println(paperdata.Render(paperdata.Compare(results)))
 	}
 
-	if *out != "" {
-		if err := core.SaveResultsFile(*out, results); err != nil {
-			fmt.Fprintf(os.Stderr, "campaign: saving results: %v\n", err)
+	if stream != nil {
+		if err := stream.Close(); streamErr == nil {
+			streamErr = err
+		}
+		if streamErr != nil {
+			fmt.Fprintf(os.Stderr, "campaign: saving results: %v\n", streamErr)
 			return 1
 		}
 		fmt.Printf("results written to %s\n", *out)

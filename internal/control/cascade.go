@@ -90,6 +90,12 @@ type Controller struct {
 
 	velPID  *PID3
 	ratePID *PID3
+
+	// Cached sin/cos of the yaw setpoint, keyed on the exact input. The
+	// guidance yaw is piecewise constant per mission leg, so the trig
+	// pair is computed once per leg instead of at every control step.
+	// Derived state: deliberately absent from ControllerSnapshot.
+	cacheYaw, cacheSinYaw, cacheCosYaw float64
 }
 
 // New returns a controller for the given airframe, with loops running
@@ -184,7 +190,7 @@ func (c *Controller) Update(dt float64, est Estimate, gyroRaw mathx.Vec3, sp Set
 		fSp.Z = -1 // never command a downward or zero thrust vector
 	}
 	fSp = limitTilt(fSp, c.gains.MaxTiltRad)
-	attSp := attitudeFromThrust(fSp, sp.Yaw)
+	attSp := c.attitudeFromThrust(fSp, sp.Yaw)
 	d.AttSp = attSp
 
 	// Thrust magnitude: project the desired specific force on the CURRENT
@@ -231,13 +237,19 @@ func limitTilt(f mathx.Vec3, maxTilt float64) mathx.Vec3 {
 
 // attitudeFromThrust builds the attitude whose body -Z axis aligns with
 // the desired thrust direction and whose heading is yaw.
-func attitudeFromThrust(fSp mathx.Vec3, yaw float64) mathx.Quat {
+func (c *Controller) attitudeFromThrust(fSp mathx.Vec3, yaw float64) mathx.Quat {
+	//lint:allow floatcmp cache key is the exact previous input; any change recomputes
+	if yaw != c.cacheYaw || (c.cacheSinYaw == 0 && c.cacheCosYaw == 0) {
+		c.cacheYaw = yaw
+		c.cacheSinYaw, c.cacheCosYaw = math.Sin(yaw), math.Cos(yaw)
+	}
+	sy, cy := c.cacheSinYaw, c.cacheCosYaw
 	zB := fSp.Neg().Normalized() // body +Z (down) opposes thrust
-	xC := mathx.V3(math.Cos(yaw), math.Sin(yaw), 0)
+	xC := mathx.V3(cy, sy, 0)
 	yB := zB.Cross(xC)
 	if yB.Norm() < 1e-6 {
 		// Degenerate: thrust nearly horizontal along heading; fall back.
-		yB = mathx.V3(-math.Sin(yaw), math.Cos(yaw), 0)
+		yB = mathx.V3(-sy, cy, 0)
 	}
 	yB = yB.Normalized()
 	xB := yB.Cross(zB)

@@ -173,14 +173,15 @@ func TestTiltLimit(t *testing.T) {
 }
 
 func TestAttitudeFromThrustLevel(t *testing.T) {
+	ctl := New(DefaultGains(), physics.DefaultParams(), 0.004)
 	// Pure vertical thrust with yaw 0 is identity attitude.
-	q := attitudeFromThrust(mathx.V3(0, 0, -9.81), 0)
+	q := ctl.attitudeFromThrust(mathx.V3(0, 0, -9.81), 0)
 	if q.AngleTo(mathx.QuatIdentity()) > 1e-9 {
 		t.Errorf("level attitude = %v", q)
 	}
 	// Thrust tipped toward +X pitches forward (negative pitch in FRD... the
 	// body -Z must align with the thrust direction).
-	q = attitudeFromThrust(mathx.V3(3, 0, -9.81), 0)
+	q = ctl.attitudeFromThrust(mathx.V3(3, 0, -9.81), 0)
 	up := q.Rotate(mathx.V3(0, 0, -1))
 	want := mathx.V3(3, 0, -9.81).Normalized()
 	if up.Sub(want).Norm() > 1e-9 {

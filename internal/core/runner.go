@@ -28,6 +28,14 @@ type Runner struct {
 	// Progress, if non-nil, is called after every completed case with
 	// (done, total). Calls are serialized.
 	Progress func(done, total int)
+	// OnResult, if non-nil, receives every finished case's FULL result in
+	// completion order; calls are serialized (same lock as Progress). When
+	// set, the runner strips the bulky per-case payloads (Trajectory,
+	// Diagnostics) from the results slice it retains and returns, so a
+	// streaming consumer bounds resident memory at O(workers) in-flight
+	// cases instead of O(cases) — the aggregate tables only read the flat
+	// outcome fields that remain.
+	OnResult func(CaseResult)
 	// Checkpoint enables checkpoint-and-fork execution: cases sharing a
 	// mission, environment seed, injection scope, and injection start are
 	// simulated once up to the injection point, then forked per case —
@@ -181,6 +189,7 @@ func (r *Runner) RunAll(ctx context.Context, cases []Case) []CaseResult {
 		doneMu   sync.Mutex
 		doneObs  int
 		progress = r.Progress
+		onResult = r.OnResult
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -189,14 +198,25 @@ func (r *Runner) RunAll(ctx context.Context, cases []Case) []CaseResult {
 			for idx := range indexCh {
 				caseStart := r.now()
 				res, forked := r.runCase(cases[idx], checkpoints[casePrefixKey(cases[idx])])
-				results[idx] = res
 				metrics.observeCase(res, forked, r.now()-caseStart)
-				if progress != nil {
+				if progress != nil || onResult != nil {
 					doneMu.Lock()
-					doneObs++
-					progress(doneObs, len(cases))
+					if onResult != nil {
+						onResult(res)
+					}
+					if progress != nil {
+						doneObs++
+						progress(doneObs, len(cases))
+					}
 					doneMu.Unlock()
 				}
+				if onResult != nil {
+					// The streaming consumer owns the heavy payloads now;
+					// keep only the flat outcome fields resident.
+					res.Result.Trajectory = nil
+					res.Result.Diagnostics = nil
+				}
+				results[idx] = res
 			}
 		}()
 	}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ResultsWriter streams campaign results as an incrementally written JSON
+// array, element by element, so a campaign can persist each case as it
+// finishes instead of accumulating all of them in memory first. The output
+// is read back by LoadResults; wire Write into Runner.OnResult to bound
+// resident memory at the in-flight cases (see Runner.OnResult).
+//
+// Write and Close must be called from one goroutine at a time —
+// Runner.OnResult already serializes its calls.
+type ResultsWriter struct {
+	w      io.Writer
+	enc    *json.Encoder
+	n      int
+	closed bool
+}
+
+// NewResultsWriter returns a writer streaming a JSON array to w. Nothing
+// is written until the first Write; Close finishes the array (an empty
+// campaign yields "[]").
+func NewResultsWriter(w io.Writer) *ResultsWriter {
+	enc := json.NewEncoder(w)
+	enc.SetIndent(" ", " ")
+	return &ResultsWriter{w: w, enc: enc}
+}
+
+// Write appends one result to the array.
+func (rw *ResultsWriter) Write(res CaseResult) error {
+	if rw.closed {
+		return fmt.Errorf("core: write to closed results writer")
+	}
+	sep := "[\n "
+	if rw.n > 0 {
+		sep = ","
+	}
+	if _, err := io.WriteString(rw.w, sep); err != nil {
+		return fmt.Errorf("core: streaming result: %w", err)
+	}
+	if err := rw.enc.Encode(res); err != nil {
+		return fmt.Errorf("core: encoding result: %w", err)
+	}
+	rw.n++
+	return nil
+}
+
+// Close terminates the JSON array. It does not close the underlying
+// writer. Close is idempotent; Write after Close errors.
+func (rw *ResultsWriter) Close() error {
+	if rw.closed {
+		return nil
+	}
+	rw.closed = true
+	end := "]\n"
+	if rw.n == 0 {
+		end = "[]\n"
+	}
+	if _, err := io.WriteString(rw.w, end); err != nil {
+		return fmt.Errorf("core: closing results stream: %w", err)
+	}
+	return nil
+}
+
+// ResultsFileWriter is a ResultsWriter that owns its destination file and
+// buffers writes; Close flushes and closes the file.
+type ResultsFileWriter struct {
+	ResultsWriter
+	f  *os.File
+	bw *bufio.Writer
+}
+
+// NewResultsFileWriter creates path (truncating any existing file) and
+// returns a streaming writer over it.
+func NewResultsFileWriter(path string) (*ResultsFileWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	w := &ResultsFileWriter{f: f, bw: bw}
+	w.ResultsWriter = *NewResultsWriter(bw)
+	return w, nil
+}
+
+// Close finishes the JSON array, flushes, and closes the file.
+func (w *ResultsFileWriter) Close() error {
+	err := w.ResultsWriter.Close()
+	if ferr := w.bw.Flush(); err == nil {
+		err = ferr
+	}
+	if ferr := w.f.Close(); err == nil {
+		err = ferr
+	}
+	return err
+}

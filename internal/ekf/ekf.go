@@ -60,26 +60,40 @@ type Config struct {
 	// Zero disables resets.
 	GPSResetSec  float64
 	BaroResetSec float64
+	// CovarianceDecimation is the covariance-path decimation factor k.
+	// The nominal (strapdown) state advances on every Predict, while the
+	// error-state covariance accumulates the compounded k-step transition
+	// and applies one P ← Φ P Φᵀ + Q per k-th predict — the split PX4's
+	// EKF2 makes between high-rate strapdown integration and decimated
+	// covariance prediction. Values <= 1 keep the exact per-step path.
+	// The accumulated transition is flushed before any consumer touches
+	// the covariance (measurement updates, resets, variance queries), so
+	// fusion never sees covariance older than the last flush point.
+	// SetCovarianceFullRate forces the exact path while a caller-defined
+	// condition holds (the simulator uses it to keep faulted flights exact
+	// from launch until the fault response settles).
+	CovarianceDecimation int
 }
 
 // DefaultConfig returns tuning matched to sensors.Default*Spec.
 func DefaultConfig() Config {
 	return Config{
-		GyroNoise:      0.003,
-		AccelNoise:     0.08,
-		GyroBiasWalk:   5e-5,
-		AccelBiasWalk:  5e-4,
-		GPSPosStd:      0.5,
-		GPSVelStd:      0.15,
-		BaroStd:        0.25,
-		YawStd:         0.08,
-		MagYawStd:      0.05,
-		GravityStd:     0.3,
-		GravityMaxDev:  0.5,
-		GateSigma:      5,
-		CourseMinSpeed: 1.5,
-		GPSResetSec:    5.0,
-		BaroResetSec:   5.0,
+		GyroNoise:            0.003,
+		AccelNoise:           0.08,
+		GyroBiasWalk:         5e-5,
+		AccelBiasWalk:        5e-4,
+		GPSPosStd:            0.5,
+		GPSVelStd:            0.15,
+		BaroStd:              0.25,
+		YawStd:               0.08,
+		MagYawStd:            0.05,
+		GravityStd:           0.3,
+		GravityMaxDev:        0.5,
+		GateSigma:            5,
+		CourseMinSpeed:       1.5,
+		GPSResetSec:          5.0,
+		BaroResetSec:         5.0,
+		CovarianceDecimation: 4,
 	}
 }
 
@@ -144,6 +158,12 @@ type Filter struct {
 	lastGPST float64
 	lastBarT float64
 	inited   bool
+
+	// Decimated-covariance state (all value fields, so FilterSnapshot
+	// captures the mid-window phase and forks resume bit-identically).
+	covFull bool       // full-rate forced (fault window + settle)
+	pending int        // predicts accumulated since the last flush
+	acc     transition // compounded transition over the pending steps
 }
 
 // New returns a filter initialized at rest at the origin with conservative
@@ -171,6 +191,8 @@ func (f *Filter) Reset(st State) {
 	}
 	f.health = Health{}
 	f.inited = true
+	f.pending = 0
+	f.acc.reset()
 }
 
 // State returns the current nominal estimate.
@@ -198,14 +220,63 @@ func (f *Filter) Restore(s FilterSnapshot) {
 func (f *Filter) Health() Health { return f.health }
 
 // Covariance returns the variance of the error-state entry at index i
-// (0..14); used by tests and diagnostics.
-func (f *Filter) Covariance(i int) float64 { return f.p[i][i] }
+// (0..14); used by tests and diagnostics. Any pending decimated
+// propagation is flushed first so the value is current.
+func (f *Filter) Covariance(i int) float64 {
+	f.flushCovariance()
+	return f.p[i][i]
+}
 
 // AttitudeStd returns the 1-sigma attitude uncertainty (rad), the largest
-// of the three attitude error variances.
+// of the three attitude error variances (flushing any pending decimated
+// propagation first).
 func (f *Filter) AttitudeStd() float64 {
+	f.flushCovariance()
 	v := math.Max(f.p[0][0], math.Max(f.p[1][1], f.p[2][2]))
 	return math.Sqrt(v)
+}
+
+// SetCovarianceFullRate forces (true) or releases (false) full-rate
+// covariance propagation regardless of CovarianceDecimation. The vehicle
+// drives this from the fault-injection schedule: during an active
+// injection window, and for a settle window after it, fault-response
+// dynamics keep the exact per-step covariance path, so decimation only
+// ever applies to benign flight. Entering full rate flushes any
+// accumulated transition so no covariance time is lost.
+func (f *Filter) SetCovarianceFullRate(full bool) {
+	if full && !f.covFull {
+		f.flushCovariance()
+	}
+	f.covFull = full
+}
+
+// flushCovariance applies the accumulated window transition and the
+// process noise scaled over the accumulated horizon, then resets the
+// window. It is a no-op when nothing is pending, so every covariance
+// consumer calls it unconditionally. The integrated-noise approximation
+// (Q·Σdt added once instead of interleaved per step) is the same one
+// decimated flight estimators make; its error is O(k·dt) relative and is
+// bounded by TestDecimationDriftBounded.
+func (f *Filter) flushCovariance() {
+	if f.pending == 0 {
+		return
+	}
+	f.p.applyTransition(&f.acc)
+	var q [dim]float64
+	gn := f.cfg.GyroNoise * f.cfg.GyroNoise * f.acc.s
+	an := f.cfg.AccelNoise * f.cfg.AccelNoise * f.acc.s
+	gw := f.cfg.GyroBiasWalk * f.cfg.GyroBiasWalk * f.acc.s
+	aw := f.cfg.AccelBiasWalk * f.cfg.AccelBiasWalk * f.acc.s
+	for i := 0; i < 3; i++ {
+		q[idxTheta+i] = gn
+		q[idxVel+i] = an
+		q[idxBg+i] = gw
+		q[idxBa+i] = aw
+	}
+	f.p.addDiag(q)
+	f.p.clampDiag(1e-12, 1e8)
+	f.acc.reset()
+	f.pending = 0
 }
 
 // NotifySensorSwitch tells the filter its IMU source just changed
@@ -215,6 +286,7 @@ func (f *Filter) AttitudeStd() float64 {
 // direction, magnetometer, GPS) then repair the state within a second
 // instead of tens of seconds.
 func (f *Filter) NotifySensorSwitch() {
+	f.flushCovariance()
 	for i := 0; i < 3; i++ {
 		if f.p[idxTheta+i][idxTheta+i] < 0.25 {
 			f.p[idxTheta+i][idxTheta+i] = 0.25 // (0.5 rad)^2
@@ -223,7 +295,6 @@ func (f *Filter) NotifySensorSwitch() {
 			f.p[idxVel+i][idxVel+i] = 4
 		}
 	}
-	f.p.symmetrize()
 }
 
 // RealignLevel re-derives roll and pitch from a trusted accelerometer
@@ -299,6 +370,22 @@ func (f *Filter) Predict(s sensors.IMUSample, dt float64) {
 		}
 		a[i][i] += 1
 	}
+
+	// Decimated path: fold this step's F into the window transition and
+	// flush every k-th step. Covariance consumers flush earlier on demand.
+	if k := f.cfg.CovarianceDecimation; k > 1 && !f.covFull {
+		f.acc.compose(&a, &b, &c, dt)
+		f.pending++
+		if f.pending >= k {
+			f.flushCovariance()
+		}
+		return
+	}
+
+	// Full-rate path (k <= 1, or forced during fault windows): the exact
+	// per-step propagation. The pending check only matters if the mode
+	// changed without a flush (defensive; SetCovarianceFullRate flushes).
+	f.flushCovariance()
 	f.p.propagate(&a, &b, &c, dt)
 
 	var q [dim]float64
@@ -313,6 +400,5 @@ func (f *Filter) Predict(s sensors.IMUSample, dt float64) {
 		q[idxBa+i] = aw
 	}
 	f.p.addDiag(q)
-	f.p.symmetrize()
 	f.p.clampDiag(1e-12, 1e8)
 }

@@ -71,36 +71,253 @@ func (a *mat) mulT(b *mat) mat {
 //
 // Exploiting the structure does ~1k multiplies instead of the ~4k a pair
 // of generic 15x15 products needs, with no scratch beyond one stack
-// matrix. Term order matches the dense mul/mulT reference so results agree
-// to float rounding (see TestPropagateMatchesDenseReference).
+// matrix. The second pass computes only the upper triangle and mirrors it:
+// F P Fᵀ is symmetric whenever P is, so the lower triangle carries no new
+// information and P stays exactly symmetric by construction (no separate
+// symmetrize pass). Upper-triangle term order matches the dense mul/mulT
+// reference so results agree to float rounding (see
+// TestPropagateMatchesDenseReference).
 func (p *mat) propagate(a, b, c *[3][3]float64, dt float64) {
-	// First pass: G = F·P. Only the θ, v, and p block-rows differ from P.
-	var g mat
-	for j := 0; j < dim; j++ {
-		for i := 0; i < 3; i++ {
-			pt0, pt1, pt2 := p[idxTheta][j], p[idxTheta+1][j], p[idxTheta+2][j]
-			g[idxTheta+i][j] = a[i][0]*pt0 + a[i][1]*pt1 + a[i][2]*pt2 - dt*p[idxBg+i][j]
-			g[idxVel+i][j] = b[i][0]*pt0 + b[i][1]*pt1 + b[i][2]*pt2 + p[idxVel+i][j] +
-				c[i][0]*p[idxBa][j] + c[i][1]*p[idxBa+1][j] + c[i][2]*p[idxBa+2][j]
-			g[idxPos+i][j] = dt*p[idxVel+i][j] + p[idxPos+i][j]
-			g[idxBg+i][j] = p[idxBg+i][j]
-			g[idxBa+i][j] = p[idxBa+i][j]
+	// First pass: G = F·P, row-major so every read and write streams over
+	// contiguous rows. F's bg/ba block-rows are identity, so those rows of
+	// G equal P and are never materialized; the bottom-right 6x6 of
+	// F P Fᵀ equals P's and is left untouched (same skip applyTransition
+	// takes for the compounded window transition).
+	var g [idxBg][dim]float64
+	pt0, pt1, pt2 := &p[idxTheta], &p[idxTheta+1], &p[idxTheta+2]
+	pa0, pa1, pa2 := &p[idxBa], &p[idxBa+1], &p[idxBa+2]
+	for i := 0; i < 3; i++ {
+		a0, a1, a2 := a[i][0], a[i][1], a[i][2]
+		pg, gt := &p[idxBg+i], &g[idxTheta+i]
+		for j := 0; j < dim; j++ {
+			gt[j] = a0*pt0[j] + a1*pt1[j] + a2*pt2[j] - dt*pg[j]
+		}
+		b0, b1, b2 := b[i][0], b[i][1], b[i][2]
+		c0, c1, c2 := c[i][0], c[i][1], c[i][2]
+		pv, gv := &p[idxVel+i], &g[idxVel+i]
+		for j := 0; j < dim; j++ {
+			gv[j] = b0*pt0[j] + b1*pt1[j] + b2*pt2[j] + pv[j] +
+				c0*pa0[j] + c1*pa1[j] + c2*pa2[j]
+		}
+		pp, gp := &p[idxPos+i], &g[idxPos+i]
+		for j := 0; j < dim; j++ {
+			gp[j] = dt*pv[j] + pp[j]
 		}
 	}
-	// Second pass: P = G·Fᵀ. Row i of the result reads only row i of G.
-	for i := 0; i < dim; i++ {
+	// Second pass: P = G·Fᵀ for rows i < idxBg, entries j >= i only,
+	// mirrored into the lower triangle. Entry (i,j) reads row i of G and
+	// row j of F. Segmented by Fᵀ's block columns so the inner loops stay
+	// branch-free; entries, order, and arithmetic match the switch form.
+	for i := 0; i < idxBg; i++ {
 		gi := &g[i]
 		t0, t1, t2 := gi[idxTheta], gi[idxTheta+1], gi[idxTheta+2]
 		a0, a1, a2 := gi[idxBa], gi[idxBa+1], gi[idxBa+2]
-		for jc := 0; jc < 3; jc++ {
-			p[i][idxTheta+jc] = t0*a[jc][0] + t1*a[jc][1] + t2*a[jc][2] - dt*gi[idxBg+jc]
-			p[i][idxVel+jc] = t0*b[jc][0] + t1*b[jc][1] + t2*b[jc][2] + gi[idxVel+jc] +
+		j := i
+		for ; j < idxVel; j++ {
+			v := t0*a[j][0] + t1*a[j][1] + t2*a[j][2] - dt*gi[idxBg+j]
+			p[i][j] = v
+			p[j][i] = v
+		}
+		for ; j < idxPos; j++ {
+			jc := j - idxVel
+			v := t0*b[jc][0] + t1*b[jc][1] + t2*b[jc][2] + gi[j] +
 				a0*c[jc][0] + a1*c[jc][1] + a2*c[jc][2]
-			p[i][idxPos+jc] = dt*gi[idxVel+jc] + gi[idxPos+jc]
-			p[i][idxBg+jc] = gi[idxBg+jc]
-			p[i][idxBa+jc] = gi[idxBa+jc]
+			p[i][j] = v
+			p[j][i] = v
+		}
+		for ; j < idxBg; j++ {
+			v := dt*gi[j-3] + gi[j]
+			p[i][j] = v
+			p[j][i] = v
+		}
+		for ; j < dim; j++ {
+			v := gi[j]
+			p[i][j] = v
+			p[j][i] = v
 		}
 	}
+}
+
+// transition is the compounded error-state transition Φ = F_k···F_1 over a
+// window of predict steps. The per-step F's sparsity class is closed under
+// composition — identity diagonal plus dense 3x3 couplings — so Φ keeps a
+// fixed block form and both the per-step composition and the one-shot
+// P ← Φ P Φᵀ stay block-sparse:
+//
+//	Φ = | Aθ  0    0  Dθ  0  |     (θ rows)
+//	    | Bv  I    0  Dv  Cv |     (v rows)
+//	    | Bp  s·I  I  Dp  Cp |     (p rows)
+//	    | 0   0    0  I   0  |     (bg rows)
+//	    | 0   0    0  0   I  |     (ba rows)
+//
+// where s is the accumulated step time Σdt, which is also the horizon the
+// scaled process noise integrates over at flush time. The zero value is
+// NOT the identity; call reset before composing.
+type transition struct {
+	aa, dth    [3][3]float64 // θ row:  Aθ, Dθ
+	bv, dv, cv [3][3]float64 // v row:  Bv, Dv, Cv
+	bp, dp, cp [3][3]float64 // p row:  Bp, Dp, Cp
+	s          float64       // p←v coupling and accumulated dt
+}
+
+// reset restores the identity transition (empty window).
+func (tr *transition) reset() {
+	*tr = transition{}
+	for i := 0; i < 3; i++ {
+		tr.aa[i][i] = 1
+	}
+}
+
+// compose left-multiplies one per-step transition onto the window:
+// Φ ← F·Φ, with F given in propagate's A/B/C block form. Update order
+// matters — the p row reads the v row's old blocks and the v row reads the
+// θ row's old blocks, so rows are updated bottom-up. Cost is four 3x3
+// products per step (~110 flops) versus ~1k for a full propagate, which is
+// what makes decimated covariance propagation pay.
+func (tr *transition) compose(a, b, c *[3][3]float64, dt float64) {
+	// p row: Bp += dt·Bv, Dp += dt·Dv, Cp += dt·Cv, s += dt (old v row).
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			tr.bp[i][j] = dt*tr.bv[i][j] + tr.bp[i][j]
+			tr.dp[i][j] = dt*tr.dv[i][j] + tr.dp[i][j]
+			tr.cp[i][j] = dt*tr.cv[i][j] + tr.cp[i][j]
+		}
+	}
+	tr.s += dt
+	// v row: Bv ← B·Aθ + Bv, Dv ← B·Dθ + Dv, Cv ← Cv + C (old θ row).
+	// The two 3x3 products share B's rows, so they run fused in one pass;
+	// per-entry arithmetic order matches the separate mul3-then-add form.
+	for i := 0; i < 3; i++ {
+		b0, b1, b2 := b[i][0], b[i][1], b[i][2]
+		for j := 0; j < 3; j++ {
+			tr.bv[i][j] = b0*tr.aa[0][j] + b1*tr.aa[1][j] + b2*tr.aa[2][j] + tr.bv[i][j]
+			tr.dv[i][j] = b0*tr.dth[0][j] + b1*tr.dth[1][j] + b2*tr.dth[2][j] + tr.dv[i][j]
+			tr.cv[i][j] += c[i][j]
+		}
+	}
+	// θ row: Aθ ← A·Aθ, Dθ ← A·Dθ - dt·I, same fusion over A's rows.
+	var naa, ndth [3][3]float64
+	for i := 0; i < 3; i++ {
+		a0, a1, a2 := a[i][0], a[i][1], a[i][2]
+		for j := 0; j < 3; j++ {
+			naa[i][j] = a0*tr.aa[0][j] + a1*tr.aa[1][j] + a2*tr.aa[2][j]
+			ndth[i][j] = a0*tr.dth[0][j] + a1*tr.dth[1][j] + a2*tr.dth[2][j]
+		}
+		ndth[i][i] -= dt
+	}
+	tr.aa = naa
+	tr.dth = ndth
+}
+
+// applyTransition computes P ← Φ P Φᵀ in place for a compounded window
+// transition, the decimated counterpart of propagate: one call per flush
+// instead of one propagate per step. Like propagate it computes only the
+// upper triangle in the second pass and mirrors, keeping P exactly
+// symmetric. Term order within each entry matches the dense mul/mulT
+// reference (ascending column blocks) so the quick.Check oracle agrees to
+// float rounding.
+func (p *mat) applyTransition(tr *transition) {
+	// First pass: G = Φ·P for the θ/v/p block-rows. The bg/ba block-rows
+	// of Φ are identity, so those rows of G equal P and are never
+	// materialized; likewise the bottom-right 6x6 of Φ P Φᵀ equals P's
+	// and is left untouched (process noise lands later via addDiag).
+	// Row-major: each output row streams sequentially over the source
+	// rows it combines, so every read and write walks contiguous memory.
+	// Per-entry term order matches the dense oracle exactly.
+	var g [idxBg][dim]float64
+	pt0, pt1, pt2 := &p[idxTheta], &p[idxTheta+1], &p[idxTheta+2]
+	pg0, pg1, pg2 := &p[idxBg], &p[idxBg+1], &p[idxBg+2]
+	pa0, pa1, pa2 := &p[idxBa], &p[idxBa+1], &p[idxBa+2]
+	for i := 0; i < 3; i++ {
+		aa0, aa1, aa2 := tr.aa[i][0], tr.aa[i][1], tr.aa[i][2]
+		th0, th1, th2 := tr.dth[i][0], tr.dth[i][1], tr.dth[i][2]
+		gt := &g[idxTheta+i]
+		for j := 0; j < dim; j++ {
+			gt[j] = aa0*pt0[j] + aa1*pt1[j] + aa2*pt2[j] +
+				th0*pg0[j] + th1*pg1[j] + th2*pg2[j]
+		}
+		bv0, bv1, bv2 := tr.bv[i][0], tr.bv[i][1], tr.bv[i][2]
+		dv0, dv1, dv2 := tr.dv[i][0], tr.dv[i][1], tr.dv[i][2]
+		cv0, cv1, cv2 := tr.cv[i][0], tr.cv[i][1], tr.cv[i][2]
+		pv, gv := &p[idxVel+i], &g[idxVel+i]
+		for j := 0; j < dim; j++ {
+			gv[j] = bv0*pt0[j] + bv1*pt1[j] + bv2*pt2[j] +
+				pv[j] +
+				dv0*pg0[j] + dv1*pg1[j] + dv2*pg2[j] +
+				cv0*pa0[j] + cv1*pa1[j] + cv2*pa2[j]
+		}
+		bp0, bp1, bp2 := tr.bp[i][0], tr.bp[i][1], tr.bp[i][2]
+		dp0, dp1, dp2 := tr.dp[i][0], tr.dp[i][1], tr.dp[i][2]
+		cp0, cp1, cp2 := tr.cp[i][0], tr.cp[i][1], tr.cp[i][2]
+		pp, gp := &p[idxPos+i], &g[idxPos+i]
+		for j := 0; j < dim; j++ {
+			gp[j] = bp0*pt0[j] + bp1*pt1[j] + bp2*pt2[j] +
+				tr.s*pv[j] + pp[j] +
+				dp0*pg0[j] + dp1*pg1[j] + dp2*pg2[j] +
+				cp0*pa0[j] + cp1*pa1[j] + cp2*pa2[j]
+		}
+	}
+	// Second pass: P = G·Φᵀ for rows i < idxBg, entries j >= i only,
+	// mirrored. Rows idxBg.. are identity rows of Φ: their new values are
+	// G[i][j] = P[i][j] for j >= i >= idxBg, i.e. unchanged.
+	for i := 0; i < idxBg; i++ {
+		gi := &g[i]
+		t0, t1, t2 := gi[idxTheta], gi[idxTheta+1], gi[idxTheta+2]
+		b0, b1, b2 := gi[idxBg], gi[idxBg+1], gi[idxBg+2]
+		a0, a1, a2 := gi[idxBa], gi[idxBa+1], gi[idxBa+2]
+		// Segmented by Φᵀ's block columns so the inner loops stay
+		// branch-free; entries, order, and arithmetic match the single
+		// switch-based loop exactly.
+		j := i
+		for ; j < idxVel; j++ {
+			v := t0*tr.aa[j][0] + t1*tr.aa[j][1] + t2*tr.aa[j][2] +
+				b0*tr.dth[j][0] + b1*tr.dth[j][1] + b2*tr.dth[j][2]
+			p[i][j] = v
+			p[j][i] = v
+		}
+		for ; j < idxPos; j++ {
+			jc := j - idxVel
+			v := t0*tr.bv[jc][0] + t1*tr.bv[jc][1] + t2*tr.bv[jc][2] +
+				gi[j] +
+				b0*tr.dv[jc][0] + b1*tr.dv[jc][1] + b2*tr.dv[jc][2] +
+				a0*tr.cv[jc][0] + a1*tr.cv[jc][1] + a2*tr.cv[jc][2]
+			p[i][j] = v
+			p[j][i] = v
+		}
+		for ; j < idxBg; j++ {
+			jc := j - idxPos
+			v := t0*tr.bp[jc][0] + t1*tr.bp[jc][1] + t2*tr.bp[jc][2] +
+				tr.s*gi[j-3] + gi[j] +
+				b0*tr.dp[jc][0] + b1*tr.dp[jc][1] + b2*tr.dp[jc][2] +
+				a0*tr.cp[jc][0] + a1*tr.cp[jc][1] + a2*tr.cp[jc][2]
+			p[i][j] = v
+			p[j][i] = v
+		}
+		for ; j < dim; j++ {
+			v := gi[j]
+			p[i][j] = v
+			p[j][i] = v
+		}
+	}
+}
+
+// dense returns the transition as a dense matrix (test oracle only).
+func (tr *transition) dense() mat {
+	m := matIdentity()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			m[idxTheta+i][idxTheta+j] = tr.aa[i][j]
+			m[idxTheta+i][idxBg+j] = tr.dth[i][j]
+			m[idxVel+i][idxTheta+j] = tr.bv[i][j]
+			m[idxVel+i][idxBg+j] = tr.dv[i][j]
+			m[idxVel+i][idxBa+j] = tr.cv[i][j]
+			m[idxPos+i][idxTheta+j] = tr.bp[i][j]
+			m[idxPos+i][idxBg+j] = tr.dp[i][j]
+			m[idxPos+i][idxBa+j] = tr.cp[i][j]
+		}
+		m[idxPos+i][idxVel+i] = tr.s
+	}
+	return m
 }
 
 // addDiag adds d[i] to the diagonal.
@@ -110,8 +327,11 @@ func (a *mat) addDiag(d [dim]float64) {
 	}
 }
 
-// symmetrize replaces a with (a + aᵀ)/2, containing the numerical
-// asymmetry that accumulates over thousands of predict/update cycles.
+// symmetrize replaces a with (a + aᵀ)/2. The hot-path kernels (propagate,
+// applyTransition, the scalar-update downdate) now write mirrored upper
+// triangles, so the covariance is exactly symmetric by construction and
+// no per-cycle symmetrize pass is needed; this remains for non-symmetric
+// callers and as a test utility.
 func (a *mat) symmetrize() {
 	for i := 0; i < dim; i++ {
 		for j := i + 1; j < dim; j++ {

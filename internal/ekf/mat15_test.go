@@ -164,6 +164,136 @@ func TestPropagateMatchesDenseReference(t *testing.T) {
 	}
 }
 
+// denseStep assembles the dense per-step transition F from its blocks
+// (shared by the oracle tests below).
+func denseStep(a, b, c *[3][3]float64, dt float64) mat {
+	fm := matIdentity()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			fm[idxTheta+i][idxTheta+j] = a[i][j]
+			fm[idxVel+i][idxTheta+j] = b[i][j]
+			fm[idxVel+i][idxBa+j] = c[i][j]
+		}
+		fm[idxTheta+i][idxBg+i] = -dt
+		fm[idxPos+i][idxVel+i] = dt
+	}
+	return fm
+}
+
+// randStepBlocks draws per-step A/B/C blocks on the magnitude scale
+// Predict produces.
+func randStepBlocks(next func() float64, dt float64) (a, b, c [3][3]float64) {
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			a[i][j] = next() * 0.01
+			b[i][j] = next() * 0.1
+			c[i][j] = next() * dt
+		}
+		a[i][i] += 1
+	}
+	return
+}
+
+// TestTransitionComposeMatchesDense: composing k per-step F's in block
+// form must reproduce the dense product F_k···F_1 to float rounding.
+func TestTransitionComposeMatchesDense(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		s := uint64(seed)
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(int64(s>>33)) / float64(1<<30)
+		}
+		k := int(steps%8) + 1
+		const dt = 0.004
+
+		var tr transition
+		tr.reset()
+		phi := matIdentity()
+		for n := 0; n < k; n++ {
+			a, b, c := randStepBlocks(next, dt)
+			tr.compose(&a, &b, &c, dt)
+			fm := denseStep(&a, &b, &c, dt)
+			phi = fm.mul(&phi)
+		}
+
+		got := tr.dense()
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				d := got[i][j] - phi[i][j]
+				if d > 1e-12 || d < -1e-12 {
+					t.Logf("k=%d mismatch at %d,%d: got %v want %v", k, i, j, got[i][j], phi[i][j])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestApplyTransitionMatchesDenseReference: the one-shot block-sparse
+// P ← Φ P Φᵀ over a composed window must match the generic dense product
+// with the independently multiplied-out dense Φ.
+func TestApplyTransitionMatchesDenseReference(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		s := uint64(seed)
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(int64(s>>33)) / float64(1<<30)
+		}
+		k := int(steps%8) + 1
+		const dt = 0.004
+
+		// Symmetric positive-ish covariance (the kernel's precondition).
+		var l mat
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				l[i][j] = next() * 0.3
+			}
+		}
+		p := l.mulT(&l)
+		for i := 0; i < dim; i++ {
+			p[i][i] += 0.1
+		}
+
+		var tr transition
+		tr.reset()
+		phi := matIdentity()
+		for n := 0; n < k; n++ {
+			a, b, c := randStepBlocks(next, dt)
+			tr.compose(&a, &b, &c, dt)
+			fm := denseStep(&a, &b, &c, dt)
+			phi = fm.mul(&phi)
+		}
+
+		fp := phi.mul(&p)
+		want := fp.mulT(&phi)
+
+		got := p
+		got.applyTransition(&tr)
+
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				d := got[i][j] - want[i][j]
+				if d > 1e-12 || d < -1e-12 {
+					t.Logf("k=%d mismatch at %d,%d: got %v want %v", k, i, j, got[i][j], want[i][j])
+					return false
+				}
+				if got[i][j] != got[j][i] {
+					t.Logf("k=%d asymmetry at %d,%d", k, i, j)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
 // benchBlocks builds representative A/B/C transition blocks and a
 // covariance for the propagation benchmarks.
 func benchBlocks() (p mat, a, b, c [3][3]float64, dt float64) {
@@ -197,6 +327,50 @@ func BenchmarkPropagateBlockSparse(bb *testing.B) {
 	bb.ResetTimer()
 	for i := 0; i < bb.N; i++ {
 		p.propagate(&a, &b, &c, dt)
+	}
+}
+
+// BenchmarkMat15PropagateSym measures the symmetric block-sparse
+// P ← F P Fᵀ on a symmetric covariance (the hot-loop configuration: upper
+// triangle computed, lower mirrored).
+func BenchmarkMat15PropagateSym(bb *testing.B) {
+	p, a, b, c, dt := benchBlocks()
+	p.symmetrize()
+	bb.ReportAllocs()
+	bb.ResetTimer()
+	for i := 0; i < bb.N; i++ {
+		p.propagate(&a, &b, &c, dt)
+	}
+}
+
+// BenchmarkMat15ApplyTransition measures the decimated flush kernel: one
+// compounded P ← Φ P Φᵀ over a 4-step window (compare against 4x
+// BenchmarkMat15PropagateSym plus 4x BenchmarkMat15TransitionCompose).
+func BenchmarkMat15ApplyTransition(bb *testing.B) {
+	p, a, b, c, dt := benchBlocks()
+	p.symmetrize()
+	var tr transition
+	tr.reset()
+	for n := 0; n < 4; n++ {
+		tr.compose(&a, &b, &c, dt)
+	}
+	bb.ReportAllocs()
+	bb.ResetTimer()
+	for i := 0; i < bb.N; i++ {
+		p.applyTransition(&tr)
+	}
+}
+
+// BenchmarkMat15TransitionCompose measures folding one per-step F into the
+// window accumulator (paid every predict on the decimated path).
+func BenchmarkMat15TransitionCompose(bb *testing.B) {
+	_, a, b, c, dt := benchBlocks()
+	var tr transition
+	tr.reset()
+	bb.ReportAllocs()
+	bb.ResetTimer()
+	for i := 0; i < bb.N; i++ {
+		tr.compose(&a, &b, &c, dt)
 	}
 }
 

@@ -17,23 +17,44 @@ func (f *Filter) updateScalar(h [dim]float64, y, r float64) (accepted bool, rati
 	if f.health.Diverged || math.IsNaN(y) || math.IsInf(y, 0) {
 		return false, math.Inf(1)
 	}
-	// ph = P hᵀ, s = h P hᵀ + r.
+	// Fusion must see current covariance: apply any pending decimated
+	// propagation before forming the innovation variance and gain.
+	f.flushCovariance()
+	// Collect h's nonzero support once — observation rows have 1–3
+	// nonzero entries, so ph = P hᵀ walks 15·nnz products instead of a
+	// branch inside a 15x15 sweep. Ascending index order keeps every sum
+	// in the exact order of the dense loop it replaced.
+	var nz [dim]int
+	nnz := 0
+	for j := 0; j < dim; j++ {
+		//lint:allow floatcmp sparsity skip: observation rows are structurally zero or exact
+		if h[j] != 0 {
+			nz[nnz] = j
+			nnz++
+		}
+	}
+	// ph = P hᵀ, s = h P hᵀ + r. P is exactly symmetric by construction,
+	// so column j equals row j and each ph entry can accumulate over
+	// contiguous rows instead of strided columns; the ascending-j
+	// accumulation order (and hence every rounding) is unchanged.
 	var ph [dim]float64
 	var s float64
-	for i := 0; i < dim; i++ {
-		var acc float64
-		for j := 0; j < dim; j++ {
+	if nnz > 0 {
+		r0 := &f.p[nz[0]]
+		h0 := h[nz[0]]
+		for i := 0; i < dim; i++ {
+			ph[i] = r0[i] * h0
+		}
+		for _, j := range nz[1:nnz] {
+			rj := &f.p[j]
 			hj := h[j]
-			//lint:allow floatcmp sparsity skip: observation rows are structurally zero or exact
-			if hj != 0 {
-				acc += f.p[i][j] * hj
+			for i := 0; i < dim; i++ {
+				ph[i] += rj[i] * hj
 			}
 		}
-		ph[i] = acc
-		//lint:allow floatcmp sparsity skip: observation rows are structurally zero or exact
-		if h[i] != 0 {
-			s += h[i] * acc
-		}
+	}
+	for _, j := range nz[:nnz] {
+		s += h[j] * ph[j]
 	}
 	s += r
 	if s <= 0 {
@@ -50,21 +71,26 @@ func (f *Filter) updateScalar(h [dim]float64, y, r float64) (accepted bool, rati
 		ratio = 0
 	}
 
-	// K = P hᵀ / s; error-state correction dx = K y.
-	var dx [dim]float64
+	// K = P hᵀ / s; error-state correction dx = K y. The gain column is
+	// kept for the downdate below, which needs the same ph[i]/s values —
+	// division is the slowest scalar op in the loop, so it runs once.
+	var gain, dx [dim]float64
 	for i := 0; i < dim; i++ {
-		dx[i] = ph[i] / s * y
+		gain[i] = ph[i] / s
+		dx[i] = gain[i] * y
 	}
-	// Covariance: P = (I - K h) P, then symmetrize.
-	var next mat
+	// Covariance: P = (I - K h) P. For a scalar update this is the
+	// rank-one downdate P - (ph)(ph)ᵀ/s, symmetric whenever P is, so only
+	// the upper triangle is computed and mirrored — in place, since each
+	// entry is read exactly once before being written.
 	for i := 0; i < dim; i++ {
-		k := ph[i] / s
-		for j := 0; j < dim; j++ {
-			next[i][j] = f.p[i][j] - k*ph[j]
+		k := gain[i]
+		for j := i; j < dim; j++ {
+			v := f.p[i][j] - k*ph[j]
+			f.p[i][j] = v
+			f.p[j][i] = v
 		}
 	}
-	f.p = next
-	f.p.symmetrize()
 	f.p.clampDiag(1e-12, 1e8)
 
 	f.injectError(dx)
@@ -143,13 +169,13 @@ func (f *Filter) FuseGPS(s sensors.GPSSample) {
 	// velocity and position states to it, and reopen the covariance so
 	// fusion resumes (what PX4's EKF2 does instead of failing forever).
 	if f.cfg.GPSResetSec > 0 && f.health.GPSRejectSec >= f.cfg.GPSResetSec && !f.health.Diverged {
+		f.flushCovariance()
 		f.st.Vel = s.VelNED
 		f.st.Pos = s.PosNED
 		for i := 0; i < 3; i++ {
 			f.p[idxVel+i][idxVel+i] = 4
 			f.p[idxPos+i][idxPos+i] = 25
 		}
-		f.p.symmetrize()
 		f.health.GPSRejectSec = 0
 		f.health.Resets++
 	}
@@ -251,9 +277,9 @@ func (f *Filter) FuseBaro(s sensors.BaroSample) {
 
 	// Height reset-on-timeout, mirroring the GPS path.
 	if f.cfg.BaroResetSec > 0 && f.health.BaroRejectSec >= f.cfg.BaroResetSec && !f.health.Diverged {
+		f.flushCovariance()
 		f.st.Pos.Z = -s.AltM
 		f.p[idxPos+2][idxPos+2] = 25
-		f.p.symmetrize()
 		f.health.BaroRejectSec = 0
 		f.health.Resets++
 	}

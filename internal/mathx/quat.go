@@ -24,18 +24,20 @@ func QuatFromAxisAngle(axis Vec3, angle float64) Quat {
 	if n == 0 {
 		return QuatIdentity()
 	}
-	half := angle / 2
-	s := math.Sin(half) / n
-	return Quat{W: math.Cos(half), X: axis.X * s, Y: axis.Y * s, Z: axis.Z * s}
+	// Sincos shares one argument reduction between the two values and is
+	// bit-identical to separate Sin/Cos calls (same kernel polynomials).
+	sinHalf, cosHalf := math.Sincos(angle / 2)
+	s := sinHalf / n
+	return Quat{W: cosHalf, X: axis.X * s, Y: axis.Y * s, Z: axis.Z * s}
 }
 
 // QuatFromEuler builds a rotation from aerospace Euler angles
 // (roll about X, pitch about Y, yaw about Z), applied in yaw-pitch-roll
 // order (ZYX convention), radians.
 func QuatFromEuler(roll, pitch, yaw float64) Quat {
-	cr, sr := math.Cos(roll/2), math.Sin(roll/2)
-	cp, sp := math.Cos(pitch/2), math.Sin(pitch/2)
-	cy, sy := math.Cos(yaw/2), math.Sin(yaw/2)
+	sr, cr := math.Sincos(roll / 2)
+	sp, cp := math.Sincos(pitch / 2)
+	sy, cy := math.Sincos(yaw / 2)
 	return Quat{
 		W: cr*cp*cy + sr*sp*sy,
 		X: sr*cp*cy - cr*sp*sy,

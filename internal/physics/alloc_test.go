@@ -1,0 +1,34 @@
+package physics
+
+import (
+	"testing"
+
+	"uavres/internal/mathx"
+)
+
+// TestBodyStepAllocFree pins the 500 Hz rigid-body step at zero
+// allocations per op (alloc-regression guard: the campaign runs this
+// 500 times per simulated second per case).
+func TestBodyStepAllocFree(t *testing.T) {
+	body, err := NewBody(DefaultParams(), CalmWind())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hover := DefaultParams().HoverThrustFraction()
+	body.SetMotorCommands([4]float64{hover, hover, hover, hover})
+	st := body.State()
+	st.Pos.Z = -20
+	body.SetState(st)
+	if n := testing.AllocsPerRun(100, func() { body.Step(0.002) }); n != 0 {
+		t.Errorf("Body.Step allocates %v per op, want 0", n)
+	}
+}
+
+// TestWindStepAllocFree pins the gusty wind model (OU discretization +
+// three normal draws) at zero allocations per op.
+func TestWindStepAllocFree(t *testing.T) {
+	w := NewWind(mathx.V3(1, 0, 0), 0.25, 2.0, mathx.NewRand(7))
+	if n := testing.AllocsPerRun(100, func() { w.Step(0.002) }); n != 0 {
+		t.Errorf("Wind.Step allocates %v per op, want 0", n)
+	}
+}

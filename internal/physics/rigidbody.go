@@ -95,6 +95,12 @@ type Body struct {
 
 	cmd [4]float64 // latest normalized rotor commands
 
+	// Cached motor-lag coefficient 1-exp(-dt/tau), keyed on the exact
+	// inputs that produced it. The 500 Hz loop always passes the same dt,
+	// so the Exp is computed once per flight instead of per step.
+	// Derived state: deliberately absent from BodySnapshot.
+	cacheLagDt, cacheLagTau, lag float64
+
 	lastSpecificForce mathx.Vec3 // body-frame specific force (what an ideal accel senses)
 	lastAirspeed      float64
 	touchdownSpeed    float64 // impact speed at the most recent air->ground transition
@@ -206,7 +212,12 @@ func (b *Body) Step(dt float64) {
 	s := &b.state
 
 	// Motor first-order lag, integrated exactly.
-	lag := 1 - math.Exp(-dt/p.MotorTau)
+	//lint:allow floatcmp cache key is the exact previous inputs; any change recomputes
+	if dt != b.cacheLagDt || p.MotorTau != b.cacheLagTau {
+		b.cacheLagDt, b.cacheLagTau = dt, p.MotorTau
+		b.lag = 1 - math.Exp(-dt/p.MotorTau)
+	}
+	lag := b.lag
 	var rotorThrust [4]float64
 	for i := range s.Rotor {
 		s.Rotor[i] += (b.cmd[i] - s.Rotor[i]) * lag

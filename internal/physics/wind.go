@@ -21,6 +21,13 @@ type Wind struct {
 
 	gust mathx.Vec3
 	rng  *mathx.Rand
+
+	// Cached OU discretization constants, keyed on the exact inputs that
+	// produced them. The 500 Hz step loop always passes the same dt, so
+	// the Exp/Sqrt pair is computed once per flight instead of per step.
+	// Derived state: deliberately absent from WindSnapshot.
+	cacheDt, cacheTau, cacheStd float64
+	phi, sigma                  float64
 }
 
 // NewWind returns a wind model driven by the given random source. A nil rng
@@ -41,8 +48,13 @@ func (w *Wind) Step(dt float64) mathx.Vec3 {
 	if w.rng != nil && w.GustStd > 0 {
 		// Exact discretization of the OU process keeps the stationary
 		// variance independent of dt.
-		phi := math.Exp(-dt / w.GustTau)
-		sigma := w.GustStd * math.Sqrt(1-phi*phi)
+		//lint:allow floatcmp cache key is the exact previous inputs; any change recomputes
+		if dt != w.cacheDt || w.GustTau != w.cacheTau || w.GustStd != w.cacheStd {
+			w.cacheDt, w.cacheTau, w.cacheStd = dt, w.GustTau, w.GustStd
+			w.phi = math.Exp(-dt / w.GustTau)
+			w.sigma = w.GustStd * math.Sqrt(1-w.phi*w.phi)
+		}
+		phi, sigma := w.phi, w.sigma
 		w.gust = mathx.Vec3{
 			X: phi*w.gust.X + sigma*w.rng.NormFloat64(),
 			Y: phi*w.gust.Y + sigma*w.rng.NormFloat64(),

@@ -255,12 +255,37 @@ func VoteOutlier(samples []IMUSample, primary int, accelTol, gyroTol float64) bo
 	if n < 3 || primary < 0 || primary >= n {
 		return false
 	}
+	p := &samples[primary]
+	if n == 3 {
+		// The common fleet (PX4 carries 3 IMUs) takes a branch-only
+		// median per axis, fully unrolled: same value the sort below
+		// selects, no scratch writes, no per-axis indexing switch.
+		s0, s1, s2 := &samples[0], &samples[1], &samples[2]
+		if d := p.Accel.X - med3(s0.Accel.X, s1.Accel.X, s2.Accel.X); d > accelTol || d < -accelTol {
+			return true
+		}
+		if d := p.Accel.Y - med3(s0.Accel.Y, s1.Accel.Y, s2.Accel.Y); d > accelTol || d < -accelTol {
+			return true
+		}
+		if d := p.Accel.Z - med3(s0.Accel.Z, s1.Accel.Z, s2.Accel.Z); d > accelTol || d < -accelTol {
+			return true
+		}
+		if d := p.Gyro.X - med3(s0.Gyro.X, s1.Gyro.X, s2.Gyro.X); d > gyroTol || d < -gyroTol {
+			return true
+		}
+		if d := p.Gyro.Y - med3(s0.Gyro.Y, s1.Gyro.Y, s2.Gyro.Y); d > gyroTol || d < -gyroTol {
+			return true
+		}
+		if d := p.Gyro.Z - med3(s0.Gyro.Z, s1.Gyro.Z, s2.Gyro.Z); d > gyroTol || d < -gyroTol {
+			return true
+		}
+		return false
+	}
 	var scratch [voteMaxUnits]float64
 	vals := scratch[:0]
 	if n > voteMaxUnits {
 		vals = make([]float64, 0, n)
 	}
-	p := samples[primary]
 	for axis := 0; axis < 6; axis++ {
 		vals = vals[:n]
 		for i := range samples {
@@ -277,11 +302,26 @@ func VoteOutlier(samples []IMUSample, primary int, accelTol, gyroTol float64) bo
 		if axis >= 3 {
 			tol = gyroTol
 		}
-		if diff := sampleAxis(&p, axis) - med; diff > tol || diff < -tol {
+		if diff := sampleAxis(p, axis) - med; diff > tol || diff < -tol {
 			return true
 		}
 	}
 	return false
+}
+
+// med3 returns the median of three values (the n==3 special case of the
+// sorted-middle the general vote path computes).
+func med3(a, b, c float64) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
 }
 
 // sampleAxis indexes the six measured scalars: accel XYZ then gyro XYZ.

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"uavres/internal/faultinject"
+)
+
+// TestConcurrentForkMatchesSerial stresses the Checkpoint immutability
+// contract under the race detector: many goroutines fork the SAME
+// checkpoint via ForkWithInjection concurrently and run their vehicles to
+// the end; every result must be deeply equal to a serial fork of the same
+// injection. Any shared mutable state between checkpoint and forks (or
+// between sibling forks) shows up either as a -race report or as a result
+// mismatch.
+func TestConcurrentForkMatchesSerial(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RecordTrajectory = true
+	m := shortMission()
+	const startSec = 20.0
+
+	rep := &faultinject.Injection{
+		Primitive: faultinject.FixedValue, Target: faultinject.TargetIMU,
+		Start: time.Duration(startSec) * time.Second, Duration: 5 * time.Second, Seed: 77,
+	}
+	prefix, err := NewVehicle(cfg, m, rep, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix.RunUntil(startSec)
+	cp := prefix.Snapshot()
+
+	injections := []*faultinject.Injection{}
+	for i, p := range []faultinject.Primitive{
+		faultinject.Zeros, faultinject.MinValue, faultinject.Noise, faultinject.Freeze,
+	} {
+		for _, target := range faultinject.Targets() {
+			injections = append(injections, &faultinject.Injection{
+				Primitive: p, Target: target,
+				Start: time.Duration(startSec) * time.Second, Duration: 5 * time.Second,
+				Seed: int64(1000 + i),
+			})
+		}
+	}
+
+	// Serial reference: one fork per injection, run sequentially.
+	want := make([]Result, len(injections))
+	for i, inj := range injections {
+		v, err := cp.ForkWithInjection(inj, nil)
+		if err != nil {
+			t.Fatalf("%s serial fork: %v", inj.Label(), err)
+		}
+		want[i] = v.RunToEnd()
+	}
+
+	// Concurrent: every injection forked from the shared checkpoint at
+	// once, twice over (sibling forks of the SAME injection race too).
+	const repeats = 2
+	got := make([][]Result, repeats)
+	errs := make([][]error, repeats)
+	var wg sync.WaitGroup
+	for r := 0; r < repeats; r++ {
+		got[r] = make([]Result, len(injections))
+		errs[r] = make([]error, len(injections))
+		for i, inj := range injections {
+			wg.Add(1)
+			go func(r, i int, inj *faultinject.Injection) {
+				defer wg.Done()
+				v, err := cp.ForkWithInjection(inj, nil)
+				if err != nil {
+					errs[r][i] = err
+					return
+				}
+				got[r][i] = v.RunToEnd()
+			}(r, i, inj)
+		}
+	}
+	wg.Wait()
+
+	for r := 0; r < repeats; r++ {
+		for i, inj := range injections {
+			if errs[r][i] != nil {
+				t.Errorf("%s concurrent fork (round %d): %v", inj.Label(), r, errs[r][i])
+				continue
+			}
+			if !reflect.DeepEqual(got[r][i], want[i]) {
+				t.Errorf("%s: concurrent fork result differs from serial (round %d)", inj.Label(), r)
+			}
+		}
+	}
+}

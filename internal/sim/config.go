@@ -68,6 +68,16 @@ type Config struct {
 	// RecordTrajectory enables trajectory capture at 1 Hz (figures).
 	RecordTrajectory bool
 
+	// CovSettleSec keeps the EKF covariance on the exact per-step path for
+	// this long after a fault window closes. On a faulted flight the exact
+	// path covers everything from launch through the fault window plus
+	// this margin — a pre-fault covariance difference, however small,
+	// would be amplified by the fault's chaotic dynamics and change
+	// verdicts — so decimated propagation runs only on the post-settle
+	// tail (and on the whole of fault-free flights). Only meaningful when
+	// EKF.CovarianceDecimation > 1. Zero means no settle margin.
+	CovSettleSec float64
+
 	// Airframe, Gains, EKF, and Failsafe configure the subsystems.
 	Airframe physics.Params
 	Gains    control.Gains
@@ -99,6 +109,7 @@ func DefaultConfig() Config {
 		VoteGyroTol:      0.3,
 		RiskR:            1,
 		TrackingInterval: 1,
+		CovSettleSec:     10,
 		Airframe:         physics.DefaultParams(),
 		Gains:            control.DefaultGains(),
 		EKF:              ekf.DefaultConfig(),
@@ -120,6 +131,9 @@ func (c Config) Validate() error {
 	}
 	if c.IMUCount < 1 {
 		return fmt.Errorf("sim: IMU count %d < 1", c.IMUCount)
+	}
+	if c.CovSettleSec < 0 {
+		return fmt.Errorf("sim: negative covariance settle window %v", c.CovSettleSec)
 	}
 	if err := c.Airframe.Validate(); err != nil {
 		return err

@@ -100,6 +100,18 @@ type Vehicle struct {
 	voteGyroTol   float64
 	distCapPerObs float64
 	sampleBuf     []sensors.IMUSample // reused by SampleAllInto
+	// covFullUntil bounds the sim time before which the EKF covariance is
+	// forced to the exact per-step path on a faulted flight: everything up
+	// to the end of the fault window plus CovSettleSec of settle margin.
+	// The pre-fault prefix must stay exact too, not just the window: any
+	// covariance difference at injection time — however small — is
+	// amplified by the fault's chaotic dynamics and scrambles the
+	// crash/failsafe verdict, defeating the k=4 == k=1 outcome guarantee.
+	// Decimation therefore pays off on the post-settle tail of faulted
+	// flights and on the whole of fault-free ones. Derived from this
+	// vehicle's own injection, so checkpoint forks recompute it for THEIR
+	// injection. Negative means never forced (gold runs).
+	covFullUntil float64
 }
 
 // NewVehicle assembles a vehicle at mission start. inj is nil for a gold
@@ -191,6 +203,10 @@ func NewVehicle(cfg Config, m mission.Mission, inj *faultinject.Injection, obs O
 		voteGyroTol:   cfg.VoteGyroTol,
 		distCapPerObs: 3 * m.Drone.MaxSpeedMS * cfg.TrackingInterval,
 		sampleBuf:     make([]sensors.IMUSample, 0, imus.Count()),
+		covFullUntil:  -1,
+	}
+	if inj != nil {
+		v.covFullUntil = (inj.Start + inj.Duration).Seconds() + cfg.CovSettleSec
 	}
 	if v.votePersist <= 0 {
 		v.votePersist = 5
@@ -318,6 +334,13 @@ func (v *Vehicle) stepOnce() {
 		ekfSample := raw
 		if cfg.ShieldEKF {
 			ekfSample = clean // ablation: estimation path protected
+		}
+		if v.injector != nil {
+			// Faulted flight: covariance at full rate from launch through
+			// the fault window plus settle margin (see covFullUntil), so
+			// decimation can neither seed a pre-fault difference for the
+			// fault to amplify nor blur the fault-response transient.
+			v.filter.SetCovarianceFullRate(t < v.covFullUntil)
 		}
 		v.filter.Predict(ekfSample, v.imuDt)
 		if v.gravityTick.Due(t) {

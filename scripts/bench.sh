@@ -3,8 +3,20 @@
 # plus the cold-vs-checkpointed campaign timing, emitted as
 # BENCH_<date>.json by cmd/bench. Pass -missions 10 for the paper's full
 # 850-case campaign (the default slice is 2 missions / 170 cases).
+#
+# Regression gate:
+#   scripts/bench.sh -compare OLD.json NEW.json
+# exits nonzero when NEW regresses against OLD (>10% ns/op on any shared
+# micro, or any allocs/op increase). ci.sh runs this automatically when
+# BENCH_BASELINE points at a committed report.
 set -eu
 
+case "${1:-}" in
+-compare)
+	exec go run ./cmd/bench "$@"
+	;;
+esac
+
 go test -run XXX -bench Micro -benchmem .
-go test -run XXX -bench Propagate -benchmem ./internal/ekf/
+go test -run XXX -bench 'Propagate|Transition' -benchmem ./internal/ekf/
 exec go run ./cmd/bench "$@"
