@@ -1,10 +1,12 @@
 #!/usr/bin/env sh
 # Full CI gate: build, vet, simulation-aware lint, tests, the race
-# detector over the concurrent packages (broker, sweep shards, tracker,
-# campaign runner, metrics registry), a one-iteration micro-benchmark
-# smoke (the hot paths must at least still run; scripts/bench.sh
-# measures them), and an observability smoke: a one-mission campaign
-# must emit a metrics snapshot that passes the schema validator. Any
+# detector over the concurrent packages (broker, tracker, campaign
+# runner, metrics registry), a one-iteration micro-benchmark smoke (the
+# hot paths must at least still run; scripts/bench.sh measures them),
+# spec validation for the shipped example campaign specs, and two
+# end-to-end smokes: a mini spec-driven campaign must emit a metrics
+# snapshot that passes the schema validator, and re-running it with
+# -resume over the completed results file must execute zero cases. Any
 # failure fails the gate.
 set -eux
 
@@ -15,12 +17,26 @@ go test ./...
 go test -race ./internal/telemetry/ ./internal/sweep/ ./internal/uspace/ ./internal/core/ ./internal/sim/ ./internal/obs/
 go test -run XXX -bench Micro -benchtime=1x -benchmem .
 
-# Observability smoke: run one mission's cases with metrics capture,
-# then validate the snapshot's JSON schema with the same binary.
+# The sweep package must stay a thin spec generator on the shared
+# execution engine: it owns no goroutines of its own.
+if grep -n 'go func' internal/sweep/*.go; then
+	echo "ci: internal/sweep spawns goroutines; sweeps must run on core.Runner" >&2
+	exit 1
+fi
+
+# Example campaign specs stay loadable and compilable.
+go run ./cmd/campaign -validate-spec examples/specs/paper-850.json
+go run ./cmd/campaign -validate-spec examples/specs/redundancy-ablation.json
+
+# Observability + resume smoke: run one mission's gyro cases with
+# metrics capture, validate the snapshot schema, then resume over the
+# completed results file — zero cases may execute.
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
-go run ./cmd/campaign -subset m01 -q -out "$tmpdir/results.json" -metrics-out "$tmpdir/metrics.json"
+go run ./cmd/campaign -select mission=1,target=gyro -q -out "$tmpdir/results.json" -metrics-out "$tmpdir/metrics.json"
 go run ./cmd/campaign -validate-metrics "$tmpdir/metrics.json"
+go run ./cmd/campaign -select mission=1,target=gyro -q -out "$tmpdir/results.json" -resume | tee "$tmpdir/resume.log"
+grep -q 'resume: .* 0 to run' "$tmpdir/resume.log"
 
 # Optional perf-regression gate: when BENCH_BASELINE points at a committed
 # bench report, measure a fresh one and fail on >10% ns/op or any

@@ -33,6 +33,7 @@ import (
 	"uavres/internal/physics"
 	"uavres/internal/sensors"
 	"uavres/internal/sim"
+	"uavres/internal/spec"
 )
 
 // MicroResult is one micro-benchmark's outcome.
@@ -87,9 +88,13 @@ type Report struct {
 	// MicroReps is how many repetitions each micro-benchmark ran; the
 	// reported ns/op is the minimum across them (host steal time only
 	// inflates a run, so the minimum is the least-biased estimator).
-	MicroReps int            `json:"micro_reps,omitempty"`
-	Micro     []MicroResult  `json:"micro"`
-	Campaign  CampaignResult `json:"campaign"`
+	MicroReps int `json:"micro_reps,omitempty"`
+	// SpecHash identifies the campaign spec the timed slice derives from
+	// (the built-in paper-850 spec), so reports are only compared across
+	// identical experiment plans.
+	SpecHash string         `json:"spec_hash,omitempty"`
+	Micro    []MicroResult  `json:"micro"`
+	Campaign CampaignResult `json:"campaign"`
 }
 
 func main() {
@@ -124,6 +129,7 @@ func run() int {
 		NumCPU:     runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		MicroReps:  microReps,
+		SpecHash:   spec.Paper(1).Hash(),
 	}
 
 	fmt.Println("bench: micro-benchmarks")

@@ -1,34 +1,47 @@
-// Command campaign runs the paper's full fault-injection campaign — 21
-// injection types x 10 Valencia missions x 4 durations plus 10 gold runs
-// (850 cases) — and regenerates Tables I-IV. Results are also written as
-// JSON for later re-rendering with cmd/tables.
+// Command campaign compiles a declarative campaign spec and executes it
+// on the shared engine. The default spec is the paper's full
+// fault-injection campaign — 21 injection types x 10 Valencia missions x
+// 4 durations plus 10 gold runs (850 cases) — and regenerates Tables
+// I-IV. Results stream to JSON as cases finish, each stamped with a
+// content hash, so an interrupted or partially re-configured campaign
+// resumes with -resume by executing only the missing or invalidated
+// cases.
 //
 // Usage:
 //
-//	campaign [-workers N] [-seed S] [-out results.json] [-subset mNN] [-checkpoint=false]
-//	campaign [-cov-decim K] [-cov-settle SEC]
+//	campaign [-workers N] [-seed S] [-out results.json] [-checkpoint=false]
+//	campaign -spec examples/specs/paper-850.json
+//	campaign -select mission=4,target=gyro -select "id=m07-*freeze*"
+//	campaign -resume -out results.json
+//	campaign -validate-spec examples/specs/paper-850.json
+//	campaign -print-spec
+//	campaign [-cov-decim K] [-cov-settle SEC] [-scope all|primary]
 //	campaign [-metrics-out metrics.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	campaign -validate-metrics metrics.json
 //	campaign -print-faultmodel
+//
+// The -subset flag remains as a deprecated alias for
+// -select "id=*SUBSTR*".
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
-	"strings"
 	"time"
 
 	"uavres/internal/core"
 	"uavres/internal/ekf"
-	"uavres/internal/faultinject"
 	"uavres/internal/mission"
 	"uavres/internal/obs"
 	"uavres/internal/paperdata"
 	"uavres/internal/sim"
+	"uavres/internal/spec"
 )
 
 func main() {
@@ -38,25 +51,55 @@ func main() {
 func run() int {
 	var (
 		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		seed       = flag.Int64("seed", 1, "campaign base seed")
+		seed       = flag.Int64("seed", 1, "campaign base seed (overrides the spec's seed when set explicitly)")
 		out        = flag.String("out", "campaign_results.json", "JSON results output path (empty = skip)")
-		subset     = flag.String("subset", "", "only run cases whose ID contains this substring (e.g. \"m04\" or \"gyro\")")
+		specPath   = flag.String("spec", "", "campaign spec JSON path (empty = the built-in paper-850 spec)")
+		subset     = flag.String("subset", "", "DEPRECATED: alias for -select \"id=*SUBSTR*\"; use -select")
+		resume     = flag.Bool("resume", false, "load the -out results file and run only the missing, stale, or errored cases")
 		checkpoint = flag.Bool("checkpoint", true, "share pre-injection prefixes between cases (checkpoint-and-fork; false = simulate every case straight through)")
 		scope      = flag.String("scope", "all", "fault scope: all (paper assumption: every redundant IMU) | primary (unit 0 only — redundancy ablation)")
 		covDecim   = flag.Int("cov-decim", ekf.DefaultConfig().CovarianceDecimation, "EKF covariance decimation factor k: propagate covariance every k-th predict (1 = exact per-step path; faulted flights keep the exact path from launch through the fault window + settle margin)")
 		covSettle  = flag.Float64("cov-settle", sim.DefaultConfig().CovSettleSec, "seconds of full-rate covariance propagation kept after a fault window closes before decimation engages (only meaningful with -cov-decim > 1)")
 		faultmodel = flag.Bool("print-faultmodel", false, "print Table I (the fault model) and exit")
+		printSpec  = flag.Bool("print-spec", false, "print the effective campaign spec as JSON and exit")
 		quiet      = flag.Bool("q", false, "suppress progress output")
 
+		validateSpec    = flag.String("validate-spec", "", "validate a campaign spec JSON file, print its case count, and exit (CI schema gate)")
 		metricsOut      = flag.String("metrics-out", "", "write the campaign metrics snapshot as JSON to this path")
 		validateMetrics = flag.String("validate-metrics", "", "validate a metrics snapshot JSON file and exit (CI schema gate)")
 		cpuprofile      = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memprofile      = flag.String("memprofile", "", "write a heap profile to this path")
 	)
+	var selectors []spec.Selector
+	flag.Func("select", "case selector (repeatable, OR across flags): key=value terms ANDed within one flag — id (exact or glob), mission, target, primitive, duration, start, gold", func(expr string) error {
+		sel, err := spec.ParseSelector(expr)
+		if err != nil {
+			return err
+		}
+		selectors = append(selectors, sel)
+		return nil
+	})
 	flag.Parse()
+
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	if *faultmodel {
 		fmt.Print(core.RenderFaultModel())
+		return 0
+	}
+	if *validateSpec != "" {
+		s, err := spec.Load(*validateSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			return 1
+		}
+		cases, err := s.Compile(mission.Valencia())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			return 1
+		}
+		fmt.Printf("campaign: %s is valid: %s, %d cases\n", *validateSpec, s, len(cases))
 		return 0
 	}
 	if *validateMetrics != "" {
@@ -86,34 +129,54 @@ func run() int {
 		defer pprof.StopCPUProfile()
 	}
 
-	cases := core.Plan(mission.Valencia(), *seed)
-	switch *scope {
-	case "all":
-	case "primary":
-		for i := range cases {
-			if cases[i].Injection != nil {
-				cases[i].Injection.Scope = faultinject.ScopePrimaryUnit
-			}
+	// Assemble the effective spec: file or built-in, CLI-adjusted.
+	var s spec.CampaignSpec
+	if *specPath != "" {
+		var err error
+		if s, err = spec.Load(*specPath); err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			return 1
 		}
-		fmt.Println("campaign: redundancy ablation — faults strike only IMU unit 0")
-	default:
-		fmt.Fprintf(os.Stderr, "campaign: unknown scope %q\n", *scope)
-		return 1
+		if explicit["seed"] {
+			s.Seed = *seed
+		}
+	} else {
+		s = spec.Paper(*seed)
+	}
+	if explicit["scope"] || s.Matrix.Scope == "" {
+		s.Matrix.Scope = *scope
 	}
 	if *subset != "" {
-		var filtered []core.Case
-		for _, c := range cases {
-			if strings.Contains(c.ID, *subset) {
-				filtered = append(filtered, c)
-			}
-		}
-		cases = filtered
+		fmt.Fprintln(os.Stderr, "campaign: -subset is deprecated; use -select \"id=*"+*subset+"*\"")
+		selectors = append(selectors, spec.SubstringSelector(*subset))
 	}
+
+	if *printSpec {
+		s2 := s
+		s2.Select = append(append([]spec.Selector{}, s.Select...), selectors...)
+		data, err := json.MarshalIndent(s2, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			return 1
+		}
+		fmt.Println(string(data))
+		return 0
+	}
+
+	cases, err := s.Compile(mission.Valencia())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaign:", err)
+		return 1
+	}
+	cases = spec.ApplySelectors(cases, selectors)
 	if len(cases) == 0 {
 		fmt.Fprintln(os.Stderr, "campaign: no cases selected")
 		return 1
 	}
-	fmt.Printf("campaign: %d cases, seed %d\n", len(cases), *seed)
+	ablation := s.Matrix.Scope != "" && s.Matrix.Scope != "all"
+	if ablation {
+		fmt.Println("campaign: redundancy ablation — faults strike only IMU unit 0")
+	}
 
 	// The wall clock enters here and nowhere deeper: the runner and the
 	// simulation below it only ever see this injected obs.Clock.
@@ -130,22 +193,61 @@ func run() int {
 	runner.Checkpoint = *checkpoint
 	runner.Obs = reg
 	runner.Clock = clock
-	runner.Config.EKF.CovarianceDecimation = *covDecim
-	runner.Config.CovSettleSec = *covSettle
+	// Config overrides layer: spec first, explicit CLI flags last.
+	s.Overrides.Apply(&runner.Config)
+	if explicit["cov-decim"] || s.Overrides.CovDecimation == nil {
+		runner.Config.EKF.CovarianceDecimation = *covDecim
+	}
+	if explicit["cov-settle"] || s.Overrides.CovSettleSec == nil {
+		runner.Config.CovSettleSec = *covSettle
+	}
+
+	// Every case is stamped with its content hash under the final
+	// effective config — the cache key -resume compares.
+	spec.AttachFingerprints(cases, runner.Config)
+
+	// Resume: split the compiled plan against the prior results file.
+	var reused []core.CaseResult
+	if *resume {
+		if *out == "" {
+			fmt.Fprintln(os.Stderr, "campaign: -resume needs -out to name the results file")
+			return 1
+		}
+		prior, truncated, err := core.LoadPartialResultsFile(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			return 1
+		}
+		plan := core.PlanResume(cases, prior)
+		reused = plan.Reused
+		note := ""
+		if truncated {
+			note = " (file was truncated mid-write)"
+		}
+		fmt.Printf("campaign: resume: %d cases cached, %d stale, %d errored, %d to run%s\n",
+			len(plan.Reused), plan.Stale, plan.Errored, len(plan.Run), note)
+		cases = plan.Run
+	}
+	fmt.Printf("campaign: %s: %d cases to run, seed %d\n", s, len(cases), s.Seed)
 
 	// Stream results to disk as cases finish: the runner strips the heavy
 	// per-case payloads from its retained slice once the writer owns them,
-	// bounding resident memory at the in-flight cases.
+	// bounding resident memory at the in-flight cases. On resume the
+	// reused results are re-written first so the file stays complete.
 	var (
 		stream    *core.ResultsFileWriter
 		streamErr error
 	)
 	if *out != "" {
-		var err error
 		stream, err = core.NewResultsFileWriter(*out)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "campaign: opening results stream: %v\n", err)
 			return 1
+		}
+		for _, cr := range reused {
+			if err := stream.Write(cr); err != nil && streamErr == nil {
+				streamErr = err
+			}
 		}
 		runner.OnResult = func(res core.CaseResult) {
 			if err := stream.Write(res); err != nil && streamErr == nil {
@@ -164,7 +266,12 @@ func run() int {
 		}
 	}
 
-	results := runner.RunAll(context.Background(), cases)
+	// Ctrl-C stops scheduling new cases; whatever finished is already on
+	// disk, so the very same invocation plus -resume picks up the rest.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	results := runner.RunAll(ctx, cases)
+	results = append(reused, results...)
 
 	var failures int
 	for _, r := range results {
@@ -178,8 +285,8 @@ func run() int {
 	fmt.Println(core.RenderTableII(results))
 	fmt.Println(core.RenderTableIII(results))
 	fmt.Println(core.RenderTableIV(results))
-	if *subset == "" && *scope == "all" {
-		// Shape comparison is only meaningful on the paper's setup.
+	if *specPath == "" && len(selectors) == 0 && !ablation {
+		// Shape comparison is only meaningful on the paper's full setup.
 		fmt.Println(paperdata.Render(paperdata.Compare(results)))
 	}
 

@@ -13,6 +13,11 @@
 //	sweep -kind duration -fault acc:freeze -values 1,2,5,10,20,30
 //	sweep -kind threshold -fault gyro:noise -values 30,60,120,240
 //	sweep -kind risk -fault acc:zeros -values 1,1.5,2,3
+//
+// Each swept value compiles to a declarative campaign spec and runs on
+// the same execution engine as cmd/campaign (bounded worker pool,
+// context cancellation, checkpoint-and-fork); Ctrl-C stops the sweep
+// between cases.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -73,7 +79,8 @@ func run() int {
 	}
 	label := fmt.Sprintf("%s %s, 10 missions per value", target, prim)
 
-	ctx := context.Background()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	var (
 		points []sweep.Point
 		unit   string

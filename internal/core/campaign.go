@@ -33,6 +33,11 @@ type Case struct {
 	Injection *faultinject.Injection `json:"injection,omitempty"`
 	// Seed drives the run's environment randomness.
 	Seed int64 `json:"seed"`
+	// Hash is the case's content fingerprint: a stable digest of the
+	// experiment description plus the code-relevant simulation config
+	// (see internal/spec.Fingerprint). Cases planned outside the spec
+	// compiler leave it empty; resume never reuses a hashless case.
+	Hash string `json:"hash,omitempty"`
 }
 
 // Plan generates the full campaign: for every mission, every target x
@@ -50,7 +55,7 @@ func Plan(missions []mission.Mission, baseSeed int64) []Case {
 	durations := Durations()
 	cases := make([]Case, 0, len(missions)*(len(durations)*21+1))
 	for _, m := range missions {
-		envSeed := caseSeed(baseSeed, m.ID, 0, 0, 0)
+		envSeed := CaseSeed(baseSeed, m.ID, 0, 0, 0)
 		cases = append(cases, Case{
 			ID:        fmt.Sprintf("m%02d-gold", m.ID),
 			MissionID: m.ID,
@@ -64,11 +69,11 @@ func Plan(missions []mission.Mission, baseSeed int64) []Case {
 						Target:    target,
 						Start:     InjectionStartSec * time.Second,
 						Duration:  dur,
-						Seed:      caseSeed(baseSeed+1, m.ID, int(target), int(prim), int(dur.Seconds())),
+						Seed:      CaseSeed(baseSeed+1, m.ID, int(target), int(prim), int(dur.Seconds())),
 					}
 					cases = append(cases, Case{
 						ID: fmt.Sprintf("m%02d-%s-%s-%ds", m.ID,
-							slug(target.String()), slug(prim.String()), int(dur.Seconds())),
+							Slug(target.String()), Slug(prim.String()), int(dur.Seconds())),
 						MissionID: m.ID,
 						Injection: inj,
 						Seed:      envSeed,
@@ -80,9 +85,11 @@ func Plan(missions []mission.Mission, baseSeed int64) []Case {
 	return cases
 }
 
-// caseSeed derives a deterministic, well-spread seed for one case
-// (splitmix64-style mixing).
-func caseSeed(base int64, mission, target, prim, durSec int) int64 {
+// CaseSeed derives a deterministic, well-spread seed for one case
+// (splitmix64-style mixing). It is the "mixed" seed policy of the spec
+// compiler (internal/spec) and the seed function of the legacy Plan;
+// both must agree bit-for-bit, which is why it lives here once.
+func CaseSeed(base int64, mission, target, prim, durSec int) int64 {
 	x := uint64(base)*0x9E3779B97F4A7C15 ^
 		uint64(mission)*0xBF58476D1CE4E5B9 ^
 		uint64(target)*0x94D049BB133111EB ^
@@ -96,7 +103,10 @@ func caseSeed(base int64, mission, target, prim, durSec int) int64 {
 	return int64(x >> 1) // keep it positive
 }
 
-func slug(s string) string {
+// Slug lowercases a paper label and compresses spaces away
+// ("Fixed Value" -> "fixedvalue"): the case-ID naming convention shared
+// by Plan and the spec compiler.
+func Slug(s string) string {
 	out := make([]rune, 0, len(s))
 	for _, r := range s {
 		switch {

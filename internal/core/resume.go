@@ -1,0 +1,144 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// LoadPartialResults reads a campaign results file written by
+// ResultsWriter, tolerating the one corruption an interrupted campaign
+// legitimately produces: a truncated tail (the process died mid-write,
+// so the closing bracket — and possibly half an element — is missing).
+// Whatever decoded cleanly before the truncation is returned with
+// truncated=true; the torn element is dropped, so resume simply re-runs
+// it.
+//
+// Anything else — corruption in the middle of the file, a malformed
+// element, a document that is not a results array — is a real error
+// reported with the 1-based line number where decoding failed, never a
+// panic.
+func LoadPartialResults(r io.Reader) (results []CaseResult, truncated bool, err error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, false, fmt.Errorf("core: reading results: %w", err)
+	}
+	if len(bytes.TrimSpace(data)) == 0 {
+		// An empty file is the zero-progress campaign.
+		return nil, true, nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, false, decodeError(data, dec, err)
+	}
+	if delim, ok := tok.(json.Delim); !ok || delim != '[' {
+		return nil, false, fmt.Errorf("core: results file is not a JSON array (starts with %v)", tok)
+	}
+	for dec.More() {
+		var cr CaseResult
+		if err := dec.Decode(&cr); err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+				return results, true, nil
+			}
+			return nil, false, decodeError(data, dec, err)
+		}
+		if cr.Case.ID == "" {
+			return nil, false, fmt.Errorf("core: results element %d has no case ID (line %d)",
+				len(results), lineAt(data, dec.InputOffset()))
+		}
+		results = append(results, cr)
+	}
+	// The closing bracket: absent means the writer never finished.
+	if _, err := dec.Token(); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+			return results, true, nil
+		}
+		return nil, false, decodeError(data, dec, err)
+	}
+	return results, false, nil
+}
+
+// LoadPartialResultsFile is LoadPartialResults over a file path.
+func LoadPartialResultsFile(path string) (results []CaseResult, truncated bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	results, truncated, err = LoadPartialResults(f)
+	if err != nil {
+		return nil, false, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return results, truncated, nil
+}
+
+// decodeError rewrites a JSON decoding failure with the line it
+// occurred on.
+func decodeError(data []byte, dec *json.Decoder, err error) error {
+	offset := dec.InputOffset()
+	var syn *json.SyntaxError
+	if errors.As(err, &syn) {
+		offset = syn.Offset
+	}
+	var typ *json.UnmarshalTypeError
+	if errors.As(err, &typ) {
+		offset = typ.Offset
+	}
+	return fmt.Errorf("core: corrupt results file at line %d: %w", lineAt(data, offset), err)
+}
+
+// lineAt converts a byte offset into a 1-based line number.
+func lineAt(data []byte, offset int64) int {
+	if offset > int64(len(data)) {
+		offset = int64(len(data))
+	}
+	return 1 + bytes.Count(data[:offset], []byte{'\n'})
+}
+
+// ResumePlan partitions a compiled campaign against prior results: which
+// cases still need to execute and which prior results carry forward.
+type ResumePlan struct {
+	// Run holds the cases to execute, in compiled order.
+	Run []Case
+	// Reused holds the prior results carried forward, in compiled order.
+	Reused []CaseResult
+	// Stale counts prior entries invalidated by a fingerprint mismatch
+	// (the spec or the code-relevant config changed under them).
+	Stale int
+	// Errored counts prior entries re-run because they recorded an
+	// execution error (including cancellation) instead of an outcome.
+	Errored int
+}
+
+// PlanResume compares compiled cases against prior results by case ID
+// and content hash. A prior result is reused only when its recorded
+// fingerprint equals the compiled case's — both non-empty — and it
+// completed without an execution error; everything else re-runs. Prior
+// results for cases no longer in the plan are dropped.
+func PlanResume(cases []Case, prior []CaseResult) ResumePlan {
+	byID := make(map[string]CaseResult, len(prior))
+	for _, cr := range prior {
+		byID[cr.Case.ID] = cr // duplicates: last write wins, like the file
+	}
+	var p ResumePlan
+	for _, c := range cases {
+		old, seen := byID[c.ID]
+		switch {
+		case !seen:
+			p.Run = append(p.Run, c)
+		case old.Err != "":
+			p.Errored++
+			p.Run = append(p.Run, c)
+		case c.Hash == "" || old.Case.Hash != c.Hash:
+			p.Stale++
+			p.Run = append(p.Run, c)
+		default:
+			p.Reused = append(p.Reused, old)
+		}
+	}
+	return p
+}

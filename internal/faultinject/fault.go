@@ -163,6 +163,20 @@ func (s Scope) String() string {
 	}
 }
 
+// ParseScope converts a case-insensitive label ("all", "all-units",
+// "primary", "primary-unit") to a Scope. The empty string is the paper's
+// default, ScopeAllUnits.
+func ParseScope(s string) (Scope, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "all", "all-units", "allunits":
+		return ScopeAllUnits, nil
+	case "primary", "primary-unit", "primaryunit":
+		return ScopePrimaryUnit, nil
+	default:
+		return 0, fmt.Errorf("faultinject: unknown scope %q", s)
+	}
+}
+
 // Injection describes one fault-injection experiment: what to inject,
 // where, and when. The paper uses Start = 90 s and Duration in
 // {2, 5, 10, 30} s.

@@ -1,0 +1,419 @@
+// Package spec defines the declarative, versioned campaign specification:
+// the experiment plan as data. A CampaignSpec names the missions, an
+// injection matrix (targets x primitives x durations x start times), a
+// seed policy, simulation-config overrides, and case selectors; Compile
+// turns it into the []core.Case the one execution engine (core.Runner)
+// consumes. The paper's 850-case design is the canonical built-in spec
+// (Paper), golden-tested to reproduce core.Plan's case IDs and seeds
+// bit-for-bit; sweeps, grids, and ablations are just other specs.
+//
+// Specs are plain JSON, so an experiment is reviewable, diffable, and
+// hashable: Fingerprint digests one case plus the code-relevant sim
+// config into the content hash that drives cached/resumable campaigns
+// (core.PlanResume).
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"uavres/internal/core"
+	"uavres/internal/faultinject"
+	"uavres/internal/mathx"
+	"uavres/internal/mission"
+	"uavres/internal/sim"
+)
+
+// Version is the spec schema version this package compiles.
+const Version = 1
+
+// PaperStartSec is the paper's canonical injection start (T+90 s). Cases
+// starting there keep the legacy ID format ("m04-gyro-freeze-10s"); any
+// other start is suffixed ("-t30s") so IDs stay unique across grids.
+const PaperStartSec = 90
+
+// CampaignSpec is one declarative experiment plan.
+type CampaignSpec struct {
+	// Version must equal Version (1). Unknown versions are rejected so a
+	// future schema change cannot silently recompile an old spec.
+	Version int `json:"version"`
+	// Name labels the spec in reports and bench metadata.
+	Name string `json:"name,omitempty"`
+	// Seed is the campaign base seed (0 means 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Missions lists scenario mission IDs; empty means every mission.
+	Missions []int `json:"missions,omitempty"`
+	// Gold controls the one fault-free reference run per mission.
+	// Omitted (null) means true, matching the paper.
+	Gold *bool `json:"gold,omitempty"`
+	// Matrix is the injection grid; its zero value is the paper's.
+	Matrix Matrix `json:"matrix"`
+	// Seeds selects how per-case seeds derive from Seed.
+	Seeds SeedPolicy `json:"seeds,omitempty"`
+	// Overrides adjusts the simulation config for every case.
+	Overrides Overrides `json:"overrides,omitempty"`
+	// Select keeps only matching cases (OR across selectors; empty
+	// keeps everything).
+	Select []Selector `json:"select,omitempty"`
+}
+
+// Matrix is the injection grid: the cartesian product of targets,
+// primitives, durations, and start times, applied to every mission.
+// Empty axes default to the paper's values.
+type Matrix struct {
+	// Targets are parsed by faultinject.ParseTarget ("acc", "gyro",
+	// "imu"); empty means all three.
+	Targets []string `json:"targets,omitempty"`
+	// Primitives are parsed by faultinject.ParsePrimitive ("zeros",
+	// "freeze", ...); empty means all seven.
+	Primitives []string `json:"primitives,omitempty"`
+	// DurationsSec defaults to the paper's {2, 5, 10, 30}.
+	DurationsSec []float64 `json:"durations_sec,omitempty"`
+	// StartsSec defaults to {PaperStartSec}.
+	StartsSec []float64 `json:"starts_sec,omitempty"`
+	// Scope is parsed by faultinject.ParseScope; empty means all-units,
+	// the paper's assumption.
+	Scope string `json:"scope,omitempty"`
+}
+
+// SeedPolicy selects the per-case seed derivation.
+type SeedPolicy struct {
+	// Kind is "mixed" (default: core.CaseSeed splitmix-style mixing, the
+	// paper plan's policy) or "affine" (linear in the mission ID, the
+	// historical sweep policy).
+	Kind string `json:"kind,omitempty"`
+	// Affine parameters: env seed = base + missionID*EnvStride;
+	// injection seed = base + missionID*InjStride + InjOffset.
+	EnvStride int64 `json:"env_stride,omitempty"`
+	InjStride int64 `json:"inj_stride,omitempty"`
+	InjOffset int64 `json:"inj_offset,omitempty"`
+}
+
+// Overrides are the spec-addressable simulation-config knobs. Pointers
+// distinguish "leave the default" (null) from an explicit value.
+type Overrides struct {
+	// GyroThresholdDegS overrides the failsafe gyro-rate threshold
+	// (paper default 60 deg/s).
+	GyroThresholdDegS *float64 `json:"gyro_threshold_deg_s,omitempty"`
+	// RiskR overrides the outer-bubble risk factor (paper: 1).
+	RiskR *float64 `json:"risk_r,omitempty"`
+	// CovDecimation overrides the EKF covariance decimation factor.
+	CovDecimation *int `json:"cov_decimation,omitempty"`
+	// CovSettleSec overrides the post-fault full-rate settle window.
+	CovSettleSec *float64 `json:"cov_settle_sec,omitempty"`
+	// RedundancyVoting toggles cross-IMU consistency voting.
+	RedundancyVoting *bool `json:"redundancy_voting,omitempty"`
+}
+
+// Apply folds the overrides into a simulation config.
+func (o Overrides) Apply(cfg *sim.Config) {
+	if o.GyroThresholdDegS != nil {
+		cfg.Failsafe.GyroRateThreshold = mathx.Deg2Rad(*o.GyroThresholdDegS)
+	}
+	if o.RiskR != nil {
+		cfg.RiskR = *o.RiskR
+	}
+	if o.CovDecimation != nil {
+		cfg.EKF.CovarianceDecimation = *o.CovDecimation
+	}
+	if o.CovSettleSec != nil {
+		cfg.CovSettleSec = *o.CovSettleSec
+	}
+	if o.RedundancyVoting != nil {
+		cfg.RedundancyVoting = *o.RedundancyVoting
+	}
+}
+
+// Paper returns the canonical built-in spec: the paper's 850-case design
+// (21 injection types x 10 missions x 4 durations at T+90 s, plus one
+// gold run per mission). Compile(Paper(seed), mission.Valencia()) is
+// golden-tested to equal core.Plan(mission.Valencia(), seed).
+func Paper(seed int64) CampaignSpec {
+	return CampaignSpec{Version: Version, Name: "paper-850", Seed: seed}
+}
+
+// Load reads and validates a spec from a JSON file. Unknown fields are
+// rejected: a typoed knob must fail loudly, not silently fall back to a
+// default.
+func Load(path string) (CampaignSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return CampaignSpec{}, fmt.Errorf("spec: %w", err)
+	}
+	return Parse(data)
+}
+
+// Parse decodes and validates a spec from JSON bytes.
+func Parse(data []byte) (CampaignSpec, error) {
+	var s CampaignSpec
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return CampaignSpec{}, fmt.Errorf("spec: parsing: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return CampaignSpec{}, err
+	}
+	return s, nil
+}
+
+// Validate checks the spec without compiling it against a scenario.
+func (s CampaignSpec) Validate() error {
+	if s.Version != Version {
+		return fmt.Errorf("spec: unsupported version %d (this build compiles version %d)", s.Version, Version)
+	}
+	if _, err := s.Matrix.parse(); err != nil {
+		return err
+	}
+	switch s.Seeds.Kind {
+	case "", "mixed", "affine":
+	default:
+		return fmt.Errorf("spec: unknown seed policy %q (want mixed or affine)", s.Seeds.Kind)
+	}
+	if o := s.Overrides; o.CovDecimation != nil && *o.CovDecimation < 1 {
+		return fmt.Errorf("spec: cov_decimation %d < 1", *o.CovDecimation)
+	}
+	for i, sel := range s.Select {
+		if err := sel.Validate(); err != nil {
+			return fmt.Errorf("spec: selector %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// parsedMatrix is the matrix with every axis resolved to values.
+type parsedMatrix struct {
+	targets    []faultinject.Target
+	primitives []faultinject.Primitive
+	durations  []time.Duration
+	starts     []time.Duration
+	scope      faultinject.Scope
+}
+
+func (m Matrix) parse() (parsedMatrix, error) {
+	var p parsedMatrix
+	if len(m.Targets) == 0 {
+		p.targets = faultinject.Targets()
+	} else {
+		for _, s := range m.Targets {
+			t, err := faultinject.ParseTarget(s)
+			if err != nil {
+				return p, fmt.Errorf("spec: %w", err)
+			}
+			p.targets = append(p.targets, t)
+		}
+	}
+	if len(m.Primitives) == 0 {
+		p.primitives = faultinject.Primitives()
+	} else {
+		for _, s := range m.Primitives {
+			pr, err := faultinject.ParsePrimitive(s)
+			if err != nil {
+				return p, fmt.Errorf("spec: %w", err)
+			}
+			p.primitives = append(p.primitives, pr)
+		}
+	}
+	durs := m.DurationsSec
+	if len(durs) == 0 {
+		durs = []float64{2, 5, 10, 30}
+	}
+	for _, d := range durs {
+		if d <= 0 {
+			return p, fmt.Errorf("spec: non-positive injection duration %v s", d)
+		}
+		p.durations = append(p.durations, secToDuration(d))
+	}
+	starts := m.StartsSec
+	if len(starts) == 0 {
+		starts = []float64{PaperStartSec}
+	}
+	for _, st := range starts {
+		if st < 0 {
+			return p, fmt.Errorf("spec: negative injection start %v s", st)
+		}
+		p.starts = append(p.starts, secToDuration(st))
+	}
+	scope, err := faultinject.ParseScope(m.Scope)
+	if err != nil {
+		return p, fmt.Errorf("spec: %w", err)
+	}
+	p.scope = scope
+	return p, nil
+}
+
+// Compile expands the spec against a scenario into executable cases, in
+// deterministic order: missions in scenario order, gold first, then
+// targets x primitives x durations x starts. Selectors are applied last.
+// Compiled cases carry no fingerprint yet — the hash depends on the
+// final effective sim config, so AttachFingerprints runs after every
+// override source (spec and CLI) has been folded in.
+func (s CampaignSpec) Compile(scenario []mission.Mission) ([]core.Case, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	m, err := s.Matrix.parse()
+	if err != nil {
+		return nil, err
+	}
+	if scenario == nil {
+		scenario = mission.Valencia()
+	}
+	missions, err := selectMissions(scenario, s.Missions)
+	if err != nil {
+		return nil, err
+	}
+	base := s.Seed
+	if base == 0 {
+		base = 1
+	}
+	gold := s.Gold == nil || *s.Gold
+
+	perMission := len(m.targets) * len(m.primitives) * len(m.durations) * len(m.starts)
+	cases := make([]core.Case, 0, len(missions)*(perMission+1))
+	for _, ms := range missions {
+		envSeed := s.Seeds.envSeed(base, ms.ID)
+		if gold {
+			cases = append(cases, core.Case{
+				ID:        fmt.Sprintf("m%02d-gold", ms.ID),
+				MissionID: ms.ID,
+				Seed:      envSeed,
+			})
+		}
+		for _, target := range m.targets {
+			for _, prim := range m.primitives {
+				for _, dur := range m.durations {
+					for _, start := range m.starts {
+						inj := &faultinject.Injection{
+							Primitive: prim,
+							Target:    target,
+							Start:     start,
+							Duration:  dur,
+							Scope:     m.scope,
+							Seed:      s.Seeds.injSeed(base, ms.ID, target, prim, dur, start),
+						}
+						cases = append(cases, core.Case{
+							ID:        caseID(ms.ID, target, prim, dur, start),
+							MissionID: ms.ID,
+							Injection: inj,
+							Seed:      envSeed,
+						})
+					}
+				}
+			}
+		}
+	}
+	cases = ApplySelectors(cases, s.Select)
+	if err := checkUniqueIDs(cases); err != nil {
+		return nil, err
+	}
+	return cases, nil
+}
+
+// selectMissions resolves the spec's mission IDs against the scenario,
+// preserving scenario order; empty means every mission.
+func selectMissions(scenario []mission.Mission, ids []int) ([]mission.Mission, error) {
+	if len(ids) == 0 {
+		return scenario, nil
+	}
+	want := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	out := make([]mission.Mission, 0, len(ids))
+	for _, m := range scenario {
+		if want[m.ID] {
+			out = append(out, m)
+			delete(want, m.ID)
+		}
+	}
+	for id := range want {
+		return nil, fmt.Errorf("spec: mission %d not in scenario", id)
+	}
+	return out, nil
+}
+
+// caseID builds the stable case identifier. At the paper's canonical
+// start the format is the legacy one ("m04-gyro-freeze-10s"); other
+// starts append "-tNNs" so grid specs stay collision-free.
+func caseID(missionID int, target faultinject.Target, prim faultinject.Primitive, dur, start time.Duration) string {
+	id := fmt.Sprintf("m%02d-%s-%s-%ss", missionID,
+		core.Slug(target.String()), core.Slug(prim.String()), formatSec(dur.Seconds()))
+	if start != PaperStartSec*time.Second {
+		id += "-t" + formatSec(start.Seconds()) + "s"
+	}
+	return id
+}
+
+// formatSec renders seconds compactly and uniquely: integers without a
+// decimal point (matching the legacy "%d" IDs), fractions as shortest
+// round-trip decimals.
+func formatSec(v float64) string {
+	//lint:allow floatcmp exact integrality test on a spec-authored literal, not a computed value
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func secToDuration(v float64) time.Duration {
+	return time.Duration(v * float64(time.Second))
+}
+
+func checkUniqueIDs(cases []core.Case) error {
+	seen := make(map[string]bool, len(cases))
+	for _, c := range cases {
+		if seen[c.ID] {
+			return fmt.Errorf("spec: duplicate case ID %q (matrix axes collide)", c.ID)
+		}
+		seen[c.ID] = true
+	}
+	return nil
+}
+
+// envSeed derives one mission's shared environment seed: every case of a
+// mission uses the same env seed so the runner can fork a shared
+// pre-injection prefix (checkpoint-and-fork).
+func (p SeedPolicy) envSeed(base int64, missionID int) int64 {
+	if p.Kind == "affine" {
+		return base + int64(missionID)*p.EnvStride
+	}
+	return core.CaseSeed(base, missionID, 0, 0, 0)
+}
+
+// injSeed derives one case's injection seed. The mixed policy reproduces
+// the legacy plan exactly at the paper's grid (integer durations,
+// T+90 s start) and folds the float bits of off-grid durations/starts
+// into the mix so every grid cell keeps an independent fault stream.
+func (p SeedPolicy) injSeed(base int64, missionID int, target faultinject.Target, prim faultinject.Primitive, dur, start time.Duration) int64 {
+	if p.Kind == "affine" {
+		return base + int64(missionID)*p.InjStride + p.InjOffset
+	}
+	durSec := dur.Seconds()
+	seed := core.CaseSeed(base+1, missionID, int(target), int(prim), int(durSec))
+	//lint:allow floatcmp exact integrality test gates seed folding; must be bit-stable, not approximate
+	if durSec != math.Trunc(durSec) {
+		seed = foldSeed(seed, math.Float64bits(durSec))
+	}
+	if start != PaperStartSec*time.Second {
+		seed = foldSeed(seed, math.Float64bits(start.Seconds()))
+	}
+	return seed
+}
+
+// foldSeed mixes extra entropy into a seed (splitmix64 finalizer),
+// keeping the result positive like core.CaseSeed.
+func foldSeed(seed int64, bits uint64) int64 {
+	x := uint64(seed) ^ bits*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x >> 1)
+}

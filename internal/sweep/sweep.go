@@ -3,20 +3,27 @@
 // injection duration (beyond the paper's four points), the failsafe gyro
 // threshold, and the outer-bubble risk factor R. Each sweep holds
 // everything else at the campaign defaults and reports one row per value.
+//
+// A sweep is a thin spec generator: every swept value becomes one
+// declarative spec.CampaignSpec (the injection grid or a config
+// override), compiled to cases and executed by core.Runner — the single
+// execution engine. The package owns no goroutines of its own, so sweeps
+// inherit the runner's bounded worker pool, context cancellation,
+// checkpoint-and-fork, observability metrics, and streaming for free.
 package sweep
 
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"strings"
-	"sync"
 	"time"
 
+	"uavres/internal/core"
 	"uavres/internal/faultinject"
-	"uavres/internal/mathx"
 	"uavres/internal/mission"
+	"uavres/internal/obs"
 	"uavres/internal/sim"
+	"uavres/internal/spec"
 )
 
 // Point is one sweep row: the swept value and the aggregated outcome over
@@ -53,6 +60,14 @@ type Config struct {
 	Seed int64
 	// Workers bounds parallelism (<= 0: GOMAXPROCS).
 	Workers int
+	// Obs, if non-nil, receives the runner's campaign metrics
+	// (case/outcome counters, timing histograms) accumulated across all
+	// sweep values.
+	Obs *obs.Registry
+	// OnPoint, if non-nil, is called after each sweep value finishes —
+	// a streaming hook for long grids (and the place a caller can cancel
+	// the shared context mid-sweep).
+	OnPoint func(Point)
 }
 
 func (c Config) defaults() Config {
@@ -81,55 +96,61 @@ func (c Config) defaults() Config {
 	return c
 }
 
-// run executes one (mission, config-mutation) grid and aggregates a Point.
-func (c Config) run(ctx context.Context, value float64, mutate func(*sim.Config, *faultinject.Injection)) Point {
-	type job struct {
-		m   mission.Mission
-		idx int
-	}
-	jobs := make(chan job)
-	results := make([]sim.Result, len(c.Missions))
-	var wg sync.WaitGroup
-	workers := c.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				cfg := c.Base
-				cfg.Seed = c.Seed + int64(j.m.ID)*1009
-				inj := &faultinject.Injection{
-					Primitive: c.Primitive, Target: c.Target,
-					Start: c.Start, Duration: c.Duration,
-					Seed: c.Seed + int64(j.m.ID)*31 + 7,
-				}
-				mutate(&cfg, inj)
-				res, err := sim.Run(cfg, j.m, inj, nil)
-				if err == nil {
-					results[j.idx] = res
-				}
-			}
-		}()
-	}
-	for i, m := range c.Missions {
-		select {
-		case <-ctx.Done():
-		case jobs <- job{m: m, idx: i}:
-		}
-	}
-	close(jobs)
-	wg.Wait()
+// legacySeeds is the sweep package's historical seed derivation, kept
+// bit-compatible across the spec refactor: env = seed + missionID*1009,
+// injection = seed + missionID*31 + 7.
+func legacySeeds() spec.SeedPolicy {
+	return spec.SeedPolicy{Kind: "affine", EnvStride: 1009, InjStride: 31, InjOffset: 7}
+}
 
+// baseSpec is the fixed part of every sweep cell: one fault on the
+// configured window, no gold runs, legacy seeds.
+func (c Config) baseSpec() spec.CampaignSpec {
+	gold := false
+	return spec.CampaignSpec{
+		Version: spec.Version,
+		Seed:    c.Seed,
+		Gold:    &gold,
+		Matrix: spec.Matrix{
+			Targets:      []string{c.Target.String()},
+			Primitives:   []string{c.Primitive.String()},
+			DurationsSec: []float64{c.Duration.Seconds()},
+			StartsSec:    []float64{c.Start.Seconds()},
+		},
+		Seeds: legacySeeds(),
+	}
+}
+
+// run compiles one sweep cell's spec and executes it on the shared
+// engine, aggregating a Point.
+func (c Config) run(ctx context.Context, value float64, s spec.CampaignSpec) (Point, error) {
+	cases, err := s.Compile(c.Missions)
+	if err != nil {
+		return Point{}, err
+	}
+	cfg := c.Base
+	s.Overrides.Apply(&cfg)
+
+	runner := core.NewRunner()
+	runner.Config = cfg
+	runner.Workers = c.Workers
+	runner.Missions = c.Missions
+	runner.Obs = c.Obs
+	results := runner.RunAll(ctx, cases)
+	return aggregate(value, results), nil
+}
+
+// aggregate folds case results into one sweep row. Cases that errored or
+// were cancelled carry CaseResult.Err and are excluded, matching the
+// pre-refactor behaviour of skipping unfinished runs.
+func aggregate(value float64, results []core.CaseResult) Point {
 	p := Point{Value: value}
 	for _, r := range results {
-		if r.Outcome == 0 {
-			continue // cancelled or errored
+		if r.Err != "" {
+			continue
 		}
 		p.N++
-		switch r.Outcome {
+		switch r.Result.Outcome {
 		case sim.OutcomeCompleted:
 			p.CompletedPct++
 		case sim.OutcomeCrash:
@@ -137,8 +158,8 @@ func (c Config) run(ctx context.Context, value float64, mutate func(*sim.Config,
 		default:
 			p.FailsafePct++
 		}
-		p.MeanInner += float64(r.InnerViolations)
-		p.MeanDurationSec += r.FlightDurationSec
+		p.MeanInner += float64(r.Result.InnerViolations)
+		p.MeanDurationSec += r.Result.FlightDurationSec
 	}
 	if p.N > 0 {
 		n := float64(p.N)
@@ -151,60 +172,69 @@ func (c Config) run(ctx context.Context, value float64, mutate func(*sim.Config,
 	return p
 }
 
+// sweep executes one spec per value sequentially (the engine
+// parallelizes within a value over its worker pool).
+func (c Config) sweep(ctx context.Context, values []float64, cell func(Config, float64) spec.CampaignSpec) []Point {
+	c = c.defaults()
+	out := make([]Point, 0, len(values))
+	for _, v := range values {
+		p, err := c.run(ctx, v, cell(c, v))
+		if err != nil {
+			// Spec generation is pure config plumbing; an error here is a
+			// programming error surfaced as an empty row rather than a
+			// panic mid-sweep.
+			p = Point{Value: v}
+		}
+		out = append(out, p)
+		if c.OnPoint != nil {
+			c.OnPoint(p)
+		}
+	}
+	return out
+}
+
 // StartTimes sweeps the injection start — the paper pins it at 90 s; the
 // sweep reveals phase sensitivity (takeoff vs. cruise vs. turn vs.
 // landing approach).
 func StartTimes(ctx context.Context, c Config, startsSec []float64) []Point {
-	c = c.defaults()
-	out := make([]Point, 0, len(startsSec))
-	for _, s := range startsSec {
-		start := s
-		out = append(out, c.run(ctx, start, func(_ *sim.Config, inj *faultinject.Injection) {
-			inj.Start = time.Duration(start * float64(time.Second))
-		}))
-	}
-	return out
+	return c.sweep(ctx, startsSec, func(c Config, v float64) spec.CampaignSpec {
+		s := c.baseSpec()
+		s.Name = fmt.Sprintf("sweep-start-%gs", v)
+		s.Matrix.StartsSec = []float64{v}
+		return s
+	})
 }
 
 // Durations sweeps the injection duration on a finer grid than the
 // paper's {2, 5, 10, 30}.
 func Durations(ctx context.Context, c Config, durationsSec []float64) []Point {
-	c = c.defaults()
-	out := make([]Point, 0, len(durationsSec))
-	for _, d := range durationsSec {
-		dur := d
-		out = append(out, c.run(ctx, dur, func(_ *sim.Config, inj *faultinject.Injection) {
-			inj.Duration = time.Duration(dur * float64(time.Second))
-		}))
-	}
-	return out
+	return c.sweep(ctx, durationsSec, func(c Config, v float64) spec.CampaignSpec {
+		s := c.baseSpec()
+		s.Name = fmt.Sprintf("sweep-duration-%gs", v)
+		s.Matrix.DurationsSec = []float64{v}
+		return s
+	})
 }
 
 // GyroThresholds sweeps the failsafe gyro-rate threshold (paper default
 // 60 deg/s, "configurable in the flight controller settings").
 func GyroThresholds(ctx context.Context, c Config, thresholdsDegS []float64) []Point {
-	c = c.defaults()
-	out := make([]Point, 0, len(thresholdsDegS))
-	for _, th := range thresholdsDegS {
-		deg := th
-		out = append(out, c.run(ctx, deg, func(cfg *sim.Config, _ *faultinject.Injection) {
-			cfg.Failsafe.GyroRateThreshold = mathx.Deg2Rad(deg)
-		}))
-	}
-	return out
+	return c.sweep(ctx, thresholdsDegS, func(c Config, v float64) spec.CampaignSpec {
+		s := c.baseSpec()
+		s.Name = fmt.Sprintf("sweep-threshold-%gdegs", v)
+		s.Overrides.GyroThresholdDegS = &v
+		return s
+	})
 }
 
 // RiskFactors sweeps the outer-bubble risk factor R (paper uses 1).
 func RiskFactors(ctx context.Context, c Config, rs []float64) []Point {
-	c = c.defaults()
-	out := make([]Point, 0, len(rs))
-	for _, r := range rs {
-		rv := r
-		out = append(out, c.run(ctx, rv, func(cfg *sim.Config, _ *faultinject.Injection) {
-			cfg.RiskR = rv
-		}))
-	}
-	return out
+	return c.sweep(ctx, rs, func(c Config, v float64) spec.CampaignSpec {
+		s := c.baseSpec()
+		s.Name = fmt.Sprintf("sweep-risk-%g", v)
+		s.Overrides.RiskR = &v
+		return s
+	})
 }
 
 // Render prints sweep rows as an aligned table.

@@ -9,6 +9,7 @@ import (
 	"uavres/internal/faultinject"
 	"uavres/internal/mathx"
 	"uavres/internal/mission"
+	"uavres/internal/obs"
 )
 
 // hop keeps sweep tests fast.
@@ -116,5 +117,51 @@ func TestSweepCancellation(t *testing.T) {
 	}
 	if points[0].N != 0 {
 		t.Errorf("cancelled sweep ran %d missions", points[0].N)
+	}
+}
+
+// TestSweepCancellationMidFlight: cancelling the context between sweep
+// values stops the remaining grid — the execution engine marks the
+// unscheduled cases cancelled, and the sweep reports empty rows instead
+// of flying them.
+func TestSweepCancellationMidFlight(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := fastCfg()
+	var fired int
+	cfg.OnPoint = func(Point) {
+		fired++
+		if fired == 1 {
+			cancel() // first value done: stop the sweep mid-flight
+		}
+	}
+	points := StartTimes(ctx, cfg, []float64{20, 500, 500})
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if points[0].N != 1 {
+		t.Errorf("first value ran %d missions, want 1", points[0].N)
+	}
+	for i, p := range points[1:] {
+		if p.N != 0 {
+			t.Errorf("value %d ran %d missions after cancellation", i+1, p.N)
+		}
+	}
+	if fired != 3 {
+		t.Errorf("OnPoint fired %d times, want 3", fired)
+	}
+}
+
+// TestSweepSharedObsMetrics: sweeps ride the campaign runner, so the
+// standard campaign metrics accumulate across every sweep value.
+func TestSweepSharedObsMetrics(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Obs = obs.NewRegistry()
+	points := StartTimes(context.Background(), cfg, []float64{20, 500})
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if got := cfg.Obs.Counter("campaign_cases_total").Value(); got != 2 {
+		t.Errorf("campaign_cases_total = %d, want 2 (one case per value)", got)
 	}
 }

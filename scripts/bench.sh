@@ -8,7 +8,9 @@
 #   scripts/bench.sh -compare OLD.json NEW.json
 # exits nonzero when NEW regresses against OLD (>10% ns/op on any shared
 # micro, or any allocs/op increase). ci.sh runs this automatically when
-# BENCH_BASELINE points at a committed report.
+# BENCH_BASELINE points at a committed report. Each report records the
+# campaign spec hash (spec_hash) so timings are only compared across
+# identical experiment plans.
 set -eu
 
 case "${1:-}" in

@@ -40,6 +40,7 @@ import (
 	"uavres/internal/mission"
 	"uavres/internal/mitigation"
 	"uavres/internal/sim"
+	"uavres/internal/spec"
 )
 
 // Core configuration and scenario types.
@@ -118,7 +119,34 @@ type (
 	CaseResult = core.CaseResult
 	// GroupStats is one aggregated table row.
 	GroupStats = core.GroupStats
+	// CampaignSpec is a declarative, serializable experiment plan:
+	// missions, injection matrix, seed policy, config overrides, and
+	// selectors, compiled to cases by CompileSpec.
+	CampaignSpec = spec.CampaignSpec
+	// Selector filters compiled cases by ID (exact or glob) or by
+	// injection fields.
+	Selector = spec.Selector
 )
+
+// PaperSpec returns the canonical built-in spec: the paper's 850-case
+// design. Compiling it reproduces PlanCampaign bit-for-bit.
+func PaperSpec(seed int64) CampaignSpec { return spec.Paper(seed) }
+
+// LoadSpec reads and validates a campaign spec from a JSON file.
+// Unknown fields are rejected.
+func LoadSpec(path string) (CampaignSpec, error) { return spec.Load(path) }
+
+// CompileSpec expands a spec against a scenario (nil: Valencia) into
+// executable cases and stamps each with its content hash under cfg —
+// the cache key resumable campaigns compare.
+func CompileSpec(s CampaignSpec, scenario []Mission, cfg Config) ([]Case, error) {
+	cases, err := s.Compile(scenario)
+	if err != nil {
+		return nil, err
+	}
+	spec.AttachFingerprints(cases, cfg)
+	return cases, nil
+}
 
 // MitigationConfig configures the optional software fault-mitigation
 // pipeline (gyro plausibility clamp, spike-median filter, stuck-sensor
@@ -193,6 +221,12 @@ func PlanCampaign(opts CampaignOptions) []Case {
 // cancellation. Per-case infrastructure failures are reported in
 // CaseResult.Err without aborting the sweep.
 func RunCampaign(ctx context.Context, opts CampaignOptions) []CaseResult {
+	return RunCases(ctx, opts, PlanCampaign(opts))
+}
+
+// RunCases executes pre-compiled cases — from PlanCampaign or
+// CompileSpec — on the campaign runner, honoring ctx cancellation.
+func RunCases(ctx context.Context, opts CampaignOptions, cases []Case) []CaseResult {
 	runner := core.NewRunner()
 	//lint:allow floatcmp zero-value detection of an unset config, never a computed value
 	if opts.Config.PhysicsDt != 0 {
@@ -201,7 +235,7 @@ func RunCampaign(ctx context.Context, opts CampaignOptions) []CaseResult {
 	runner.Workers = opts.Workers
 	runner.Missions = opts.Missions
 	runner.Progress = opts.Progress
-	return runner.RunAll(ctx, PlanCampaign(opts))
+	return runner.RunAll(ctx, cases)
 }
 
 // TableI renders the paper's fault model table.
