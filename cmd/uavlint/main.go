@@ -10,8 +10,11 @@
 // Usage:
 //
 //	uavlint [flags] [patterns]
-//	uavlint -list                 # show the analyzer suite
-//	uavlint -floatcmp=false ./... # disable one analyzer
+//	uavlint -list                       # show the analyzer suite
+//	uavlint -floatcmp=false ./...       # disable one analyzer
+//	uavlint -json ./...                 # machine-readable report on stdout
+//	uavlint -fix ./...                  # apply suggested rewrites in place
+//	uavlint -unused-suppressions ./...  # also fail on stale //lint:allow
 package main
 
 import (
@@ -29,6 +32,9 @@ func main() {
 
 func run() int {
 	list := flag.Bool("list", false, "list available analyzers and exit")
+	jsonOut := flag.Bool("json", false, "write a machine-readable JSON report to stdout instead of text")
+	fix := flag.Bool("fix", false, "apply suggested fixes in place; remaining findings are still reported")
+	unused := flag.Bool("unused-suppressions", false, "report //lint:allow directives that suppressed nothing")
 	all := lint.All()
 	enabled := map[string]*bool{}
 	for _, a := range all {
@@ -38,7 +44,7 @@ func run() int {
 
 	if *list {
 		for _, a := range all {
-			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
+			fmt.Printf("%-16s %s\n", a.Name(), a.Doc())
 		}
 		return 0
 	}
@@ -61,6 +67,7 @@ func run() int {
 		return 2
 	}
 	runner.Analyzers = suite
+	runner.ReportUnusedAllows = *unused
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -71,9 +78,44 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "uavlint:", err)
 		return 2
 	}
-	for _, f := range findings {
-		f.Pos.Filename = relPath(f.Pos.Filename)
-		fmt.Println(f)
+
+	if *fix {
+		applied, err := lint.ApplyFixes(findings)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "uavlint:", err)
+			return 2
+		}
+		if applied > 0 {
+			fmt.Fprintf(os.Stderr, "uavlint: applied %d fix(es)\n", applied)
+			// The tree changed under the analyzers: re-lint so the report
+			// (and the exit code) reflects what is actually left.
+			runner, err = lint.NewRunner(modRoot)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "uavlint:", err)
+				return 2
+			}
+			runner.Analyzers = suite
+			runner.ReportUnusedAllows = *unused
+			findings, err = runner.Run(patterns...)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "uavlint:", err)
+				return 2
+			}
+		}
+	}
+
+	for i := range findings {
+		findings[i].Pos.Filename = relPath(findings[i].Pos.Filename)
+	}
+	if *jsonOut {
+		if err := lint.WriteJSONReport(os.Stdout, runner.ModPath, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "uavlint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "uavlint: %d finding(s)\n", len(findings))

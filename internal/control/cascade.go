@@ -95,6 +95,7 @@ type Controller struct {
 	// guidance yaw is piecewise constant per mission leg, so the trig
 	// pair is computed once per leg instead of at every control step.
 	// Derived state: deliberately absent from ControllerSnapshot.
+	//lint:allow snapshotcomplete derived trig cache keyed on the exact yaw input; recomputed on any change
 	cacheYaw, cacheSinYaw, cacheCosYaw float64
 }
 

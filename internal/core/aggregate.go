@@ -127,12 +127,17 @@ func ByFault(results []CaseResult) []GroupStats {
 		label := cr.Case.Injection.Label()
 		groups[label] = append(groups[label], cr.Result)
 	}
+	labels := make([]string, 0, len(groups))
+	for label := range groups {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
 	var out []GroupStats
 	for _, target := range faultinject.Targets() {
 		var rows []GroupStats
-		for label, runs := range groups {
+		for _, label := range labels {
 			if strings.HasPrefix(label, target.String()+" ") {
-				rows = append(rows, aggregate(label, runs))
+				rows = append(rows, aggregate(label, groups[label]))
 			}
 		}
 		sort.Slice(rows, func(i, j int) bool {

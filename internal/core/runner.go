@@ -268,6 +268,25 @@ func casePrefixKey(c Case) prefixKey {
 	}
 }
 
+// sortPrefixKeys orders prefix keys by (mission, seed, scope, start) —
+// the total order that makes prefix scheduling independent of map
+// iteration order.
+func sortPrefixKeys(keys []prefixKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.missionID != b.missionID {
+			return a.missionID < b.missionID
+		}
+		if a.seed != b.seed {
+			return a.seed < b.seed
+		}
+		if a.scope != b.scope {
+			return a.scope < b.scope
+		}
+		return a.start < b.start
+	})
+}
+
 // prepareCheckpoints simulates one shared prefix per group of two or more
 // forkable cases, in parallel. Groups whose prefix fails to build are
 // simply absent from the map; their cases run straight through.
@@ -280,11 +299,20 @@ func (r *Runner) prepareCheckpoints(ctx context.Context, cases []Case, workers i
 		}
 	}
 	keys := make([]prefixKey, 0, len(groups))
-	for k, members := range groups {
-		if len(members) >= 2 {
-			keys = append(keys, k)
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	// Map order would hand prefixes to workers in a different order every
+	// run; sorting keeps prefix scheduling (and the worker-count adaptive
+	// paths downstream) reproducible for a given campaign.
+	sortPrefixKeys(keys)
+	shared := keys[:0]
+	for _, k := range keys {
+		if len(groups[k]) >= 2 {
+			shared = append(shared, k)
 		}
 	}
+	keys = shared
 	if len(keys) == 0 {
 		return nil
 	}

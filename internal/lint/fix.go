@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// Fix is one suggested mechanical rewrite attached to a finding. Edits
+// are byte-range replacements within a single file; the fix is only
+// offered when the analyzer can prove the rewrite is behavior-preserving
+// modulo the determinism contract it restores (sorted map iteration,
+// tolerance compares).
+type Fix struct {
+	// Message describes the rewrite ("iterate sorted keys", ...).
+	Message string
+	// Edits are the replacements, non-overlapping within the fix.
+	Edits []TextEdit
+}
+
+// TextEdit replaces the half-open byte range [Start.Offset, End.Offset)
+// of Start.Filename with NewText. Start and End are resolved positions so
+// fixes survive serialization to the JSON report.
+type TextEdit struct {
+	Start   token.Position
+	End     token.Position
+	NewText string
+}
+
+// ApplyFixes applies every fix carried by findings to the files on disk
+// and returns the number of fixes applied. Fixes whose edits overlap an
+// already-applied edit in the same file are skipped (the caller re-runs
+// the suite to pick them up on a clean tree); a finding without a fix is
+// ignored.
+func ApplyFixes(findings []Finding) (applied int, err error) {
+	type edit struct {
+		start, end int
+		text       string
+	}
+	byFile := map[string][]edit{}
+	for _, fd := range findings {
+		if fd.Fix == nil || len(fd.Fix.Edits) == 0 {
+			continue
+		}
+		// All edits of one fix must land atomically in one file.
+		file := fd.Fix.Edits[0].Start.Filename
+		candidate := byFile[file]
+		ok := true
+		for _, e := range fd.Fix.Edits {
+			if e.Start.Filename != file || e.End.Filename != file || e.End.Offset < e.Start.Offset {
+				ok = false
+				break
+			}
+			for _, prev := range candidate {
+				if e.Start.Offset < prev.end && prev.start < e.End.Offset {
+					ok = false // overlaps an accepted edit: defer to a re-run
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+			candidate = append(candidate, edit{e.Start.Offset, e.End.Offset, e.NewText})
+		}
+		if !ok {
+			continue
+		}
+		byFile[file] = candidate
+		applied++
+	}
+
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		edits := byFile[file]
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return 0, fmt.Errorf("lint: applying fixes: %w", err)
+		}
+		for _, e := range edits {
+			if e.end > len(data) {
+				return 0, fmt.Errorf("lint: fix edit past end of %s (stale positions?)", file)
+			}
+			data = append(data[:e.start], append([]byte(e.text), data[e.end:]...)...)
+		}
+		if err := os.WriteFile(file, data, 0o644); err != nil {
+			return 0, fmt.Errorf("lint: applying fixes: %w", err)
+		}
+	}
+	return applied, nil
+}

@@ -1,9 +1,11 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // FloatCmp flags == and != between floating-point expressions in
@@ -13,6 +15,10 @@ import (
 // reordering of arithmetic) and must be replaced by a tolerance compare
 // — or explicitly exempted where a bit-exact sentinel or sparsity check
 // is intended.
+//
+// Where the file already imports uavres/internal/mathx (or math, for the
+// x != x NaN idiom), the finding carries a mechanical fix to
+// mathx.ApproxEqual / math.IsNaN.
 type FloatCmp struct{}
 
 func (FloatCmp) Name() string { return "floatcmp" }
@@ -20,10 +26,15 @@ func (FloatCmp) Doc() string {
 	return "flag ==/!= between floating-point expressions outside tests; use tolerance compares"
 }
 
-func (FloatCmp) Visitor(pkg *Package, f *File, report ReportFunc) VisitFunc {
+func (FloatCmp) FixVisitor(pkg *Package, f *File, report FixReportFunc) VisitFunc {
 	if f.IsTest {
 		return nil
 	}
+	// Fixes only rewrite to packages the file already imports: adding an
+	// import for a non-dominant path is not worth the rewrite machinery,
+	// and inside mathx itself ApproxEqual is unqualified.
+	mathxName, inMathx := importedName(pkg, f, "uavres/internal/mathx")
+	mathName, _ := importedName(pkg, f, "math")
 	return func(n ast.Node, _ []ast.Node) {
 		be, ok := n.(*ast.BinaryExpr)
 		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
@@ -33,10 +44,59 @@ func (FloatCmp) Visitor(pkg *Package, f *File, report ReportFunc) VisitFunc {
 			return
 		}
 		if sameExpr(be.X, be.Y) {
-			report(be.OpPos, "floating-point self-comparison; use math.IsNaN")
+			var fix *Fix
+			if mathName != "" && be.Op == token.NEQ {
+				if src, ok := exprString(pkg.Fset, be.X); ok {
+					fix = replaceExprFix(pkg, be, fmt.Sprintf("%s.IsNaN(%s)", mathName, src),
+						"rewrite the x != x idiom as math.IsNaN")
+				}
+			}
+			report(be.OpPos, fix, "floating-point self-comparison; use math.IsNaN")
 			return
 		}
-		report(be.OpPos, "floating-point %s comparison; use a tolerance (e.g. mathx.ApproxEqual)", be.Op)
+		var fix *Fix
+		if mathxName != "" || inMathx {
+			xs, okX := exprString(pkg.Fset, be.X)
+			ys, okY := exprString(pkg.Fset, be.Y)
+			if okX && okY {
+				call := fmt.Sprintf("ApproxEqual(%s, %s, 1e-9)", xs, ys)
+				if !inMathx {
+					call = mathxName + "." + call
+				}
+				if be.Op == token.NEQ {
+					call = "!" + call
+				}
+				fix = replaceExprFix(pkg, be, call, "compare with a 1e-9 tolerance")
+			}
+		}
+		report(be.OpPos, fix, "floating-point %s comparison; use a tolerance (e.g. mathx.ApproxEqual)", be.Op)
+	}
+}
+
+// importedName returns the local name under which the file imports path
+// ("" when it does not), and whether the file IS that package (by
+// import-path suffix match on the package's own path).
+func importedName(pkg *Package, f *File, path string) (string, bool) {
+	if pkg.ImportPath == path || strings.TrimSuffix(pkg.ImportPath, "_test") == path {
+		return "", true
+	}
+	for name, p := range f.Imports {
+		if p == path {
+			return name, false
+		}
+	}
+	return "", false
+}
+
+// replaceExprFix builds a fix substituting the whole expression.
+func replaceExprFix(pkg *Package, e ast.Expr, newText, msg string) *Fix {
+	return &Fix{
+		Message: msg,
+		Edits: []TextEdit{{
+			Start:   pkg.Fset.Position(e.Pos()),
+			End:     pkg.Fset.Position(e.End()),
+			NewText: newText,
+		}},
 	}
 }
 

@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Report is the machine-readable form of one lint run, consumed by CI
+// (recorded next to the BENCH artifacts) and by campaign workers that
+// refuse to execute on a tree with open determinism findings.
+type Report struct {
+	// ModPath identifies the linted module.
+	ModPath string `json:"module"`
+	// Findings are the surviving diagnostics in position order.
+	Findings []JSONFinding `json:"findings"`
+	// Count duplicates len(Findings) for cheap shell-side gating.
+	Count int `json:"count"`
+}
+
+// JSONFinding is one diagnostic in the JSON report.
+type JSONFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+	// Fixable reports that uavlint -fix can rewrite this finding.
+	Fixable bool `json:"fixable,omitempty"`
+}
+
+// WriteJSONReport renders findings as a JSON report. Paths are emitted
+// as given (the caller relativizes them first if desired).
+func WriteJSONReport(w io.Writer, modPath string, findings []Finding) error {
+	rep := Report{ModPath: modPath, Findings: make([]JSONFinding, 0, len(findings)), Count: len(findings)}
+	for _, f := range findings {
+		rep.Findings = append(rep.Findings, JSONFinding{
+			File:    f.Pos.Filename,
+			Line:    f.Pos.Line,
+			Column:  f.Pos.Column,
+			Check:   f.Check,
+			Message: f.Message,
+			Fixable: f.Fix != nil,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

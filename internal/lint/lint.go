@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"strings"
 )
 
 // Finding is one analyzer diagnostic.
@@ -28,6 +29,9 @@ type Finding struct {
 	Pos     token.Position
 	Check   string
 	Message string
+	// Fix, when non-nil, is a mechanical rewrite that resolves the
+	// finding (applied by uavlint -fix).
+	Fix *Fix
 }
 
 // String renders the canonical "file:line: [check] message" form.
@@ -37,6 +41,9 @@ func (f Finding) String() string {
 
 // ReportFunc records a finding at pos.
 type ReportFunc func(pos token.Pos, format string, args ...any)
+
+// FixReportFunc records a finding at pos carrying a suggested fix.
+type FixReportFunc func(pos token.Pos, fix *Fix, format string, args ...any)
 
 // Analyzer is one lint check.
 type Analyzer interface {
@@ -56,6 +63,14 @@ type NodeAnalyzer interface {
 	Visitor(pkg *Package, f *File, report ReportFunc) VisitFunc
 }
 
+// FixNodeAnalyzer is a NodeAnalyzer whose findings can carry suggested
+// fixes. It takes precedence over NodeAnalyzer when both are
+// implemented.
+type FixNodeAnalyzer interface {
+	Analyzer
+	FixVisitor(pkg *Package, f *File, report FixReportFunc) VisitFunc
+}
+
 // PackageAnalyzer runs once per package after all files are parsed; use
 // it for checks that need cross-file context (struct declarations vs.
 // method bodies).
@@ -72,7 +87,42 @@ func All() []Analyzer {
 		WallTime{},
 		MutexHeld{},
 		PanicFree{},
+		SnapshotComplete{},
+		MapIter{},
+		GoroutineSpawn{},
 	}
+}
+
+// simCriticalPkgs are the internal packages whose compile order, results
+// merging, and execution must stay bit-deterministic: the per-case
+// simulation stack plus the plan/merge layers. MapIter applies here.
+var simCriticalPkgs = map[string]bool{
+	"sim": true, "ekf": true, "spec": true,
+	"core": true, "sweep": true, "faultinject": true,
+}
+
+// goroutineFreePkgs lists the internal packages allowed to own
+// goroutines. core owns the one sanctioned worker pool (the campaign
+// runner), and telemetry/uspace are the concurrent serving layers;
+// everything else in internal/ is deterministic per-case simulation code
+// where a spawned goroutine would make step order scheduler-dependent.
+var goroutineFreePkgs = func(base string) bool {
+	switch base {
+	case "core", "telemetry", "uspace":
+		return false
+	}
+	return true
+}
+
+// internalBase returns the first path element under internal/ ("" when
+// the package is not internal).
+func internalBase(importPath string) string {
+	_, rest, ok := strings.Cut(importPath, "internal/")
+	if !ok {
+		return ""
+	}
+	base, _, _ := strings.Cut(rest, "/")
+	return strings.TrimSuffix(base, "_test")
 }
 
 // Package is one parsed (and best-effort type-checked) package under
@@ -85,8 +135,15 @@ type Package struct {
 	// Internal reports whether the package sits under an internal/
 	// directory — the determinism-critical library core.
 	Internal bool
-	Fset     *token.FileSet
-	Files    []*File
+	// SimCritical reports membership in the bit-determinism core
+	// (simCriticalPkgs): map iteration order and spawned goroutines are
+	// findings here.
+	SimCritical bool
+	// GoroutineFree reports that the package may not own goroutines
+	// (every internal package except the sanctioned concurrent layers).
+	GoroutineFree bool
+	Fset          *token.FileSet
+	Files         []*File
 	// TypesInfo holds best-effort expression types for non-test files.
 	// Type checking is lenient (errors are ignored) so analyzers must
 	// tolerate missing entries.

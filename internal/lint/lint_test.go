@@ -18,7 +18,7 @@ func fixtureRunner(t *testing.T) *Runner {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &Runner{ModPath: "fixture", ModRoot: root, TreatAllInternal: true}
+	return &Runner{ModPath: "fixture", ModRoot: root, TreatAllInternal: true, TreatAllSimCritical: true}
 }
 
 // expectation is one "// want <check>" marker in a fixture file.
@@ -64,7 +64,10 @@ func readWants(t *testing.T, dir string) []expectation {
 // unmarked line does (negative fixture).
 func TestFixtures(t *testing.T) {
 	r := fixtureRunner(t)
-	for _, check := range []string{"floatcmp", "globalrand", "walltime", "mutexheld", "panicfree"} {
+	for _, check := range []string{
+		"floatcmp", "globalrand", "walltime", "mutexheld", "panicfree",
+		"snapshotcomplete", "mapiter", "goroutinespawn",
+	} {
 		t.Run(check, func(t *testing.T) {
 			dir := filepath.Join("testdata", check)
 			findings, err := r.Run(dir)

@@ -29,6 +29,13 @@ type Runner struct {
 	// TreatAllInternal applies the internal-only analyzers to every
 	// package regardless of directory. Used by fixture tests.
 	TreatAllInternal bool
+	// TreatAllSimCritical applies the sim-critical analyzers (mapiter,
+	// goroutinespawn) to every package. Used by fixture tests.
+	TreatAllSimCritical bool
+	// ReportUnusedAllows reports //lint:allow directives that suppressed
+	// nothing as findings of the meta check: a stale exemption hides the
+	// next real violation on its line, so CI fails until it is deleted.
+	ReportUnusedAllows bool
 
 	fset *token.FileSet
 	imp  *moduleImporter
@@ -181,14 +188,19 @@ func (r *Runner) load(dir string) ([]*Package, error) {
 		}
 		internal = internal || rel == "internal" || strings.HasPrefix(filepath.ToSlash(rel), "internal/")
 	}
+	base := internalBase(importPath)
+	critical := r.TreatAllSimCritical || simCriticalPkgs[base]
+	noGo := r.TreatAllSimCritical || (base != "" && goroutineFreePkgs(base))
 
 	var pkgs []*Package
 	for name, astPkg := range astPkgs {
 		pkg := &Package{
-			ImportPath: importPath,
-			Dir:        dir,
-			Internal:   internal,
-			Fset:       r.fset,
+			ImportPath:    importPath,
+			Dir:           dir,
+			Internal:      internal,
+			SimCritical:   critical,
+			GoroutineFree: noGo,
+			Fset:          r.fset,
 		}
 		if strings.HasSuffix(name, "_test") {
 			// External test package: same import path, test files only.
@@ -239,13 +251,20 @@ func importNames(f *ast.File) map[string]string {
 // package-level analyzers, and finally suppression filtering.
 func (r *Runner) lintPackage(pkg *Package) []Finding {
 	var raw []Finding
-	reportAs := func(check string) ReportFunc {
-		return func(pos token.Pos, format string, args ...any) {
+	reportFixAs := func(check string) FixReportFunc {
+		return func(pos token.Pos, fix *Fix, format string, args ...any) {
 			raw = append(raw, Finding{
 				Pos:     r.fset.Position(pos),
 				Check:   check,
 				Message: fmt.Sprintf(format, args...),
+				Fix:     fix,
 			})
+		}
+	}
+	reportAs := func(check string) ReportFunc {
+		fr := reportFixAs(check)
+		return func(pos token.Pos, format string, args ...any) {
+			fr(pos, nil, format, args...)
 		}
 	}
 
@@ -267,11 +286,16 @@ func (r *Runner) lintPackage(pkg *Package) []Finding {
 	for _, f := range pkg.Files {
 		var visitors []VisitFunc
 		for _, a := range r.Analyzers {
-			na, ok := a.(NodeAnalyzer)
-			if !ok {
+			var v VisitFunc
+			switch na := a.(type) {
+			case FixNodeAnalyzer:
+				v = na.FixVisitor(pkg, f, reportFixAs(a.Name()))
+			case NodeAnalyzer:
+				v = na.Visitor(pkg, f, reportAs(a.Name()))
+			default:
 				continue
 			}
-			if v := na.Visitor(pkg, f, reportAs(a.Name())); v != nil {
+			if v != nil {
 				visitors = append(visitors, v)
 			}
 		}
@@ -314,6 +338,25 @@ func (r *Runner) lintPackage(pkg *Package) []Finding {
 			}
 		}
 		findings = append(findings, fd)
+	}
+
+	// A directive that suppressed nothing is stale: the code it excused
+	// changed underneath it, and it would silently excuse the NEXT
+	// violation on its line. Reported under the meta check so it cannot
+	// itself be suppressed.
+	if r.ReportUnusedAllows {
+		for _, f := range pkg.Files {
+			for _, a := range f.allows {
+				if !a.used {
+					findings = append(findings, Finding{
+						Pos:   r.fset.Position(a.pos),
+						Check: metaCheck,
+						Message: fmt.Sprintf("unused %s %s directive: no %s finding on this or the next line; delete it",
+							allowPrefix, a.check, a.check),
+					})
+				}
+			}
+		}
 	}
 	return findings
 }

@@ -1,0 +1,507 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// SnapshotComplete verifies the checkpoint contract: for every type that
+// participates in checkpoint-and-fork (it has both a capture method and
+// a restore method), each field the type ever mutates must be read by
+// the capture method and written by the restore method. A field that is
+// mutated mid-run but missing from either side makes a restored fork
+// diverge from its parent — the exact bit-identity violation the
+// campaign engine's Fork machinery exists to rule out, and one that no
+// test catches until a fault case happens to exercise the stale field.
+//
+// Method pairs are recognized by name, most specific first:
+//
+//	capture: Snapshot, snapshot, State
+//	restore: Restore, restoreFrom, restore, SetState
+//
+// Field reads and writes are traced transitively through calls to other
+// methods on the same receiver, so a Snapshot that delegates to a helper
+// still counts as reading what the helper reads. Only pointer-receiver
+// methods count as mutators (a value receiver mutates a copy). Fields
+// whose type cannot or need not round-trip a snapshot — funcs,
+// interfaces, channels, and sync primitives — are exempt. Derived caches
+// and scratch buffers that are deliberately not captured take a
+//
+//	//lint:allow snapshotcomplete <why the field need not round-trip>
+//
+// on the field's declaration line.
+type SnapshotComplete struct{}
+
+func (SnapshotComplete) Name() string { return "snapshotcomplete" }
+func (SnapshotComplete) Doc() string {
+	return "every mutable field of a Snapshot/Restore type must be read by the capture method and written by the restore method"
+}
+
+// captureNames and restoreNames are the recognized method names in
+// priority order; the first present on a type is its capture/restore
+// method.
+var (
+	captureNames = []string{"Snapshot", "snapshot", "State"}
+	restoreNames = []string{"Restore", "restoreFrom", "restore", "SetState"}
+)
+
+// methodFacts is the flow summary of one method body with respect to its
+// receiver's fields.
+type methodFacts struct {
+	name    string
+	ptrRecv bool
+	// reads and writes are receiver field names touched directly.
+	reads  map[string]bool
+	writes map[string]bool
+	// allRead / allWrite record whole-receiver uses (`x := *r`,
+	// `*r = other`): every field is involved.
+	allRead  bool
+	allWrite bool
+	// calls names methods invoked on the same receiver; their facts are
+	// folded in transitively.
+	calls map[string]bool
+}
+
+// structDecl is one struct type declaration plus its methods.
+type structDecl struct {
+	name    string
+	fields  []structField
+	methods map[string]*methodFacts
+}
+
+type structField struct {
+	name   string
+	ident  *ast.Ident // declaration identifier (embedded: the type name)
+	typ    ast.Expr
+	anonym bool
+}
+
+func (SnapshotComplete) CheckPackage(pkg *Package, report ReportFunc) {
+	structs := map[string]*structDecl{}
+
+	// Pass 1: struct declarations (non-test files only; test helpers do
+	// not participate in the checkpoint contract).
+	for _, f := range pkg.Files {
+		if f.IsTest {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				sd := &structDecl{name: ts.Name.Name, methods: map[string]*methodFacts{}}
+				for _, fld := range st.Fields.List {
+					if len(fld.Names) == 0 {
+						if id := embeddedName(fld.Type); id != nil {
+							sd.fields = append(sd.fields, structField{
+								name: id.Name, ident: id, typ: fld.Type, anonym: true,
+							})
+						}
+						continue
+					}
+					for _, name := range fld.Names {
+						if name.Name == "_" {
+							continue
+						}
+						sd.fields = append(sd.fields, structField{
+							name: name.Name, ident: name, typ: fld.Type,
+						})
+					}
+				}
+				structs[sd.name] = sd
+			}
+		}
+	}
+
+	// Pass 2: method flow facts.
+	for _, f := range pkg.Files {
+		if f.IsTest {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 || fd.Body == nil {
+				continue
+			}
+			recvType, ptr := receiverType(fd.Recv.List[0].Type)
+			if recvType == "" {
+				continue
+			}
+			sd := structs[recvType]
+			if sd == nil {
+				continue
+			}
+			facts := analyzeMethod(pkg, fd, ptr)
+			sd.methods[fd.Name.Name] = facts
+		}
+	}
+
+	for _, name := range sortedKeys(structs) {
+		sd := structs[name]
+		propagate(sd.methods)
+		checkStruct(pkg, sd, report)
+	}
+}
+
+// checkStruct applies the completeness rule to one struct once its
+// method facts are propagated.
+func checkStruct(pkg *Package, sd *structDecl, report ReportFunc) {
+	capture := firstMethod(sd.methods, captureNames)
+	restore := firstMethod(sd.methods, restoreNames)
+	if capture == nil || restore == nil {
+		return
+	}
+
+	for _, fld := range sd.fields {
+		if exemptField(pkg, fld) {
+			continue
+		}
+		mutators := mutatorsOf(sd, fld.name, capture.name, restore.name)
+		if len(mutators) == 0 {
+			continue // immutable after construction: nothing to round-trip
+		}
+		missRead := !capture.allRead && !capture.reads[fld.name]
+		missWrite := !restore.allWrite && !restore.writes[fld.name]
+		if !missRead && !missWrite {
+			continue
+		}
+		var gap string
+		switch {
+		case missRead && missWrite:
+			gap = fmt.Sprintf("neither read in %s nor written in %s", capture.name, restore.name)
+		case missRead:
+			gap = fmt.Sprintf("not read in %s", capture.name)
+		default:
+			gap = fmt.Sprintf("not written in %s", restore.name)
+		}
+		report(fld.ident.Pos(),
+			"field %s.%s is mutated by %s but %s; a restored fork diverges from its parent",
+			sd.name, fld.name, mutatorList(mutators), gap)
+	}
+}
+
+// mutatorsOf returns the pointer-receiver methods outside the
+// capture/restore pair that write the field, sorted by name.
+func mutatorsOf(sd *structDecl, field, captureName, restoreName string) []string {
+	var out []string
+	for name, m := range sd.methods {
+		if name == captureName || name == restoreName || !m.ptrRecv {
+			continue
+		}
+		if m.allWrite || m.writes[field] {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mutatorList renders up to three mutator names.
+func mutatorList(names []string) string {
+	if len(names) > 3 {
+		return strings.Join(names[:3], ", ") + fmt.Sprintf(" (+%d more)", len(names)-3)
+	}
+	return strings.Join(names, ", ")
+}
+
+// firstMethod returns the first method present from the priority list.
+func firstMethod(methods map[string]*methodFacts, priority []string) *methodFacts {
+	for _, name := range priority {
+		if m := methods[name]; m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// propagate folds callee facts into callers to a fixed point: a capture
+// method that delegates to a same-receiver helper reads what the helper
+// reads. Writes propagate only from pointer-receiver callees — a value
+// receiver's "writes" land on a copy.
+func propagate(methods map[string]*methodFacts) {
+	for changed := true; changed; {
+		changed = false
+		for _, m := range methods {
+			for callee := range m.calls {
+				c := methods[callee]
+				if c == nil || c == m {
+					continue
+				}
+				for f := range c.reads {
+					if !m.reads[f] {
+						m.reads[f] = true
+						changed = true
+					}
+				}
+				if c.allRead && !m.allRead {
+					m.allRead = true
+					changed = true
+				}
+				if !c.ptrRecv {
+					continue
+				}
+				for f := range c.writes {
+					if !m.writes[f] {
+						m.writes[f] = true
+						changed = true
+					}
+				}
+				if c.allWrite && !m.allWrite {
+					m.allWrite = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// receiverType extracts the receiver's type name and pointer-ness.
+func receiverType(e ast.Expr) (name string, ptr bool) {
+	if s, ok := e.(*ast.StarExpr); ok {
+		ptr = true
+		e = s.X
+	}
+	if ix, ok := e.(*ast.IndexExpr); ok { // generic receiver
+		e = ix.X
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name, ptr
+	}
+	return "", false
+}
+
+// embeddedName returns the type identifier of an embedded field.
+func embeddedName(e ast.Expr) *ast.Ident {
+	switch x := e.(type) {
+	case *ast.StarExpr:
+		return embeddedName(x.X)
+	case *ast.SelectorExpr:
+		return x.Sel
+	case *ast.Ident:
+		return x
+	}
+	return nil
+}
+
+// exemptField reports fields that need not round-trip a snapshot: funcs,
+// interfaces, and channels hold behavior rather than state, and sync
+// primitives must never be copied at all.
+func exemptField(pkg *Package, fld structField) bool {
+	if exemptFieldExpr(fld.typ) {
+		return true
+	}
+	// Named types resolving to an exempt underlying shape (e.g. a local
+	// `type Observer func(...)`) need type information to classify.
+	t := pkg.TypesInfo.TypeOf(fld.typ)
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Signature, *types.Interface, *types.Chan:
+		return true
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		if obj := n.Obj(); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			return true
+		}
+	}
+	return false
+}
+
+// exemptFieldExpr is the syntactic half of exemptField, usable without
+// type information.
+func exemptFieldExpr(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.FuncType, *ast.InterfaceType, *ast.ChanType:
+		return true
+	case *ast.StarExpr:
+		return exemptFieldExpr(x.X)
+	case *ast.SelectorExpr:
+		if id, ok := x.X.(*ast.Ident); ok && id.Name == "sync" {
+			return true
+		}
+	}
+	return false
+}
+
+// analyzeMethod walks one method body and summarizes receiver field
+// flow. Receiver identity is resolved through type objects when
+// available, falling back to name matching so the analyzer degrades
+// rather than disappears on mid-refactor code.
+func analyzeMethod(pkg *Package, fd *ast.FuncDecl, ptrRecv bool) *methodFacts {
+	m := &methodFacts{
+		name:    fd.Name.Name,
+		ptrRecv: ptrRecv,
+		reads:   map[string]bool{},
+		writes:  map[string]bool{},
+		calls:   map[string]bool{},
+	}
+	recv := fd.Recv.List[0]
+	if len(recv.Names) == 0 || recv.Names[0].Name == "_" {
+		return m // anonymous receiver: the body cannot touch fields
+	}
+	recvName := recv.Names[0].Name
+	recvObj := pkg.TypesInfo.ObjectOf(recv.Names[0])
+
+	isRecv := func(e ast.Expr) *ast.Ident {
+		for {
+			switch x := e.(type) {
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.Ident:
+				if recvObj != nil {
+					if pkg.TypesInfo.ObjectOf(x) == recvObj {
+						return x
+					}
+					return nil
+				}
+				if x.Name == recvName {
+					return x
+				}
+				return nil
+			default:
+				return nil
+			}
+		}
+	}
+
+	// rootField resolves the receiver field at the base of a selector /
+	// index / deref chain ("" when the chain is not rooted at the
+	// receiver; whole=true for the bare receiver).
+	var rootField func(e ast.Expr) (field string, whole bool)
+	rootField = func(e ast.Expr) (string, bool) {
+		for {
+			switch x := e.(type) {
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.SelectorExpr:
+				if isRecv(x.X) != nil {
+					return x.Sel.Name, false
+				}
+				e = x.X
+			case *ast.Ident:
+				if isRecv(x) != nil {
+					return "", true
+				}
+				return "", false
+			default:
+				return "", false
+			}
+		}
+	}
+
+	markWrite := func(e ast.Expr) {
+		field, whole := rootField(e)
+		switch {
+		case whole:
+			m.allWrite = true // *r = ... rewrites every field
+		case field != "":
+			m.writes[field] = true
+		}
+	}
+
+	// consumed tracks receiver idents already accounted for as the base
+	// of a selector, so the bare-receiver pass below does not double
+	// count them as whole-value uses.
+	consumed := map[*ast.Ident]bool{}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				markWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			markWrite(x.X)
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				// Taking a field's address lets the pointee be both read
+				// and written through the escaping pointer.
+				if field, _ := rootField(x.X); field != "" {
+					m.reads[field] = true
+					m.writes[field] = true
+				}
+			}
+		case *ast.CallExpr:
+			if fn, ok := x.Fun.(*ast.Ident); ok && fn.Name == "copy" && len(x.Args) == 2 {
+				// The copy builtin writes through its destination slice.
+				if field, _ := rootField(x.Args[0]); field != "" {
+					m.writes[field] = true
+				}
+				break
+			}
+			sel, ok := x.Fun.(*ast.SelectorExpr)
+			if !ok {
+				break
+			}
+			if id := isRecv(sel.X); id != nil {
+				// r.helper(...): same-receiver call, folded in by
+				// propagate. (If the name is a func-typed field rather
+				// than a method, the selector read below covers it and
+				// propagation finds no method to fold.)
+				m.calls[sel.Sel.Name] = true
+				break
+			}
+			// r.field.Method(...): a pointer-receiver method mutates the
+			// field through the implicit &r.field.
+			field, _ := rootField(sel.X)
+			if field == "" {
+				break
+			}
+			if s := pkg.TypesInfo.SelectionOf(sel); s != nil {
+				if fn, ok := s.Obj().(*types.Func); ok {
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+						if _, isPtr := sig.Recv().Type().(*types.Pointer); isPtr {
+							m.writes[field] = true
+						}
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			if id := isRecv(x.X); id != nil {
+				consumed[id] = true
+				m.reads[x.Sel.Name] = true
+			}
+		case *ast.Ident:
+			if isRecv(x) != nil && !consumed[x] {
+				// Bare receiver value use (`s := *r`, `return *r`,
+				// `fn(r)`): every field is (at least) read.
+				m.allRead = true
+			}
+		}
+		return true
+	})
+	return m
+}
+
+func sortedKeys(m map[string]*structDecl) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -20,6 +20,10 @@ type allowDirective struct {
 	check  string
 	reason string
 	pos    token.Pos
+	// used records whether the directive suppressed at least one finding
+	// in the current run (stale directives are themselves findings when
+	// the runner audits suppressions).
+	used bool
 }
 
 // parseAllows extracts suppression directives from a parsed file. Known
@@ -62,15 +66,18 @@ func parseAllows(f *File, fset *token.FileSet, known map[string]bool, report Rep
 }
 
 // allowed reports whether a finding of check at line is suppressed by a
-// directive in f.
+// directive in f, marking every matching directive as used.
 func (f *File) allowed(check string, line int) bool {
-	for _, a := range f.allows {
+	hit := false
+	for i := range f.allows {
+		a := &f.allows[i]
 		if a.check != check && a.check != "all" {
 			continue
 		}
 		if a.line == line || a.line == line-1 {
-			return true
+			a.used = true
+			hit = true
 		}
 	}
-	return false
+	return hit
 }

@@ -1,0 +1,18 @@
+// Positive fixture: every line marked "want goroutinespawn" must fire.
+package fixture
+
+type worker struct{ done chan struct{} }
+
+func (w worker) run() {}
+
+func spawnClosure(results chan int) {
+	go func() { results <- 1 }() // want goroutinespawn
+}
+
+func spawnMethod(w worker) {
+	go w.run() // want goroutinespawn
+}
+
+func spawnNamed(f func()) {
+	go f() // want goroutinespawn
+}

@@ -1,0 +1,12 @@
+// Negative fixture: plain calls, defers, and function values are fine —
+// only the go statement spawns.
+package fixture
+
+func runInline(f func()) {
+	defer f()
+	f()
+}
+
+func passAround(f func()) func() {
+	return f
+}

@@ -1,0 +1,6 @@
+// Test files are exempt: tests may spawn goroutines (timeouts, racers).
+package fixture
+
+func spawnInTest(done chan struct{}) {
+	go func() { close(done) }()
+}

@@ -1,0 +1,40 @@
+// Positive fixture: every line marked "want mapiter" must fire.
+package fixture
+
+import "sort"
+
+func sumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want mapiter
+		total += v
+	}
+	return total
+}
+
+func firstKey(m map[int]bool) int {
+	for k := range m { // want mapiter
+		return k
+	}
+	return -1
+}
+
+func filteredCollect(m map[string]int) []string {
+	// The append is conditional, so iteration order decides the slice
+	// order: not the exempt collect idiom.
+	out := make([]string, 0, len(m))
+	for k, v := range m { // want mapiter
+		if v > 0 {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func keyAndValue(m map[string]float64) float64 {
+	var acc float64
+	for _, v := range m { // want mapiter
+		acc += v
+	}
+	return acc
+}

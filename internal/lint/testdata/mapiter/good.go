@@ -1,0 +1,46 @@
+// Negative fixture: nothing here may fire. Sorted-key iteration, the
+// key-collect idiom, keyless ranges, non-map ranges, and reasoned
+// suppressions are all fine.
+package fixture
+
+import "sort"
+
+func sortedIteration(m map[string]int) []int {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+func keylessCount(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func sliceRange(xs []int) int {
+	t := 0
+	for _, v := range xs {
+		t += v
+	}
+	return t
+}
+
+func reasonedExemption(m map[string]int) int {
+	max := 0
+	//lint:allow mapiter max is order-independent (commutative fold)
+	for _, v := range m {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}

@@ -1,0 +1,92 @@
+// Positive fixture: every field marked "want snapshotcomplete" must
+// fire — it is mutated by a pointer-receiver method outside the
+// capture/restore pair but missing from one or both sides.
+package fixture
+
+// counter: stamp is mutated but appears in neither Snapshot nor Restore.
+type counter struct {
+	n     int
+	stamp float64 // want snapshotcomplete
+}
+
+func (c *counter) bump(t float64) {
+	c.n++
+	c.stamp = t
+}
+
+type counterSnapshot struct{ n int }
+
+func (c *counter) Snapshot() counterSnapshot { return counterSnapshot{n: c.n} }
+func (c *counter) Restore(s counterSnapshot) { c.n = s.n }
+
+// gauge: peak is restored but never captured, so every fork resurrects
+// the parent's peak instead of its own.
+type gauge struct {
+	v    float64
+	peak float64 // want snapshotcomplete
+}
+
+func (g *gauge) set(x float64) {
+	g.v = x
+	if x > g.peak {
+		g.peak = x
+	}
+}
+
+type gaugeState struct{ v, peak float64 }
+
+func (g *gauge) State() gaugeState { return gaugeState{v: g.v} }
+func (g *gauge) SetState(s gaugeState) {
+	g.v = s.v
+	g.peak = s.peak
+}
+
+// ring: idx is captured but not restored — the lowercase pair names are
+// recognized too.
+type ring struct {
+	buf []int
+	idx int // want snapshotcomplete
+}
+
+func (r *ring) push(x int) {
+	r.buf[r.idx%len(r.buf)] = x
+	r.idx++
+}
+
+type ringState struct {
+	buf []int
+	idx int
+}
+
+func (r *ring) snapshot() ringState {
+	s := ringState{idx: r.idx, buf: make([]int, len(r.buf))}
+	copy(s.buf, r.buf)
+	return s
+}
+
+func (r *ring) restore(s ringState) {
+	copy(r.buf, s.buf)
+}
+
+// latch: the mutation hides behind a same-receiver helper chain; the
+// transitive write still counts.
+type latch struct {
+	armed bool // want snapshotcomplete
+	fired bool
+}
+
+func (l *latch) observe(hot bool) {
+	if hot {
+		l.trip()
+	}
+}
+
+func (l *latch) trip() {
+	l.armed = true
+	l.fired = true
+}
+
+type latchState struct{ fired bool }
+
+func (l *latch) Snapshot() latchState { return latchState{fired: l.fired} }
+func (l *latch) Restore(s latchState) { l.fired = s.fired }

@@ -1,0 +1,121 @@
+// Negative fixture: nothing here may fire. Complete pairs, exempt field
+// types, value-receiver writes, whole-receiver copies, delegated
+// capture, the copy builtin, and reasoned suppressions are all fine.
+package fixture
+
+import "sync"
+
+// machine: sync/func fields are exempt; scratch carries a reasoned
+// suppression; state round-trips.
+type machine struct {
+	mu    sync.Mutex
+	state int
+	obs   func(int)
+	//lint:allow snapshotcomplete scratch, rebuilt from inputs every step
+	scratch []int
+}
+
+func (m *machine) step() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.state++
+	m.scratch = m.scratch[:0]
+	if m.obs != nil {
+		m.obs(m.state)
+	}
+}
+
+type machineState struct{ state int }
+
+func (m *machine) Snapshot() machineState { return machineState{state: m.state} }
+func (m *machine) Restore(s machineState) { m.state = s.state }
+
+// blob: y is written only through a value receiver, which mutates a
+// copy — not a mutation of the receiver.
+type blob struct {
+	x float64
+	y float64
+}
+
+func (b blob) withY(v float64) blob {
+	b.y = v
+	return b
+}
+
+func (b *blob) bump() { b.x++ }
+
+type blobState struct{ x float64 }
+
+func (b *blob) Snapshot() blobState { return blobState{x: b.x} }
+func (b *blob) Restore(s blobState) { b.x = s.x }
+
+// simple: whole-receiver copy captures and restores every field at once.
+type simple struct{ a, b int }
+
+func (s *simple) incA() { s.a++ }
+func (s *simple) incB() { s.b++ }
+
+func (s *simple) Snapshot() simple    { return *s }
+func (s *simple) Restore(from simple) { *s = from }
+
+// window: the copy builtin writes its destination, so element-wise
+// buffer restores count.
+type window struct {
+	buf []float64
+	idx int
+}
+
+func (w *window) push(x float64) {
+	w.buf[w.idx] = x
+	w.idx = (w.idx + 1) % len(w.buf)
+}
+
+type windowState struct {
+	buf []float64
+	idx int
+}
+
+func (w *window) Snapshot() windowState {
+	s := windowState{idx: w.idx, buf: make([]float64, len(w.buf))}
+	copy(s.buf, w.buf)
+	return s
+}
+
+func (w *window) Restore(s windowState) {
+	copy(w.buf, s.buf)
+	w.idx = s.idx
+}
+
+// trace: Snapshot delegates to a same-receiver helper; the transitive
+// read still counts.
+type trace struct {
+	events []string
+	n      int
+}
+
+func (t *trace) add(e string) {
+	t.events = append(t.events, e)
+	t.n++
+}
+
+func (t *trace) copyEvents() []string {
+	out := make([]string, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+type traceState struct {
+	events []string
+	n      int
+}
+
+func (t *trace) Snapshot() traceState { return traceState{events: t.copyEvents(), n: t.n} }
+func (t *trace) Restore(s traceState) {
+	t.events = s.events
+	t.n = s.n
+}
+
+// freeform has no capture/restore pair: out of scope.
+type freeform struct{ n int }
+
+func (f *freeform) inc() { f.n++ }

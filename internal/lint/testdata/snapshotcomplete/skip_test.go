@@ -1,0 +1,11 @@
+// Test files are exempt: test doubles need not round-trip snapshots.
+package fixture
+
+type testOnly struct {
+	a int
+	b int
+}
+
+func (t *testOnly) bump()         { t.b++ }
+func (t *testOnly) Snapshot() int { return t.a }
+func (t *testOnly) Restore(v int) { t.a = v }

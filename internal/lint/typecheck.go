@@ -14,7 +14,10 @@ import (
 
 // typeInfo wraps the subset of go/types results the analyzers consume.
 type typeInfo struct {
-	types map[ast.Expr]types.TypeAndValue
+	types      map[ast.Expr]types.TypeAndValue
+	defs       map[*ast.Ident]types.Object
+	uses       map[*ast.Ident]types.Object
+	selections map[*ast.SelectorExpr]*types.Selection
 }
 
 // TypeOf returns the type of e, or nil when type checking could not
@@ -27,6 +30,28 @@ func (ti *typeInfo) TypeOf(e ast.Expr) types.Type {
 		return tv.Type
 	}
 	return nil
+}
+
+// ObjectOf returns the object an identifier defines or refers to, or nil
+// when type checking could not resolve it.
+func (ti *typeInfo) ObjectOf(id *ast.Ident) types.Object {
+	if ti == nil {
+		return nil
+	}
+	if obj := ti.defs[id]; obj != nil {
+		return obj
+	}
+	return ti.uses[id]
+}
+
+// SelectionOf returns the resolved selection for a selector expression
+// (field access or method call through a value), or nil for qualified
+// identifiers (pkg.Name) and unresolved expressions.
+func (ti *typeInfo) SelectionOf(sel *ast.SelectorExpr) *types.Selection {
+	if ti == nil {
+		return nil
+	}
+	return ti.selections[sel]
 }
 
 // moduleImporter resolves imports for type checking: paths inside the
@@ -110,11 +135,21 @@ func (m *moduleImporter) typeCheck(pkg *Package) {
 	if len(files) == 0 {
 		return
 	}
-	info := &types.Info{Types: map[ast.Expr]types.TypeAndValue{}}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
 	conf := types.Config{Importer: m, Error: func(error) {}}
 	p, _ := conf.Check(pkg.ImportPath, pkg.Fset, files, info)
 	if p != nil {
 		m.cache[pkg.ImportPath] = p
 	}
-	pkg.TypesInfo = &typeInfo{types: info.Types}
+	pkg.TypesInfo = &typeInfo{
+		types:      info.Types,
+		defs:       info.Defs,
+		uses:       info.Uses,
+		selections: info.Selections,
+	}
 }

@@ -244,7 +244,8 @@ func (p *Pipeline) Restore(s PipelineSnapshot) error {
 
 // medianFilter is a fixed-window per-axis running median.
 type medianFilter struct {
-	buf    []float64
+	buf []float64
+	//lint:allow snapshotcomplete scratch slice rebuilt from buf on every push; carries no cross-step state
 	sorted []float64
 	idx    int
 	filled int

@@ -88,6 +88,7 @@ func (m Mixer) Allocate(thrustN float64, torque mathx.Vec3) [4]float64 {
 
 // Body simulates one quadrotor rigid body.
 type Body struct {
+	//lint:allow snapshotcomplete immutable after NewBody; Step takes its address for read-only access
 	params Params
 	mixer  Mixer
 	state  State
@@ -99,6 +100,7 @@ type Body struct {
 	// inputs that produced it. The 500 Hz loop always passes the same dt,
 	// so the Exp is computed once per flight instead of per step.
 	// Derived state: deliberately absent from BodySnapshot.
+	//lint:allow snapshotcomplete derived motor-lag cache keyed on the exact (dt, tau) inputs; recomputed on any change
 	cacheLagDt, cacheLagTau, lag float64
 
 	lastSpecificForce mathx.Vec3 // body-frame specific force (what an ideal accel senses)

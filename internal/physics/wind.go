@@ -26,8 +26,10 @@ type Wind struct {
 	// produced them. The 500 Hz step loop always passes the same dt, so
 	// the Exp/Sqrt pair is computed once per flight instead of per step.
 	// Derived state: deliberately absent from WindSnapshot.
+	//lint:allow snapshotcomplete derived OU cache keyed on the exact (dt, tau, std) inputs; recomputed on any change
 	cacheDt, cacheTau, cacheStd float64
-	phi, sigma                  float64
+	//lint:allow snapshotcomplete derived from the cache keys above; recomputed whenever they change
+	phi, sigma float64
 }
 
 // NewWind returns a wind model driven by the given random source. A nil rng

@@ -199,8 +199,8 @@ func (r *RedundantIMUs) Restore(s RedundantIMUsSnapshot) error {
 	if len(s.units) != len(r.units) {
 		return fmt.Errorf("sensors: snapshot has %d IMU units, set has %d", len(s.units), len(r.units))
 	}
-	for i, u := range r.units {
-		if err := u.Restore(s.units[i]); err != nil {
+	for i := range r.units {
+		if err := r.units[i].Restore(s.units[i]); err != nil {
 			return err
 		}
 	}

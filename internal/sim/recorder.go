@@ -20,15 +20,17 @@ type recorder struct {
 	reg   *obs.Registry
 	trace *obs.TraceBuffer
 
-	// Resolved instruments (lock-free to update).
-	inner       *obs.Counter
-	outer       *obs.Counter
-	gpsRejects  *obs.Counter
-	baroRejects *obs.Counter
-	ekfResets   *obs.Counter
-	switches    *obs.Counter
-	mitigations *obs.Counter
-	maxTilt     *obs.Gauge
+	// Resolved instruments (lock-free to update). The pointers are fixed
+	// at construction; the instrument VALUES round-trip through
+	// reg.Snapshot/Restore in snapshot/restore below.
+	inner       *obs.Counter //lint:allow snapshotcomplete value round-trips via reg, pointer is fixed
+	outer       *obs.Counter //lint:allow snapshotcomplete value round-trips via reg, pointer is fixed
+	gpsRejects  *obs.Counter //lint:allow snapshotcomplete value round-trips via reg, pointer is fixed
+	baroRejects *obs.Counter //lint:allow snapshotcomplete value round-trips via reg, pointer is fixed
+	ekfResets   *obs.Counter //lint:allow snapshotcomplete value round-trips via reg, pointer is fixed
+	switches    *obs.Counter //lint:allow snapshotcomplete value round-trips via reg, pointer is fixed
+	mitigations *obs.Counter //lint:allow snapshotcomplete value round-trips via reg, pointer is fixed
+	maxTilt     *obs.Gauge   //lint:allow snapshotcomplete value round-trips via reg, pointer is fixed
 
 	// Edge-detection and first-occurrence state; all value fields, so the
 	// recorderSnapshot copy is a plain struct copy.

@@ -53,17 +53,19 @@ func Run(cfg Config, m mission.Mission, inj *faultinject.Injection, obs Observer
 // captures everything, and Checkpoint.Fork resumes bit-identically —
 // the basis of checkpoint-and-fork campaign execution.
 type Vehicle struct {
+	//lint:allow snapshotcomplete address-taken read-only in stepOnce; forks are rebuilt from the checkpoint's cfg by NewVehicle
 	cfg Config
 	m   mission.Mission
 	inj *faultinject.Injection
 	obs Observer
 
-	wind     *physics.Wind
-	body     *physics.Body
-	imus     *sensors.RedundantIMUs
-	gps      *sensors.GPS
-	baro     *sensors.Baro
-	mag      *sensors.Mag
+	wind *physics.Wind
+	body *physics.Body
+	imus *sensors.RedundantIMUs
+	gps  *sensors.GPS
+	baro *sensors.Baro
+	mag  *sensors.Mag
+	//lint:allow snapshotcomplete deliberately outside restoreFrom: Fork and ForkWithInjection restore different injectors
 	injector *faultinject.Injector
 	filter   *ekf.Filter
 	mitigate *mitigation.Pipeline
@@ -99,7 +101,8 @@ type Vehicle struct {
 	voteAccelTol  float64
 	voteGyroTol   float64
 	distCapPerObs float64
-	sampleBuf     []sensors.IMUSample // reused by SampleAllInto
+	//lint:allow snapshotcomplete scratch buffer fully overwritten by SampleAllInto before every use
+	sampleBuf []sensors.IMUSample // reused by SampleAllInto
 	// covFullUntil bounds the sim time before which the EKF covariance is
 	// forced to the exact per-step path on a faulted flight: everything up
 	// to the end of the fault window plus CovSettleSec of settle margin.

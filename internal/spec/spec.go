@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -332,8 +333,20 @@ func selectMissions(scenario []mission.Mission, ids []int) ([]mission.Mission, e
 			delete(want, m.ID)
 		}
 	}
-	for id := range want {
-		return nil, fmt.Errorf("spec: mission %d not in scenario", id)
+	if len(want) > 0 {
+		// Report every missing ID, sorted: ranging the map directly would
+		// name an arbitrary one, making the error (and any test or log
+		// matching on it) differ from run to run.
+		missing := make([]int, 0, len(want))
+		for id := range want {
+			missing = append(missing, id)
+		}
+		sort.Ints(missing)
+		parts := make([]string, len(missing))
+		for i, id := range missing {
+			parts[i] = strconv.Itoa(id)
+		}
+		return nil, fmt.Errorf("spec: mission(s) %s not in scenario", strings.Join(parts, ", "))
 	}
 	return out, nil
 }

@@ -458,3 +458,21 @@ func TestExampleSpecsCompile(t *testing.T) {
 		}
 	}
 }
+
+// TestCompileMissingMissionsDeterministic: the missing-mission error
+// must name every absent ID in sorted order, not an arbitrary one drawn
+// from map iteration — resumable campaigns and CI logs match on it.
+func TestCompileMissingMissionsDeterministic(t *testing.T) {
+	s := Paper(1)
+	s.Missions = []int{4, 99, 7, 98, 42}
+	want := "spec: mission(s) 42, 98, 99 not in scenario"
+	for i := 0; i < 50; i++ {
+		_, err := s.Compile(nil)
+		if err == nil {
+			t.Fatal("compile succeeded with missing missions")
+		}
+		if err.Error() != want {
+			t.Fatalf("iteration %d: error %q, want %q", i, err, want)
+		}
+	}
+}
