@@ -594,6 +594,29 @@ func BenchmarkMicroCodecRoundTrip(b *testing.B) {
 	}
 }
 
+// BenchmarkMicroNormFloat64Polar measures one normal deviate under the
+// default Marsaglia polar sampler (two deviates per acceptance, one
+// cached as the spare).
+func BenchmarkMicroNormFloat64Polar(b *testing.B) {
+	r := mathx.NewRandPolicy(1, mathx.NormPolar)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.NormFloat64()
+	}
+}
+
+// BenchmarkMicroNormFloat64Ziggurat measures one normal deviate under the
+// 128-layer ziggurat sampler (inside-rectangle fast path ~98% of draws).
+func BenchmarkMicroNormFloat64Ziggurat(b *testing.B) {
+	r := mathx.NewRandPolicy(1, mathx.NormZiggurat)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.NormFloat64()
+	}
+}
+
 // BenchmarkMicroSimTenSeconds measures ten full simulated vehicle-seconds
 // (physics + sensing + EKF + control + monitoring) per iteration — the
 // cost unit behind the campaign's wall-clock time.

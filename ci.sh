@@ -40,10 +40,19 @@ go run ./cmd/campaign -validate-metrics "$tmpdir/metrics.json"
 go run ./cmd/campaign -select mission=1,target=gyro -q -out "$tmpdir/results.json" -resume | tee "$tmpdir/resume.log"
 grep -q 'resume: .* 0 to run' "$tmpdir/resume.log"
 
-# Optional perf-regression gate: when BENCH_BASELINE points at a committed
-# bench report, measure a fresh one and fail on >10% ns/op or any
-# allocs/op regression (see scripts/bench.sh -compare).
-if [ -n "${BENCH_BASELINE:-}" ]; then
+# Batch-vs-scalar equivalence smoke: the slice above ran through the
+# default lockstep batch path; re-run it with scalar forks and require
+# bit-identical results case-for-case.
+go run ./cmd/campaign -select mission=1,target=gyro -q -out "$tmpdir/results_scalar.json" -batch=false
+go run ./cmd/campaign -compare-results "$tmpdir/results.json,$tmpdir/results_scalar.json"
+
+# Perf-regression gate against the committed bench report: measure a
+# fresh one and fail on >10% ns/op or any allocs/op regression (see
+# scripts/bench.sh -compare; campaign wall clock is only diffed when the
+# execution modes match). Set BENCH_BASELINE to override, or to "" to
+# skip.
+BENCH_BASELINE="${BENCH_BASELINE-BENCH_2026-08-08.json}"
+if [ -n "$BENCH_BASELINE" ]; then
 	go run ./cmd/bench -missions 1 -out "$tmpdir/bench_new.json"
 	go run ./cmd/bench -compare "$BENCH_BASELINE" "$tmpdir/bench_new.json"
 fi

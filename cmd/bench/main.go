@@ -1,8 +1,12 @@
 // Command bench measures the simulator's performance envelope and writes
 // a machine-readable BENCH_<date>.json: hot-path micro-benchmarks (ns/op,
 // allocs/op via testing.Benchmark) plus a timed campaign slice executed
-// twice — straight through ("cold") and with checkpoint-and-fork — to
-// report the end-to-end speedup prefix sharing buys.
+// four ways — straight through ("cold"), checkpoint-and-fork with scalar
+// forks ("checkpointed"), with lockstep fork batches
+// ("checkpointed-batch", the default campaign path and the headline
+// speedup), and batched with covariance decimation disabled
+// ("checkpointed-k1") — to report the end-to-end speedup prefix sharing
+// and batching buy.
 //
 // Usage:
 //
@@ -47,8 +51,11 @@ type MicroResult struct {
 // WallClockEntry is one timed execution mode of the campaign slice.
 type WallClockEntry struct {
 	// Mode is "cold" (straight through), "checkpointed"
-	// (checkpoint-and-fork), or "checkpointed-k1" (checkpointed with
-	// covariance decimation disabled — the exact-path control).
+	// (checkpoint-and-fork, one scalar fork per case),
+	// "checkpointed-batch" (checkpoint-and-fork with lockstep fork
+	// batches — the default campaign path and the headline
+	// CheckpointSec), or "checkpointed-k1" (batched with covariance
+	// decimation disabled — the exact-path control).
 	Mode string  `json:"mode"`
 	Sec  float64 `json:"sec"`
 }
@@ -63,7 +70,14 @@ type CampaignResult struct {
 	Workers int `json:"workers"`
 	// CovDecimation is the EKF covariance decimation factor the cold and
 	// checkpointed modes ran with (the sim default).
-	CovDecimation int              `json:"cov_decimation"`
+	CovDecimation int `json:"cov_decimation"`
+	// RunnerMode names the execution mode behind the headline
+	// CheckpointSec/Speedup numbers: "batch" (lockstep fault-fork
+	// batches) or "scalar" (one fork per case). BatchWidth is the
+	// lockstep cap in batch mode. compareReports refuses to diff campaign
+	// wall clock across differing modes.
+	RunnerMode    string           `json:"runner_mode"`
+	BatchWidth    int              `json:"batch_width,omitempty"`
 	WallClock     []WallClockEntry `json:"wall_clock"`
 	ColdSec       float64          `json:"cold_sec"`
 	CheckpointSec float64          `json:"checkpoint_sec"`
@@ -92,9 +106,13 @@ type Report struct {
 	// SpecHash identifies the campaign spec the timed slice derives from
 	// (the built-in paper-850 spec), so reports are only compared across
 	// identical experiment plans.
-	SpecHash string         `json:"spec_hash,omitempty"`
-	Micro    []MicroResult  `json:"micro"`
-	Campaign CampaignResult `json:"campaign"`
+	SpecHash string `json:"spec_hash,omitempty"`
+	// RNGPolicy is the environment normal-sampler policy the campaign
+	// slice ran under (the default, "polar"; the NormFloat64* micros
+	// measure both samplers regardless).
+	RNGPolicy string         `json:"rng_policy,omitempty"`
+	Micro     []MicroResult  `json:"micro"`
+	Campaign  CampaignResult `json:"campaign"`
 }
 
 func main() {
@@ -130,6 +148,7 @@ func run() int {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		MicroReps:  microReps,
 		SpecHash:   spec.Paper(1).Hash(),
+		RNGPolicy:  mathx.NormPolar.String(),
 	}
 
 	fmt.Println("bench: micro-benchmarks")
@@ -146,8 +165,11 @@ func run() int {
 		return 1
 	}
 	rep.Campaign = camp
-	fmt.Printf("  %d cases, %d workers: cold %.1fs, checkpointed %.1fs -> %.2fx speedup (outcomes match: %v)\n",
+	fmt.Printf("  %d cases, %d workers: cold %.1fs, checkpointed+batch %.1fs -> %.2fx speedup (outcomes match: %v)\n",
 		camp.Cases, camp.Workers, camp.ColdSec, camp.CheckpointSec, camp.Speedup, camp.OutcomesMatch)
+	for _, wc := range camp.WallClock {
+		fmt.Printf("    %-20s %6.1fs\n", wc.Mode, wc.Sec)
+	}
 	fmt.Printf("  covariance decimation k=%d vs exact k=1: outcomes match: %v\n",
 		camp.CovDecimation, camp.DecimationOutcomesMatch)
 
@@ -271,6 +293,25 @@ func microBenchmarks() []MicroResult {
 			_, _ = ctl.Update(0.004, est, gyro, sp)
 		}
 	})
+	// The two normal-sampler policies behind every sensor/wind deviate:
+	// Marsaglia polar (the bit-compatible default) vs the 128-layer
+	// ziggurat.
+	add("NormFloat64Polar", func(b *testing.B) {
+		r := mathx.NewRandPolicy(1, mathx.NormPolar)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = r.NormFloat64()
+		}
+	})
+	add("NormFloat64Ziggurat", func(b *testing.B) {
+		r := mathx.NewRandPolicy(1, mathx.NormZiggurat)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = r.NormFloat64()
+		}
+	})
 	add("SimTenSeconds", func(b *testing.B) {
 		cfg := sim.DefaultConfig()
 		cfg.MaxSimTime = 10 // cannot finish in 10 s: fixed work per iter
@@ -328,11 +369,12 @@ func campaignSlice(missions, workers int) (CampaignResult, error) {
 		resolved = len(cases)
 	}
 
-	runMode := func(checkpoint bool, covDecim int) ([]core.CaseResult, float64, error) {
+	runMode := func(checkpoint, batch bool, covDecim int) ([]core.CaseResult, float64, error) {
 		r := core.NewRunner()
 		r.Missions = scenario
 		r.Workers = workers
 		r.Checkpoint = checkpoint
+		r.Batch = batch
 		if covDecim > 0 {
 			r.Config.EKF.CovarianceDecimation = covDecim
 		}
@@ -347,37 +389,47 @@ func campaignSlice(missions, workers int) (CampaignResult, error) {
 		return results, elapsed, nil
 	}
 
-	cold, coldSec, err := runMode(false, 0)
+	cold, coldSec, err := runMode(false, false, 0)
 	if err != nil {
 		return CampaignResult{}, err
 	}
-	forked, cpSec, err := runMode(true, 0)
+	forked, cpSec, err := runMode(true, false, 0)
 	if err != nil {
 		return CampaignResult{}, err
 	}
-	exact, exactSec, err := runMode(true, 1)
+	batched, batchSec, err := runMode(true, true, 0)
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	exact, exactSec, err := runMode(true, true, 1)
 	if err != nil {
 		return CampaignResult{}, err
 	}
 
-	match := len(cold) == len(forked)
-	for i := 0; match && i < len(cold); i++ {
-		a, b := cold[i].Result, forked[i].Result
-		//lint:allow floatcmp forked runs must be BIT-identical to cold runs, not approximately equal
-		durEq := a.FlightDurationSec == b.FlightDurationSec
-		//lint:allow floatcmp forked runs must be BIT-identical to cold runs, not approximately equal
-		distEq := a.DistanceKm == b.DistanceKm
-		match = a.Outcome == b.Outcome && durEq && distEq &&
-			a.InnerViolations == b.InnerViolations &&
-			a.OuterViolations == b.OuterViolations
+	// Both checkpointed modes — scalar forks and lockstep batches — must
+	// be BIT-identical to the straight-through runs.
+	bitIdentical := func(xs, ys []core.CaseResult) bool {
+		match := len(xs) == len(ys)
+		for i := 0; match && i < len(xs); i++ {
+			a, b := xs[i].Result, ys[i].Result
+			//lint:allow floatcmp forked runs must be BIT-identical to cold runs, not approximately equal
+			durEq := a.FlightDurationSec == b.FlightDurationSec
+			//lint:allow floatcmp forked runs must be BIT-identical to cold runs, not approximately equal
+			distEq := a.DistanceKm == b.DistanceKm
+			match = a.Outcome == b.Outcome && durEq && distEq &&
+				a.InnerViolations == b.InnerViolations &&
+				a.OuterViolations == b.OuterViolations
+		}
+		return match
 	}
+	match := bitIdentical(cold, forked) && bitIdentical(cold, batched)
 
 	// Decimation is a numerical approximation, so only the VERDICT fields
 	// must agree with the exact path: outcome, bubble violations, and the
 	// crash/failsafe split.
-	decimMatch := len(forked) == len(exact)
-	for i := 0; decimMatch && i < len(forked); i++ {
-		a, b := forked[i].Result, exact[i].Result
+	decimMatch := len(batched) == len(exact)
+	for i := 0; decimMatch && i < len(batched); i++ {
+		a, b := batched[i].Result, exact[i].Result
 		decimMatch = a.Outcome == b.Outcome &&
 			a.InnerViolations == b.InnerViolations &&
 			a.OuterViolations == b.OuterViolations &&
@@ -390,18 +442,21 @@ func campaignSlice(missions, workers int) (CampaignResult, error) {
 		Missions:      missions,
 		Workers:       resolved,
 		CovDecimation: sim.DefaultConfig().EKF.CovarianceDecimation,
+		RunnerMode:    "batch",
+		BatchWidth:    core.DefaultBatchWidth,
 		WallClock: []WallClockEntry{
 			{Mode: "cold", Sec: coldSec},
 			{Mode: "checkpointed", Sec: cpSec},
+			{Mode: "checkpointed-batch", Sec: batchSec},
 			{Mode: "checkpointed-k1", Sec: exactSec},
 		},
 		ColdSec:                 coldSec,
-		CheckpointSec:           cpSec,
+		CheckpointSec:           batchSec,
 		OutcomesMatch:           match,
 		DecimationOutcomesMatch: decimMatch,
 	}
-	if cpSec > 0 {
-		res.Speedup = coldSec / cpSec
+	if batchSec > 0 {
+		res.Speedup = coldSec / batchSec
 	}
 	return res, nil
 }
@@ -466,6 +521,27 @@ func compareReports(oldPath, newPath string) int {
 	for name := range oldBy {
 		fmt.Printf("  %-28s dropped from new report\n", name)
 	}
+
+	// Campaign wall clock is only comparable when the two reports timed
+	// the same experiment plan in the same execution mode — never compare
+	// across runner modes (or batch widths, worker counts, decimation
+	// factors) silently.
+	oc, nc := oldRep.Campaign, newRep.Campaign
+	sameMode := oldRep.SpecHash == newRep.SpecHash &&
+		oc.Cases == nc.Cases && oc.Workers == nc.Workers &&
+		oc.CovDecimation == nc.CovDecimation &&
+		oc.RunnerMode == nc.RunnerMode && oc.BatchWidth == nc.BatchWidth
+	if sameMode {
+		fmt.Printf("  campaign (%d cases, mode=%s): checkpointed %.1fs -> %.1fs, speedup %.2fx -> %.2fx\n",
+			nc.Cases, nc.RunnerMode, oc.CheckpointSec, nc.CheckpointSec, oc.Speedup, nc.Speedup)
+	} else {
+		fmt.Printf("  campaign: wall clock NOT compared — execution modes differ\n"+
+			"    old: cases=%d workers=%d k=%d mode=%q width=%d spec=%s\n"+
+			"    new: cases=%d workers=%d k=%d mode=%q width=%d spec=%s\n",
+			oc.Cases, oc.Workers, oc.CovDecimation, oc.RunnerMode, oc.BatchWidth, oldRep.SpecHash,
+			nc.Cases, nc.Workers, nc.CovDecimation, nc.RunnerMode, nc.BatchWidth, newRep.SpecHash)
+	}
+
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "bench: %d regression(s) against %s\n", regressions, oldPath)
 		return 1

@@ -16,6 +16,8 @@
 //	campaign -validate-spec examples/specs/paper-850.json
 //	campaign -print-spec
 //	campaign [-cov-decim K] [-cov-settle SEC] [-scope all|primary]
+//	campaign [-rng polar|ziggurat] [-batch=false] [-batch-width N]
+//	campaign -compare-results a.json,b.json
 //	campaign [-metrics-out metrics.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	campaign -validate-metrics metrics.json
 //	campaign -print-faultmodel
@@ -31,12 +33,15 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"reflect"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"uavres/internal/core"
 	"uavres/internal/ekf"
+	"uavres/internal/mathx"
 	"uavres/internal/mission"
 	"uavres/internal/obs"
 	"uavres/internal/paperdata"
@@ -60,10 +65,14 @@ func run() int {
 		scope      = flag.String("scope", "all", "fault scope: all (paper assumption: every redundant IMU) | primary (unit 0 only — redundancy ablation)")
 		covDecim   = flag.Int("cov-decim", ekf.DefaultConfig().CovarianceDecimation, "EKF covariance decimation factor k: propagate covariance every k-th predict (1 = exact per-step path; faulted flights keep the exact path from launch through the fault window + settle margin)")
 		covSettle  = flag.Float64("cov-settle", sim.DefaultConfig().CovSettleSec, "seconds of full-rate covariance propagation kept after a fault window closes before decimation engages (only meaningful with -cov-decim > 1)")
+		rngPolicy  = flag.String("rng", "", "environment RNG policy: polar (the default sampler) | ziggurat (overrides the spec's rng_policy when set explicitly; the injector stream stays polar either way)")
+		batch      = flag.Bool("batch", true, "step each checkpoint group's forks in lockstep batches (false = one scalar fork per case)")
+		batchWidth = flag.Int("batch-width", 0, "max forks per lockstep batch (0 = the built-in default)")
 		faultmodel = flag.Bool("print-faultmodel", false, "print Table I (the fault model) and exit")
 		printSpec  = flag.Bool("print-spec", false, "print the effective campaign spec as JSON and exit")
 		quiet      = flag.Bool("q", false, "suppress progress output")
 
+		compareResults  = flag.String("compare-results", "", "compare two results files (\"a.json,b.json\") case-by-case for bit-identical results and exit (CI equivalence gate)")
 		validateSpec    = flag.String("validate-spec", "", "validate a campaign spec JSON file, print its case count, and exit (CI schema gate)")
 		metricsOut      = flag.String("metrics-out", "", "write the campaign metrics snapshot as JSON to this path")
 		validateMetrics = flag.String("validate-metrics", "", "validate a metrics snapshot JSON file and exit (CI schema gate)")
@@ -87,6 +96,9 @@ func run() int {
 	if *faultmodel {
 		fmt.Print(core.RenderFaultModel())
 		return 0
+	}
+	if *compareResults != "" {
+		return compareResultsFiles(*compareResults)
 	}
 	if *validateSpec != "" {
 		s, err := spec.Load(*validateSpec)
@@ -187,10 +199,16 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "campaign: -cov-decim %d < 1\n", *covDecim)
 		return 1
 	}
+	if _, err := mathx.ParseNormPolicy(*rngPolicy); err != nil {
+		fmt.Fprintf(os.Stderr, "campaign: -rng: %v\n", err)
+		return 1
+	}
 	reg := obs.NewRegistry()
 	runner := core.NewRunner()
 	runner.Workers = *workers
 	runner.Checkpoint = *checkpoint
+	runner.Batch = *batch
+	runner.BatchWidth = *batchWidth
 	runner.Obs = reg
 	runner.Clock = clock
 	// Config overrides layer: spec first, explicit CLI flags last.
@@ -200,6 +218,9 @@ func run() int {
 	}
 	if explicit["cov-settle"] || s.Overrides.CovSettleSec == nil {
 		runner.Config.CovSettleSec = *covSettle
+	}
+	if explicit["rng"] || s.Overrides.RNGPolicy == nil {
+		runner.Config.RNGPolicy = *rngPolicy
 	}
 
 	// Every case is stamped with its content hash under the final
@@ -243,6 +264,9 @@ func run() int {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "campaign: opening results stream: %v\n", err)
 			return 1
+		}
+		if err := stream.WriteHeader(resultsHeader(s, runner)); err != nil && streamErr == nil {
+			streamErr = err
 		}
 		for _, cr := range reused {
 			if err := stream.Write(cr); err != nil && streamErr == nil {
@@ -335,5 +359,92 @@ func run() int {
 	if failures > 0 {
 		return 1
 	}
+	return 0
+}
+
+// resultsHeader captures how this run was configured — the metadata the
+// results file leads with so downstream comparisons never cross execution
+// modes silently.
+func resultsHeader(s spec.CampaignSpec, r *core.Runner) core.ResultsHeader {
+	pol, _ := mathx.ParseNormPolicy(r.Config.RNGPolicy)
+	mode, width := "scalar", 0
+	if r.Batch {
+		mode = "batch"
+		width = r.BatchWidth
+		if width <= 0 {
+			width = core.DefaultBatchWidth
+		}
+	}
+	return core.ResultsHeader{
+		SpecHash:   s.Hash(),
+		RNGPolicy:  pol.String(),
+		RunnerMode: mode,
+		BatchWidth: width,
+		Workers:    r.Workers,
+	}
+}
+
+// compareResultsFiles loads two results files ("a.json,b.json"), pairs
+// cases by ID, and requires bit-identical results. This is the
+// batch-vs-scalar equivalence gate ci.sh runs; headers are printed but
+// allowed to differ — comparing across runner modes is the point.
+func compareResultsFiles(pair string) int {
+	parts := strings.Split(pair, ",")
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		fmt.Fprintln(os.Stderr, "campaign: -compare-results wants two comma-separated paths: a.json,b.json")
+		return 1
+	}
+	describe := func(h *core.ResultsHeader) string {
+		if h == nil {
+			return "no header"
+		}
+		return fmt.Sprintf("mode=%s width=%d rng=%s", h.RunnerMode, h.BatchWidth, h.RNGPolicy)
+	}
+	ha, ra, err := core.LoadResultsFileWithHeader(parts[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaign:", err)
+		return 1
+	}
+	hb, rb, err := core.LoadResultsFileWithHeader(parts[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaign:", err)
+		return 1
+	}
+	fmt.Printf("campaign: comparing %s (%s) vs %s (%s)\n",
+		parts[0], describe(ha), parts[1], describe(hb))
+
+	inA := make(map[string]bool, len(ra))
+	byID := make(map[string]core.CaseResult, len(rb))
+	for _, cr := range rb {
+		byID[cr.Case.ID] = cr
+	}
+	var diffs int
+	for _, a := range ra {
+		inA[a.Case.ID] = true
+		b, ok := byID[a.Case.ID]
+		switch {
+		case !ok:
+			diffs++
+			fmt.Fprintf(os.Stderr, "campaign: case %s only in %s\n", a.Case.ID, parts[0])
+		case a.Err != b.Err:
+			diffs++
+			fmt.Fprintf(os.Stderr, "campaign: case %s: err %q vs %q\n", a.Case.ID, a.Err, b.Err)
+		case !reflect.DeepEqual(a.Result, b.Result):
+			diffs++
+			fmt.Fprintf(os.Stderr, "campaign: case %s: results differ:\n  %s: %+v\n  %s: %+v\n",
+				a.Case.ID, parts[0], a.Result, parts[1], b.Result)
+		}
+	}
+	for _, b := range rb {
+		if !inA[b.Case.ID] {
+			diffs++
+			fmt.Fprintf(os.Stderr, "campaign: case %s only in %s\n", b.Case.ID, parts[1])
+		}
+	}
+	if diffs > 0 {
+		fmt.Fprintf(os.Stderr, "campaign: %d case(s) differ\n", diffs)
+		return 1
+	}
+	fmt.Printf("campaign: %d cases bit-identical\n", len(ra))
 	return 0
 }

@@ -39,18 +39,23 @@ func LoadPartialResults(r io.Reader) (results []CaseResult, truncated bool, err 
 		return nil, false, fmt.Errorf("core: results file is not a JSON array (starts with %v)", tok)
 	}
 	for dec.More() {
-		var cr CaseResult
-		if err := dec.Decode(&cr); err != nil {
+		var el resultsElement
+		if err := dec.Decode(&el); err != nil {
 			if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
 				return results, true, nil
 			}
 			return nil, false, decodeError(data, dec, err)
 		}
-		if cr.Case.ID == "" {
+		if el.Header != nil {
+			// Run-metadata element (see ResultsWriter.WriteHeader): not a
+			// case, nothing for resume to reuse.
+			continue
+		}
+		if el.Case.ID == "" {
 			return nil, false, fmt.Errorf("core: results element %d has no case ID (line %d)",
 				len(results), lineAt(data, dec.InputOffset()))
 		}
-		results = append(results, cr)
+		results = append(results, el.CaseResult)
 	}
 	// The closing bracket: absent means the writer never finished.
 	if _, err := dec.Token(); err != nil {

@@ -44,6 +44,17 @@ type Runner struct {
 	// cases of each mission share one 90-second prefix. The zero-value
 	// Runner runs every case straight through.
 	Checkpoint bool
+	// Batch additionally steps each prefix group's forks in lockstep
+	// (sim.Batch): one donor vehicle draws the shared environment noise
+	// once per tick and every fork composes it, eliminating the dominant
+	// per-fork NormFloat64 cost. Outcomes stay bit-identical to the scalar
+	// forked path (sim.TestBatchBitIdentical). Requires Checkpoint; groups
+	// without a checkpoint (gold runs, singletons) run scalar as before.
+	Batch bool
+	// BatchWidth caps how many forks share one lockstep batch; <= 0 means
+	// DefaultBatchWidth. Wider batches amortize the donor's draw cost over
+	// more forks at the price of more resident vehicles per worker.
+	BatchWidth int
 	// Obs, if non-nil, receives campaign-level metrics: case and outcome
 	// counters, fork/prefix accounting, and per-case/per-stage wall-clock
 	// timing. Nil disables instrumentation entirely.
@@ -73,6 +84,7 @@ type runnerMetrics struct {
 	errors   *obs.Counter
 	forked   *obs.Counter
 	straight *obs.Counter
+	batched  *obs.Counter
 	prefixes *obs.Counter
 
 	completed *obs.Counter
@@ -91,6 +103,7 @@ func newRunnerMetrics(reg *obs.Registry) *runnerMetrics {
 		errors:   reg.Counter("campaign_case_errors_total"),
 		forked:   reg.Counter("campaign_cases_forked_total"),
 		straight: reg.Counter("campaign_cases_straight_total"),
+		batched:  reg.Counter("campaign_cases_batched_total"),
 		prefixes: reg.Counter("campaign_prefixes_built_total"),
 
 		completed: reg.Counter("campaign_outcome_completed_total"),
@@ -132,9 +145,14 @@ func (m *runnerMetrics) observeCase(res CaseResult, forked bool, seconds float64
 	}
 }
 
+// DefaultBatchWidth is the lockstep batch cap when Runner.BatchWidth is
+// unset: wide enough to amortize the donor's draw cost to ~3% per fork,
+// small enough that a worker's resident vehicle set stays modest.
+const DefaultBatchWidth = 32
+
 // NewRunner returns a runner with the default campaign configuration.
 func NewRunner() *Runner {
-	return &Runner{Config: sim.DefaultConfig(), Checkpoint: true}
+	return &Runner{Config: sim.DefaultConfig(), Checkpoint: true, Batch: true}
 }
 
 // missionByID resolves a mission from the runner's scenario.
@@ -181,7 +199,8 @@ func (r *Runner) RunAll(ctx context.Context, cases []Case) []CaseResult {
 	}
 
 	results := make([]CaseResult, len(cases))
-	indexCh := make(chan int)
+	units := r.workUnits(cases, checkpoints)
+	unitCh := make(chan []int)
 
 	runStart := r.now()
 	var (
@@ -195,41 +214,50 @@ func (r *Runner) RunAll(ctx context.Context, cases []Case) []CaseResult {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for idx := range indexCh {
-				caseStart := r.now()
-				res, forked := r.runCase(cases[idx], checkpoints[casePrefixKey(cases[idx])])
-				metrics.observeCase(res, forked, r.now()-caseStart)
-				if progress != nil || onResult != nil {
-					doneMu.Lock()
+			for unit := range unitCh {
+				unitStart := r.now()
+				unitResults, forked, batched := r.runUnit(cases, unit, checkpoints)
+				// Per-case wall time: the batch steps its forks
+				// interleaved, so the chunk's time is split evenly.
+				perCase := (r.now() - unitStart) / float64(len(unit))
+				for j, idx := range unit {
+					res := unitResults[j]
+					metrics.observeCase(res, forked[j], perCase)
+					if metrics != nil && batched[j] {
+						metrics.batched.Inc()
+					}
+					if progress != nil || onResult != nil {
+						doneMu.Lock()
+						if onResult != nil {
+							onResult(res)
+						}
+						if progress != nil {
+							doneObs++
+							progress(doneObs, len(cases))
+						}
+						doneMu.Unlock()
+					}
 					if onResult != nil {
-						onResult(res)
+						// The streaming consumer owns the heavy payloads
+						// now; keep only the flat outcome fields resident.
+						res.Result.Trajectory = nil
+						res.Result.Diagnostics = nil
 					}
-					if progress != nil {
-						doneObs++
-						progress(doneObs, len(cases))
-					}
-					doneMu.Unlock()
+					results[idx] = res
 				}
-				if onResult != nil {
-					// The streaming consumer owns the heavy payloads now;
-					// keep only the flat outcome fields resident.
-					res.Result.Trajectory = nil
-					res.Result.Diagnostics = nil
-				}
-				results[idx] = res
 			}
 		}()
 	}
 
 feed:
-	for i := range cases {
+	for _, u := range units {
 		select {
 		case <-ctx.Done():
 			break feed
-		case indexCh <- i:
+		case unitCh <- u:
 		}
 	}
-	close(indexCh)
+	close(unitCh)
 	wg.Wait()
 	if metrics != nil {
 		metrics.runSeconds.Set(r.now() - runStart)
@@ -365,6 +393,101 @@ func (r *Runner) prepareCheckpoints(ctx context.Context, cases []Case, workers i
 	close(keyCh)
 	wg.Wait()
 	return checkpoints
+}
+
+// workUnits partitions the case indices into work units: singleton units
+// for scalar cases, and (when Batch is on) chunks of up to BatchWidth
+// indices per prefix group that has a checkpoint, to be stepped in
+// lockstep. Unit order is deterministic: singletons in input order, then
+// batch chunks in sorted prefix-key order.
+func (r *Runner) workUnits(cases []Case, checkpoints map[prefixKey]*sim.Checkpoint) [][]int {
+	units := make([][]int, 0, len(cases))
+	if !r.Batch || len(checkpoints) == 0 {
+		for i := range cases {
+			units = append(units, []int{i})
+		}
+		return units
+	}
+	width := r.BatchWidth
+	if width <= 0 {
+		width = DefaultBatchWidth
+	}
+	groups := map[prefixKey][]int{}
+	for i, c := range cases {
+		k := casePrefixKey(c)
+		if k != (prefixKey{}) && checkpoints[k] != nil {
+			groups[k] = append(groups[k], i)
+			continue
+		}
+		units = append(units, []int{i})
+	}
+	keys := make([]prefixKey, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sortPrefixKeys(keys)
+	for _, k := range keys {
+		idxs := groups[k]
+		for lo := 0; lo < len(idxs); lo += width {
+			hi := lo + width
+			if hi > len(idxs) {
+				hi = len(idxs)
+			}
+			units = append(units, idxs[lo:hi])
+		}
+	}
+	return units
+}
+
+// runUnit executes one work unit and returns its results plus per-case
+// forked/batched flags (index-aligned with unit). Multi-case units try the
+// lockstep batch first and fall back to per-case scalar execution if the
+// batch cannot be built.
+func (r *Runner) runUnit(cases []Case, unit []int, checkpoints map[prefixKey]*sim.Checkpoint) (results []CaseResult, forked, batched []bool) {
+	if len(unit) > 1 {
+		cp := checkpoints[casePrefixKey(cases[unit[0]])]
+		if out, ok := r.runBatchChunk(cases, unit, cp); ok {
+			flags := make([]bool, len(unit))
+			for j := range flags {
+				flags[j] = true
+			}
+			return out, flags, flags
+		}
+	}
+	results = make([]CaseResult, len(unit))
+	forked = make([]bool, len(unit))
+	batched = make([]bool, len(unit))
+	for j, idx := range unit {
+		results[j], forked[j] = r.runCase(cases[idx], checkpoints[casePrefixKey(cases[idx])])
+	}
+	return results, forked, batched
+}
+
+// runBatchChunk forks every case in the chunk from the shared checkpoint
+// and steps them in lockstep (sim.Batch). Any failure — an invalid fork or
+// a mid-run detach error — reports !ok and the caller falls back to the
+// scalar path; a batch never produces partial results.
+func (r *Runner) runBatchChunk(cases []Case, unit []int, cp *sim.Checkpoint) ([]CaseResult, bool) {
+	if cp == nil {
+		return nil, false
+	}
+	injs := make([]*faultinject.Injection, len(unit))
+	for j, idx := range unit {
+		injs[j] = cases[idx].Injection
+	}
+	b, err := sim.NewBatch(cp, injs)
+	if err != nil {
+		return nil, false
+	}
+	simResults, _, err := b.Run()
+	if err != nil {
+		return nil, false
+	}
+	out := make([]CaseResult, len(unit))
+	for j, idx := range unit {
+		out[j] = CaseResult{Case: cases[idx], Result: simResults[j]}
+	}
+	return out, true
 }
 
 // runCase executes one case, preferring the forked path when a shared

@@ -32,6 +32,53 @@ func NewResultsWriter(w io.Writer) *ResultsWriter {
 	return &ResultsWriter{w: w, enc: enc}
 }
 
+// ResultsHeader is the run-metadata element a campaign can write as the
+// array's FIRST entry, wrapped as {"header": {...}} so readers can tell it
+// from a case result. It records how the results were produced — the
+// execution mode and the RNG policy — so two results files are never
+// compared across modes silently. LoadPartialResults skips header
+// elements, so resume works unchanged over headered files.
+type ResultsHeader struct {
+	// SpecHash identifies the compiled campaign (spec.CampaignSpec.Hash).
+	SpecHash string `json:"spec_hash,omitempty"`
+	// RNGPolicy is the environment sampler name ("polar" or "ziggurat").
+	RNGPolicy string `json:"rng_policy"`
+	// RunnerMode is "batch" (lockstep fork batches) or "scalar".
+	RunnerMode string `json:"runner_mode"`
+	// BatchWidth is the lockstep batch cap (0 when RunnerMode is scalar).
+	BatchWidth int `json:"batch_width,omitempty"`
+	// Workers is the pool size the campaign ran with.
+	Workers int `json:"workers,omitempty"`
+}
+
+// resultsElement is the read-side shape of one array element: either a
+// header wrapper or a plain case result.
+type resultsElement struct {
+	Header *ResultsHeader `json:"header"`
+	CaseResult
+}
+
+// WriteHeader writes the run-metadata element. It must be called before
+// the first Write.
+func (rw *ResultsWriter) WriteHeader(h ResultsHeader) error {
+	if rw.closed {
+		return fmt.Errorf("core: write to closed results writer")
+	}
+	if rw.n > 0 {
+		return fmt.Errorf("core: results header must be the first element (have %d results already)", rw.n)
+	}
+	if _, err := io.WriteString(rw.w, "[\n "); err != nil {
+		return fmt.Errorf("core: streaming header: %w", err)
+	}
+	if err := rw.enc.Encode(struct {
+		Header ResultsHeader `json:"header"`
+	}{h}); err != nil {
+		return fmt.Errorf("core: encoding header: %w", err)
+	}
+	rw.n++
+	return nil
+}
+
 // Write appends one result to the array.
 func (rw *ResultsWriter) Write(res CaseResult) error {
 	if rw.closed {

@@ -41,6 +41,62 @@ func TestResultsWriterRoundTrip(t *testing.T) {
 	}
 }
 
+// TestResultsWriterHeader: the run-metadata header round-trips through
+// both loaders — LoadResultsWithHeader surfaces it, LoadResults and
+// LoadPartialResults skip it — and is rejected anywhere but first.
+func TestResultsWriterHeader(t *testing.T) {
+	hdr := ResultsHeader{
+		SpecHash:   "abc123",
+		RNGPolicy:  "ziggurat",
+		RunnerMode: "batch",
+		BatchWidth: 32,
+		Workers:    4,
+	}
+	res := mkResult(1, nil, sim.OutcomeCompleted, 0, 0, 490, 3.6)
+	var buf bytes.Buffer
+	w := NewResultsWriter(&buf)
+	if err := w.WriteHeader(hdr); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(res); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteHeader(hdr); err == nil {
+		t.Error("header accepted after a result was written")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data := buf.Bytes()
+	got, out, err := LoadResultsWithHeader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("headered stream not loadable: %v (%q)", err, data)
+	}
+	if got == nil || *got != hdr {
+		t.Errorf("header round trip: got %+v, want %+v", got, hdr)
+	}
+	if len(out) != 1 || out[0].Case.ID != res.Case.ID {
+		t.Errorf("results alongside header: %+v", out)
+	}
+
+	plain, err := LoadResults(bytes.NewReader(data))
+	if err != nil || len(plain) != 1 {
+		t.Errorf("LoadResults over headered file: %d results, err %v", len(plain), err)
+	}
+
+	partial, truncated, err := LoadPartialResults(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("LoadPartialResults over headered file: %v", err)
+	}
+	if truncated {
+		t.Error("complete headered file reported truncated")
+	}
+	if len(partial) != 1 || partial[0].Case.ID != res.Case.ID {
+		t.Errorf("resume load over headered file: %+v", partial)
+	}
+}
+
 func TestResultsWriterEmpty(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewResultsWriter(&buf)

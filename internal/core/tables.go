@@ -100,13 +100,33 @@ func SaveResults(w io.Writer, results []CaseResult) error {
 	return nil
 }
 
-// LoadResults reads campaign results from JSON.
+// LoadResults reads campaign results from JSON, skipping any run-metadata
+// header element (see ResultsWriter.WriteHeader).
 func LoadResults(r io.Reader) ([]CaseResult, error) {
-	var out []CaseResult
-	if err := json.NewDecoder(r).Decode(&out); err != nil {
-		return nil, fmt.Errorf("core: decoding results: %w", err)
+	_, out, err := LoadResultsWithHeader(r)
+	return out, err
+}
+
+// LoadResultsWithHeader is LoadResults plus the run-metadata header, when
+// the file carries one (nil otherwise). Only the first header element is
+// returned.
+func LoadResultsWithHeader(r io.Reader) (*ResultsHeader, []CaseResult, error) {
+	var els []resultsElement
+	if err := json.NewDecoder(r).Decode(&els); err != nil {
+		return nil, nil, fmt.Errorf("core: decoding results: %w", err)
 	}
-	return out, nil
+	var hdr *ResultsHeader
+	out := make([]CaseResult, 0, len(els))
+	for _, el := range els {
+		if el.Header != nil {
+			if hdr == nil {
+				hdr = el.Header
+			}
+			continue
+		}
+		out = append(out, el.CaseResult)
+	}
+	return hdr, out, nil
 }
 
 // SaveResultsFile and LoadResultsFile are the file-path conveniences the
@@ -131,4 +151,14 @@ func LoadResultsFile(path string) ([]CaseResult, error) {
 	}
 	defer f.Close()
 	return LoadResults(f)
+}
+
+// LoadResultsFileWithHeader is LoadResultsWithHeader over a file path.
+func LoadResultsFileWithHeader(path string) (*ResultsHeader, []CaseResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	return LoadResultsWithHeader(f)
 }

@@ -208,8 +208,31 @@ func (b *Body) TouchdownSpeed() float64 { return b.touchdownSpeed }
 
 // Step advances the simulation by dt seconds using semi-implicit Euler with
 // exact quaternion and motor-lag integration. dt must be positive and small
-// relative to the vehicle dynamics (<= 5 ms recommended).
+// relative to the vehicle dynamics (<= 5 ms recommended). It is literally
+// StepWind followed by StepWithWind — the split the batch runner uses to
+// advance one shared wind process and feed its gust into every lockstep
+// fork (the OU gust is a pure function of time, independent of body state,
+// so the deviates are shareable).
 func (b *Body) Step(dt float64) {
+	b.StepWithWind(dt, b.wind.Step(dt))
+}
+
+// StepWind advances only the body's wind process by dt and returns the
+// world-frame wind velocity, consuming exactly the deviates Step would.
+func (b *Body) StepWind(dt float64) mathx.Vec3 { return b.wind.Step(dt) }
+
+// AdoptWind copies the wind-process state (gust, mean, noise stream) from
+// another body. The batch runner uses it when detaching a fork from
+// lockstep: the donor's wind is exactly the state the fork's own would
+// hold after the same number of steps, so the fork can resume stepping
+// its own wind bit-identically.
+func (b *Body) AdoptWind(from *Body) error {
+	return b.wind.Restore(from.wind.Snapshot())
+}
+
+// StepWithWind is Step with an externally advanced wind sample: identical
+// dynamics, no draw from the body's own wind process.
+func (b *Body) StepWithWind(dt float64, windNED mathx.Vec3) {
 	p := &b.params
 	s := &b.state
 
@@ -228,7 +251,6 @@ func (b *Body) Step(dt float64) {
 	thrustN, torque := b.mixer.Forward(rotorThrust)
 
 	// Aerodynamic drag against air-relative velocity, in the body frame.
-	windNED := b.wind.Step(dt)
 	airRelWorld := s.Vel.Sub(windNED)
 	b.lastAirspeed = airRelWorld.Norm()
 	airRelBody := s.Att.RotateInv(airRelWorld)

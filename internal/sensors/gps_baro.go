@@ -33,18 +33,43 @@ func NewGPS(spec GPSSpec, rng *mathx.Rand) *GPS {
 // Due reports whether a fix is due at sim time t.
 func (g *GPS) Due(t float64) bool { return g.tick.Due(t) }
 
-// Sample produces a fix from true position and velocity.
-func (g *GPS) Sample(t float64, truePos, trueVel mathx.Vec3) GPSSample {
-	pos, vel := truePos, trueVel
-	if g.rng != nil {
-		pos = pos.Add(mathx.Vec3{
+// GPSNoise is one fix's worth of noise deviates, drawn by DrawNoise and
+// composed by SampleWith (the batch runner shares one draw across forks).
+type GPSNoise struct {
+	Pos mathx.Vec3
+	Vel mathx.Vec3
+}
+
+// DrawNoise advances the receiver's noise stream by one fix's worth of
+// deviates, in Sample's exact draw order.
+func (g *GPS) DrawNoise() GPSNoise {
+	if g.rng == nil {
+		return GPSNoise{}
+	}
+	return GPSNoise{
+		Pos: mathx.Vec3{
 			X: g.rng.NormFloat64() * g.spec.PosNoiseStdM,
 			Y: g.rng.NormFloat64() * g.spec.PosNoiseStdM,
 			Z: g.rng.NormFloat64() * g.spec.AltNoiseStdM,
-		})
-		vel = vel.Add(randVec(g.rng, g.spec.VelNoiseStd))
+		},
+		Vel: randVec(g.rng, g.spec.VelNoiseStd),
+	}
+}
+
+// SampleWith composes a fix from ground truth and externally drawn noise,
+// bit-identically to Sample.
+func (g *GPS) SampleWith(t float64, truePos, trueVel mathx.Vec3, n GPSNoise) GPSSample {
+	pos, vel := truePos, trueVel
+	if g.rng != nil {
+		pos = pos.Add(n.Pos)
+		vel = vel.Add(n.Vel)
 	}
 	return GPSSample{T: t, PosNED: pos, VelNED: vel, Valid: true}
+}
+
+// Sample produces a fix from true position and velocity.
+func (g *GPS) Sample(t float64, truePos, trueVel mathx.Vec3) GPSSample {
+	return g.SampleWith(t, truePos, trueVel, g.DrawNoise())
 }
 
 // GPSSnapshot captures the receiver's dynamic state (checkpointing).
@@ -105,13 +130,27 @@ func NewBaro(spec BaroSpec, rng *mathx.Rand) *Baro {
 // Due reports whether a sample is due at sim time t.
 func (b *Baro) Due(t float64) bool { return b.tick.Due(t) }
 
-// Sample produces a measurement from the true altitude (positive up).
-func (b *Baro) Sample(t, trueAltM float64) BaroSample {
+// DrawNoise advances the barometer's noise stream by one sample's deviate.
+func (b *Baro) DrawNoise() float64 {
+	if b.rng == nil {
+		return 0
+	}
+	return b.rng.NormFloat64() * b.spec.AltNoiseStdM
+}
+
+// SampleWith composes a measurement from the true altitude and an
+// externally drawn noise term, bit-identically to Sample.
+func (b *Baro) SampleWith(t, trueAltM, noise float64) BaroSample {
 	alt := trueAltM + b.bias
 	if b.rng != nil {
-		alt += b.rng.NormFloat64() * b.spec.AltNoiseStdM
+		alt += noise
 	}
 	return BaroSample{T: t, AltM: alt}
+}
+
+// Sample produces a measurement from the true altitude (positive up).
+func (b *Baro) Sample(t, trueAltM float64) BaroSample {
+	return b.SampleWith(t, trueAltM, b.DrawNoise())
 }
 
 // BaroSnapshot captures the barometer's dynamic state (checkpointing).
@@ -193,13 +232,28 @@ func NewMag(spec MagSpec, rng *mathx.Rand) *Mag {
 // Due reports whether a sample is due at sim time t.
 func (m *Mag) Due(t float64) bool { return m.tick.Due(t) }
 
-// Sample produces a heading measurement from the true yaw.
-func (m *Mag) Sample(t, trueYawRad float64) MagSample {
+// DrawNoise advances the magnetometer's noise stream by one sample's
+// deviate.
+func (m *Mag) DrawNoise() float64 {
+	if m.rng == nil {
+		return 0
+	}
+	return m.rng.NormFloat64() * m.spec.YawNoiseStd
+}
+
+// SampleWith composes a heading measurement from the true yaw and an
+// externally drawn noise term, bit-identically to Sample.
+func (m *Mag) SampleWith(t, trueYawRad, noise float64) MagSample {
 	yaw := trueYawRad + m.bias
 	if m.rng != nil {
-		yaw += m.rng.NormFloat64() * m.spec.YawNoiseStd
+		yaw += noise
 	}
 	return MagSample{T: t, YawRad: yaw}
+}
+
+// Sample produces a heading measurement from the true yaw.
+func (m *Mag) Sample(t, trueYawRad float64) MagSample {
+	return m.SampleWith(t, trueYawRad, m.DrawNoise())
 }
 
 // MagSnapshot captures the magnetometer's dynamic state (checkpointing).

@@ -52,14 +52,39 @@ func (m *IMU) Biases() (accel, gyro mathx.Vec3) { return m.accelBias, m.gyroBias
 // Due reports whether a new sample is due at sim time t.
 func (m *IMU) Due(t float64) bool { return m.tick.Due(t) }
 
-// Sample produces a measurement at time t from true specific force and
-// angular rate. The result is also retained for Last.
-func (m *IMU) Sample(t float64, trueAccel, trueGyro mathx.Vec3) IMUSample {
+// IMUNoise is one sample's worth of noise deviates for one unit, drawn by
+// DrawNoise and composed by SampleWith. Splitting the draw from the
+// composition lets the batch runner share one unit's deviates across every
+// lockstep fork (the noise is additive to ground truth, so it is
+// independent of each fork's diverged state).
+type IMUNoise struct {
+	Accel mathx.Vec3
+	Gyro  mathx.Vec3
+}
+
+// DrawNoise advances the unit's noise stream by exactly one sample's worth
+// of deviates and returns them. For a noiseless unit (nil rng) it draws
+// nothing and returns zeros.
+func (m *IMU) DrawNoise() IMUNoise {
+	if m.rng == nil {
+		return IMUNoise{}
+	}
+	return IMUNoise{
+		Accel: randVec(m.rng, m.spec.AccelNoiseStd),
+		Gyro:  randVec(m.rng, m.spec.GyroNoiseStd),
+	}
+}
+
+// SampleWith composes a measurement at time t from ground truth and
+// externally drawn noise, bit-identically to Sample: the noise add is
+// guarded by rng presence exactly as in the fused path, so a noiseless
+// unit never perturbs signed zeros. The result is retained for Last.
+func (m *IMU) SampleWith(t float64, trueAccel, trueGyro mathx.Vec3, n IMUNoise) IMUSample {
 	accel := trueAccel.Add(m.accelBias)
 	gyro := trueGyro.Add(m.gyroBias)
 	if m.rng != nil {
-		accel = accel.Add(randVec(m.rng, m.spec.AccelNoiseStd))
-		gyro = gyro.Add(randVec(m.rng, m.spec.GyroNoiseStd))
+		accel = accel.Add(n.Accel)
+		gyro = gyro.Add(n.Gyro)
 	}
 	s := IMUSample{
 		T:     t,
@@ -68,6 +93,14 @@ func (m *IMU) Sample(t float64, trueAccel, trueGyro mathx.Vec3) IMUSample {
 	}
 	m.last = s
 	return s
+}
+
+// Sample produces a measurement at time t from true specific force and
+// angular rate. The result is also retained for Last. It is literally
+// DrawNoise followed by SampleWith, which is what makes the batch runner's
+// shared-draw path bit-exact.
+func (m *IMU) Sample(t float64, trueAccel, trueGyro mathx.Vec3) IMUSample {
+	return m.SampleWith(t, trueAccel, trueGyro, m.DrawNoise())
 }
 
 // Last returns the most recent sample (zero value before the first).
@@ -134,7 +167,7 @@ func NewRedundantIMUs(n int, spec IMUSpec, rng *mathx.Rand) (*RedundantIMUs, err
 	for i := 0; i < n; i++ {
 		var unitRng *mathx.Rand
 		if rng != nil {
-			unitRng = mathx.NewRand(rng.Int63())
+			unitRng = rng.Child()
 		}
 		u, err := NewIMU(spec, unitRng)
 		if err != nil {
@@ -237,6 +270,55 @@ func (r *RedundantIMUs) SampleAllInto(dst []IMUSample, t float64, trueAccel, tru
 	dst = dst[:len(r.units)]
 	for i, u := range r.units {
 		dst[i] = u.Sample(t, trueAccel, trueGyro)
+	}
+	return dst
+}
+
+// DrawNoiseInto draws one tick's noise for every unit in set order into
+// dst (grown if needed), advancing each unit's stream exactly as
+// SampleAllInto would.
+func (r *RedundantIMUs) DrawNoiseInto(dst []IMUNoise) []IMUNoise {
+	if cap(dst) < len(r.units) {
+		dst = make([]IMUNoise, len(r.units))
+	}
+	dst = dst[:len(r.units)]
+	for i, u := range r.units {
+		dst[i] = u.DrawNoise()
+	}
+	return dst
+}
+
+// AdoptNoiseStreams copies every unit's noise-stream state from another
+// set, leaving biases, tickers, last samples, and the primary selection
+// untouched. The batch runner uses it to detach a fork from lockstep: the
+// donor's streams hold exactly the state the fork's own would after the
+// same draw schedule, so the fork can continue drawing for itself
+// bit-identically to a straight scalar run.
+func (r *RedundantIMUs) AdoptNoiseStreams(from *RedundantIMUs) error {
+	if len(from.units) != len(r.units) {
+		return fmt.Errorf("sensors: adopting streams from %d-unit set into %d-unit set", len(from.units), len(r.units))
+	}
+	for i := range r.units {
+		if (r.units[i].rng != nil) != (from.units[i].rng != nil) {
+			return fmt.Errorf("sensors: unit %d rng presence mismatch", i)
+		}
+		if r.units[i].rng != nil {
+			r.units[i].rng.SetState(from.units[i].rng.State())
+		}
+	}
+	return nil
+}
+
+// SampleAllWith is SampleAllInto composing externally drawn noise
+// (index-aligned with DrawNoiseInto's output) instead of advancing the
+// units' own streams.
+func (r *RedundantIMUs) SampleAllWith(dst []IMUSample, t float64, trueAccel, trueGyro mathx.Vec3, noise []IMUNoise) []IMUSample {
+	if cap(dst) < len(r.units) {
+		dst = make([]IMUSample, len(r.units))
+	}
+	dst = dst[:len(r.units)]
+	for i, u := range r.units {
+		dst[i] = u.SampleWith(t, trueAccel, trueGyro, noise[i])
 	}
 	return dst
 }

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"uavres/internal/faultinject"
+	"uavres/internal/mission"
+)
+
+// TestBatchBitIdentical is the batch runner's correctness bar, mirroring
+// TestForkBitIdentical: all 21 primitive x target combinations stepped in
+// one lockstep batch must yield Results byte-identical to straight-through
+// scalar runs — outcome, duration, distance, trajectory, and the full
+// flight-data-recorder diagnostics block. This includes forks the failsafe
+// isolation stage detaches mid-run (primary rotation), which finish on
+// transplanted per-fork streams.
+func TestBatchBitIdentical(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RecordTrajectory = true
+	m := shortMission()
+	const startSec = 20.0
+
+	rep := &faultinject.Injection{
+		Primitive: faultinject.FixedValue, Target: faultinject.TargetIMU,
+		Start: time.Duration(startSec) * time.Second, Duration: 5 * time.Second, Seed: 77,
+	}
+	prefix, err := NewVehicle(cfg, m, rep, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix.RunUntil(startSec)
+	cp := prefix.Snapshot()
+
+	var injs []*faultinject.Injection
+	for _, p := range faultinject.Primitives() {
+		for _, target := range faultinject.Targets() {
+			injs = append(injs, &faultinject.Injection{
+				Primitive: p, Target: target,
+				Start: time.Duration(startSec) * time.Second, Duration: 5 * time.Second,
+				Seed: 1234,
+			})
+		}
+	}
+
+	b, err := NewBatch(cp, injs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, detached, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	anyDetached := false
+	for i, inj := range injs {
+		anyDetached = anyDetached || detached[i]
+		label := inj.Label()
+		straight, err := Run(cfg, m, inj, nil)
+		if err != nil {
+			t.Fatalf("%s straight: %v", label, err)
+		}
+		sameResult(t, label, straight, results[i])
+	}
+	if !anyDetached {
+		t.Error("no fork detached; expected the failsafe isolation stage to rotate primaries in at least one case")
+	}
+}
+
+// TestBatchDetachesOnPrimarySwitch pins the lockstep-hazard handling on
+// the voting path: a primary-scope gyro fault that redundancy voting
+// rescues by switching primaries must detach from the batch (its IMU
+// schedule leaves the donor's) and still finish bit-identical to the
+// scalar run on its transplanted streams.
+func TestBatchDetachesOnPrimarySwitch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long primary-scope run")
+	}
+	m := mission.Valencia()[4]
+	cfg := DefaultConfig()
+	cfg.Seed = 2 // see TestRedundancyScopeAblation: voting rescues this seed
+
+	rep := &faultinject.Injection{
+		Primitive: faultinject.Zeros, Target: faultinject.TargetGyro,
+		Start: 90 * time.Second, Duration: 30 * time.Second, Seed: 3,
+		Scope: faultinject.ScopePrimaryUnit,
+	}
+	prefix, err := NewVehicle(cfg, m, rep, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix.RunUntil(85)
+
+	freeze := *rep
+	freeze.Primitive = faultinject.Freeze
+	injs := []*faultinject.Injection{rep, &freeze}
+	b, err := NewBatch(prefix.Snapshot(), injs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, detached, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyDetached := false
+	for _, d := range detached {
+		anyDetached = anyDetached || d
+	}
+	if !anyDetached {
+		t.Fatal("no fork detached despite voting-driven primary switches")
+	}
+	for i, inj := range injs {
+		straight, err := Run(cfg, m, inj, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, inj.Label(), straight, results[i])
+	}
+}
+
+// TestBatchZigguratPolicy runs the batch under the non-default RNG policy:
+// the run must complete, be deterministic, and stay bit-identical to the
+// scalar path under the same policy (the equivalence proof is
+// policy-independent).
+func TestBatchZigguratPolicy(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RecordTrajectory = true
+	cfg.RNGPolicy = "ziggurat"
+	m := shortMission()
+	const startSec = 20.0
+
+	injs := []*faultinject.Injection{
+		{Primitive: faultinject.Noise, Target: faultinject.TargetGyro,
+			Start: time.Duration(startSec) * time.Second, Duration: 5 * time.Second, Seed: 9},
+		{Primitive: faultinject.Zeros, Target: faultinject.TargetAccel,
+			Start: time.Duration(startSec) * time.Second, Duration: 5 * time.Second, Seed: 9},
+	}
+
+	prefix, err := NewVehicle(cfg, m, injs[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix.RunUntil(startSec)
+	b, err := NewBatch(prefix.Snapshot(), injs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, _, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, inj := range injs {
+		straight, err := Run(cfg, m, inj, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, "ziggurat "+inj.Label(), straight, results[i])
+
+		// Determinism: a second straight run reproduces the first.
+		again, err := Run(cfg, m, inj, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, "ziggurat repeat "+inj.Label(), straight, again)
+	}
+}
+
+// TestZigguratPolicyChangesStream sanity-checks that the policy knob is
+// actually wired through: the same case under polar and ziggurat must not
+// produce identical trajectories (the noise streams differ).
+func TestZigguratPolicyChangesStream(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RecordTrajectory = true
+	m := shortMission()
+	polar, err := Run(cfg, m, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.RNGPolicy = "ziggurat"
+	zig, err := Run(cfg, m, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(polar.Trajectory) == 0 || len(zig.Trajectory) == 0 {
+		t.Fatal("missing trajectories")
+	}
+	same := len(polar.Trajectory) == len(zig.Trajectory)
+	if same {
+		for i := range polar.Trajectory {
+			if polar.Trajectory[i] != zig.Trajectory[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("polar and ziggurat runs produced identical trajectories; policy not wired through")
+	}
+}

@@ -27,6 +27,12 @@ type Config struct {
 	// Seed drives environment randomness (wind, sensor noise). The fault
 	// injector has its own seed inside the Injection.
 	Seed int64
+	// RNGPolicy names the normal-deviate sampler for every environment
+	// noise stream: "" or "polar" (the default, bit-compatible with all
+	// recorded campaigns) or "ziggurat" (see mathx.ParseNormPolicy). The
+	// fault injector's own stream stays polar regardless, so an
+	// injection's deviates are policy-invariant.
+	RNGPolicy string
 
 	// WindMeanMS and WindGustStd parameterize the wind model; the mean
 	// direction is drawn from the seed.
@@ -134,6 +140,9 @@ func (c Config) Validate() error {
 	}
 	if c.CovSettleSec < 0 {
 		return fmt.Errorf("sim: negative covariance settle window %v", c.CovSettleSec)
+	}
+	if _, err := mathx.ParseNormPolicy(c.RNGPolicy); err != nil {
+		return fmt.Errorf("sim: %w", err)
 	}
 	if err := c.Airframe.Validate(); err != nil {
 		return err

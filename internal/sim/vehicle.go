@@ -127,14 +127,19 @@ func NewVehicle(cfg Config, m mission.Mission, inj *faultinject.Injection, obs O
 		return nil, err
 	}
 
-	rng := mathx.NewRand(cfg.Seed)
+	// The root environment stream carries the campaign's RNG policy; every
+	// derived per-component stream inherits it via Child. The seed
+	// derivation is bit-identical to the historical NewRand(rng.Int63())
+	// chain, so polar-policy runs reproduce every recorded campaign.
+	pol, _ := mathx.ParseNormPolicy(cfg.RNGPolicy) // already validated above
+	rng := mathx.NewRandPolicy(cfg.Seed, pol)
 
 	// Environment: wind direction drawn from the run seed.
 	dir := rng.Float64() * 2 * math.Pi
 	wind := physics.NewWind(
 		windFromSeed(cfg, mathx.V3(math.Cos(dir), math.Sin(dir), 0)),
 		cfg.WindGustStd, 2.0,
-		mathx.NewRand(rng.Int63()),
+		rng.Child(),
 	)
 
 	body, err := physics.NewBody(cfg.Airframe, wind)
@@ -143,13 +148,13 @@ func NewVehicle(cfg Config, m mission.Mission, inj *faultinject.Injection, obs O
 	}
 	body.SetState(physics.State{Pos: m.Start, Att: mathx.QuatIdentity()})
 
-	imus, err := sensors.NewRedundantIMUs(cfg.IMUCount, cfg.IMUSpec, mathx.NewRand(rng.Int63()))
+	imus, err := sensors.NewRedundantIMUs(cfg.IMUCount, cfg.IMUSpec, rng.Child())
 	if err != nil {
 		return nil, err
 	}
-	gps := sensors.NewGPS(cfg.GPSSpec, mathx.NewRand(rng.Int63()))
-	baro := sensors.NewBaro(cfg.BaroSpec, mathx.NewRand(rng.Int63()))
-	mag := sensors.NewMag(cfg.MagSpec, mathx.NewRand(rng.Int63()))
+	gps := sensors.NewGPS(cfg.GPSSpec, rng.Child())
+	baro := sensors.NewBaro(cfg.BaroSpec, rng.Child())
+	mag := sensors.NewMag(cfg.MagSpec, rng.Child())
 
 	var injector *faultinject.Injector
 	if inj != nil {
@@ -278,14 +283,75 @@ func (v *Vehicle) finalize() Result {
 // counters, tilt maximum).
 func (v *Vehicle) Metrics() obs.Snapshot { return v.rec.reg.Snapshot() }
 
-// stepOnce advances the simulation by one physics step.
-func (v *Vehicle) stepOnce() {
+// envDraws carries one tick's environment deviates, drawn once from a
+// donor vehicle's streams (drawEnv) and composed into every lockstep fork
+// (stepEnv). All environment noise is state-independent — sensor noise is
+// additive to ground truth and the wind gust is a pure function of time —
+// and each component owns its own stream, so the same deviates are exactly
+// what each fork's own streams would have produced from the shared
+// checkpoint. The buffers are reused across ticks.
+type envDraws struct {
+	imuDue   bool
+	imuNoise []sensors.IMUNoise
+	gpsDue   bool
+	gpsNoise sensors.GPSNoise
+	baroDue  bool
+	baroNoise float64
+	magDue   bool
+	magNoise float64
+	wind     mathx.Vec3
+}
+
+// drawEnv advances only the vehicle's environment streams by one physics
+// step, consuming exactly the deviates stepOnce would, and records them in
+// env. The caller is the batch runner's donor vehicle: no physics, EKF,
+// control, or guidance runs, and the vehicle must never be stepped for
+// real afterwards. The donor's IMU schedule is the unswitched primary's;
+// forks that switch primaries are ejected by the batch before their
+// schedule can diverge.
+func (v *Vehicle) drawEnv(env *envDraws) {
+	t := float64(v.step) * v.cfg.PhysicsDt
+	env.imuDue = v.imus.Due(t)
+	if env.imuDue {
+		env.imuNoise = v.imus.DrawNoiseInto(env.imuNoise)
+	}
+	env.gpsDue = v.gps.Due(t)
+	if env.gpsDue {
+		env.gpsNoise = v.gps.DrawNoise()
+	}
+	env.baroDue = v.baro.Due(t)
+	if env.baroDue {
+		env.baroNoise = v.baro.DrawNoise()
+	}
+	env.magDue = v.mag.Due(t)
+	if env.magDue {
+		env.magNoise = v.mag.DrawNoise()
+	}
+	env.wind = v.body.StepWind(v.cfg.PhysicsDt)
+	v.step++
+}
+
+// stepOnce advances the simulation by one physics step, drawing all
+// environment noise from the vehicle's own streams.
+func (v *Vehicle) stepOnce() { v.stepEnv(nil) }
+
+// stepEnv advances the simulation by one physics step. With a nil env it
+// draws environment noise from the vehicle's own streams (the scalar
+// path); otherwise it composes the shared deviates in env and leaves its
+// own environment streams untouched (the batch path). Both paths execute
+// bit-identical arithmetic.
+func (v *Vehicle) stepEnv(env *envDraws) {
 	cfg := &v.cfg
 	t := float64(v.step) * cfg.PhysicsDt
 
 	// --- Sense (250 Hz), corrupt, estimate, control.
 	if v.imus.Due(t) {
-		all := v.imus.SampleAllInto(v.sampleBuf, t, v.body.SpecificForce(), v.body.AngularRate())
+		var all []sensors.IMUSample
+		if env == nil {
+			all = v.imus.SampleAllInto(v.sampleBuf, t, v.body.SpecificForce(), v.body.AngularRate())
+		} else {
+			all = v.imus.SampleAllWith(v.sampleBuf, t, v.body.SpecificForce(), v.body.AngularRate(), env.imuNoise)
+		}
 		v.sampleBuf = all
 		clean := all[v.imus.Primary()]
 		v.lastClean = clean
@@ -376,18 +442,36 @@ func (v *Vehicle) stepOnce() {
 	}
 
 	if gpsDue {
-		v.filter.FuseGPS(v.gps.Sample(t, bst.Pos, bst.Vel))
+		var s sensors.GPSSample
+		if env == nil {
+			s = v.gps.Sample(t, bst.Pos, bst.Vel)
+		} else {
+			s = v.gps.SampleWith(t, bst.Pos, bst.Vel, env.gpsNoise)
+		}
+		v.filter.FuseGPS(s)
 		v.rec.afterGPS(t, v.filter.Health())
 	}
 	if baroDue {
-		v.filter.FuseBaro(v.baro.Sample(t, bst.AltitudeM()))
+		var s sensors.BaroSample
+		if env == nil {
+			s = v.baro.Sample(t, bst.AltitudeM())
+		} else {
+			s = v.baro.SampleWith(t, bst.AltitudeM(), env.baroNoise)
+		}
+		v.filter.FuseBaro(s)
 		v.rec.afterBaro(t, v.filter.Health())
 	}
 	if magDue {
 		// The magnetometer is not a fault-injection target (paper
 		// Section I): it reads true heading plus its own error model.
 		_, _, trueYaw := bst.Att.Euler()
-		v.filter.FuseMag(v.mag.Sample(t, trueYaw))
+		var s sensors.MagSample
+		if env == nil {
+			s = v.mag.Sample(t, trueYaw)
+		} else {
+			s = v.mag.SampleWith(t, trueYaw, env.magNoise)
+		}
+		v.filter.FuseMag(s)
 	}
 
 	var est ekf.State
@@ -484,7 +568,11 @@ func (v *Vehicle) stepOnce() {
 		}
 	}
 
-	v.body.Step(cfg.PhysicsDt)
+	if env == nil {
+		v.body.Step(cfg.PhysicsDt)
+	} else {
+		v.body.StepWithWind(cfg.PhysicsDt, env.wind)
+	}
 	v.rec.onStep(v.guide.phase)
 	v.step++
 }

@@ -109,10 +109,17 @@ type Overrides struct {
 	CovSettleSec *float64 `json:"cov_settle_sec,omitempty"`
 	// RedundancyVoting toggles cross-IMU consistency voting.
 	RedundancyVoting *bool `json:"redundancy_voting,omitempty"`
+	// RNGPolicy selects the environment normal-deviate sampler: "polar"
+	// (default, bit-compatible with recorded campaigns) or "ziggurat"
+	// (see mathx.ParseNormPolicy).
+	RNGPolicy *string `json:"rng_policy,omitempty"`
 }
 
 // Apply folds the overrides into a simulation config.
 func (o Overrides) Apply(cfg *sim.Config) {
+	if o.RNGPolicy != nil {
+		cfg.RNGPolicy = *o.RNGPolicy
+	}
 	if o.GyroThresholdDegS != nil {
 		cfg.Failsafe.GyroRateThreshold = mathx.Deg2Rad(*o.GyroThresholdDegS)
 	}
@@ -178,6 +185,11 @@ func (s CampaignSpec) Validate() error {
 	}
 	if o := s.Overrides; o.CovDecimation != nil && *o.CovDecimation < 1 {
 		return fmt.Errorf("spec: cov_decimation %d < 1", *o.CovDecimation)
+	}
+	if o := s.Overrides; o.RNGPolicy != nil {
+		if _, err := mathx.ParseNormPolicy(*o.RNGPolicy); err != nil {
+			return fmt.Errorf("spec: %w", err)
+		}
 	}
 	for i, sel := range s.Select {
 		if err := sel.Validate(); err != nil {

@@ -7,10 +7,12 @@
 # Regression gate:
 #   scripts/bench.sh -compare OLD.json NEW.json
 # exits nonzero when NEW regresses against OLD (>10% ns/op on any shared
-# micro, or any allocs/op increase). ci.sh runs this automatically when
-# BENCH_BASELINE points at a committed report. Each report records the
-# campaign spec hash (spec_hash) so timings are only compared across
-# identical experiment plans.
+# micro, or any allocs/op increase). ci.sh runs this automatically
+# against the committed baseline (override with BENCH_BASELINE). Each
+# report records the campaign spec hash (spec_hash) plus the execution
+# mode (runner_mode, batch_width, workers, cov_decimation), so campaign
+# wall clock is only compared across identical experiment plans run the
+# same way — mode mismatches are noted explicitly, never diffed.
 set -eu
 
 case "${1:-}" in
