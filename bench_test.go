@@ -667,3 +667,39 @@ func BenchmarkMicroObsTraceAppend(b *testing.B) {
 		tb.Append(e)
 	}
 }
+
+// BenchmarkMicroObsSpanStartEnd measures one campaign span open/close
+// pair — the per-case tracing cost every worker pays when -trace-out is
+// set. Must stay 0 allocs/op once the span slice has capacity.
+func BenchmarkMicroObsSpanStartEnd(b *testing.B) {
+	tr := obs.NewTracer(obs.Stopped(), 1<<16)
+	root := tr.Start("campaign", 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := tr.Start("case", root, obs.StrAttr("id", "m01-gold"))
+		tr.End(id)
+		if tr.Len() >= 1<<16 {
+			tr.Reset()
+			root = tr.Start("campaign", 0)
+		}
+	}
+}
+
+// BenchmarkMicroCoreStatusSnapshot measures one live-status render: the
+// cost each /status request (and SSE tick) puts on a running campaign.
+func BenchmarkMicroCoreStatusSnapshot(b *testing.B) {
+	reg := obs.NewRegistry()
+	src := core.NewStatusSource(reg, core.StatusConfig{
+		Total: 850, RunnerMode: "batch", BatchWidth: 32, Workers: 8,
+	})
+	reg.Counter("campaign_cases_total").Add(425)
+	reg.Histogram("campaign_case_seconds", nil).Observe(0.2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if st := src.Snapshot(); st.CasesTotal != 850 {
+			b.Fatal("bad snapshot")
+		}
+	}
+}

@@ -3,11 +3,13 @@
 # detector over the concurrent packages (broker, tracker, campaign
 # runner, metrics registry), a one-iteration micro-benchmark smoke (the
 # hot paths must at least still run; scripts/bench.sh measures them),
-# spec validation for the shipped example campaign specs, and two
+# spec validation for the shipped example campaign specs, and three
 # end-to-end smokes: a mini spec-driven campaign must emit a metrics
-# snapshot that passes the schema validator, and re-running it with
-# -resume over the completed results file must execute zero cases. Any
-# failure fails the gate.
+# snapshot that passes the schema validator, re-running it with -resume
+# over the completed results file must execute zero cases, and the
+# observability surface (trace-event export, live status endpoint,
+# black-box dumps) must produce valid, loadable artifacts. Any failure
+# fails the gate.
 set -eux
 
 tmpdir=$(mktemp -d)
@@ -45,6 +47,22 @@ grep -q 'resume: .* 0 to run' "$tmpdir/resume.log"
 # bit-identical results case-for-case.
 go run ./cmd/campaign -select mission=1,target=gyro -q -out "$tmpdir/results_scalar.json" -batch=false
 go run ./cmd/campaign -compare-results "$tmpdir/results.json,$tmpdir/results_scalar.json"
+
+# Tracing + black-box smoke: mission 1's accelerometer cases include
+# crash and containment-violation outcomes, so this run must emit a
+# valid trace-event JSON (one case span per case), black-box dumps, and
+# exercise the fail-fast parent-directory creation ($tmpdir/obs does not
+# exist yet).
+go run ./cmd/campaign -select mission=1,target=accel,duration=5s -q \
+	-out "$tmpdir/obs/results.json" -trace-out "$tmpdir/obs/trace.json" \
+	-blackbox-dir "$tmpdir/obs/blackbox"
+go run ./cmd/campaign -validate-trace "$tmpdir/obs/trace.json"
+# Every crash/violation case yielded a black box, and replay loads one.
+ls "$tmpdir/obs/blackbox"/*.blackbox.json
+go run ./cmd/replay -blackbox "$(ls "$tmpdir/obs/blackbox"/*.blackbox.json | head -n 1)" >/dev/null
+# Live status endpoint: mid-run 200 with well-formed JSON plus the SSE
+# stream, driven by the package test against the real handler stack.
+go test -run 'TestStatusEndpointMidRun' ./cmd/campaign/
 
 # Perf-regression gate against the committed bench report: measure a
 # fresh one and fail on >10% ns/op or any allocs/op regression (see

@@ -350,6 +350,37 @@ func microBenchmarks() []MicroResult {
 			tb.Append(e)
 		}
 	})
+	add("ObsSpanStartEnd", func(b *testing.B) {
+		tr := obs.NewTracer(obs.Stopped(), 1<<16)
+		root := tr.Start("campaign", 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id := tr.Start("case", root, obs.StrAttr("id", "m01-gold"))
+			tr.End(id)
+			if tr.Len() >= 1<<16 {
+				// Recycle within preallocated capacity so the loop never
+				// measures slice growth, only the Start/End hot path.
+				tr.Reset()
+				root = tr.Start("campaign", 0)
+			}
+		}
+	})
+	add("CoreStatusSnapshot", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		src := core.NewStatusSource(reg, core.StatusConfig{
+			Total: 850, RunnerMode: "batch", BatchWidth: 32, Workers: 8,
+		})
+		reg.Counter("campaign_cases_total").Add(425)
+		reg.Histogram("campaign_case_seconds", nil).Observe(0.2)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if st := src.Snapshot(); st.CasesTotal != 850 {
+				b.Fatal("bad snapshot")
+			}
+		}
+	})
 	return out
 }
 

@@ -20,6 +20,8 @@
 //	campaign -compare-results a.json,b.json
 //	campaign [-metrics-out metrics.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	campaign -validate-metrics metrics.json
+//	campaign [-trace-out trace.json] [-status-addr :8080] [-blackbox-dir out/blackbox]
+//	campaign -validate-trace trace.json
 //	campaign -print-faultmodel
 //
 // The -subset flag remains as a deprecated alias for
@@ -33,12 +35,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"reflect"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
 
+	"uavres/internal/blackbox"
 	"uavres/internal/core"
 	"uavres/internal/ekf"
 	"uavres/internal/mathx"
@@ -78,6 +82,10 @@ func run() int {
 		validateMetrics = flag.String("validate-metrics", "", "validate a metrics snapshot JSON file and exit (CI schema gate)")
 		cpuprofile      = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memprofile      = flag.String("memprofile", "", "write a heap profile to this path")
+		traceOut        = flag.String("trace-out", "", "write the campaign span tree as Chrome/Perfetto trace-event JSON to this path")
+		validateTrace   = flag.String("validate-trace", "", "validate a trace-event JSON file and exit (CI schema gate)")
+		statusAddr      = flag.String("status-addr", "", "serve live status (/status JSON + /status/stream SSE), /metrics, and pprof on this address while the campaign runs")
+		blackboxDir     = flag.String("blackbox-dir", "", "write a black-box dump per crash/violation case into this directory (load with replay -blackbox)")
 	)
 	var selectors []spec.Selector
 	flag.Func("select", "case selector (repeatable, OR across flags): key=value terms ANDed within one flag — id (exact or glob), mission, target, primitive, duration, start, gold", func(expr string) error {
@@ -127,6 +135,41 @@ func run() int {
 		fmt.Printf("campaign: %s is a valid metrics snapshot\n", *validateMetrics)
 		return 0
 	}
+	if *validateTrace != "" {
+		data, err := os.ReadFile(*validateTrace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			return 1
+		}
+		if err := obs.ValidateTraceEventJSON(data); err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			return 1
+		}
+		fmt.Printf("campaign: %s is a valid trace-event document\n", *validateTrace)
+		return 0
+	}
+
+	// Output destinations are prepared before any case runs: a campaign
+	// must fail on an unwritable path now, not after hours of simulation.
+	for _, o := range []struct{ flag, path string }{
+		{"-out", *out},
+		{"-metrics-out", *metricsOut},
+		{"-trace-out", *traceOut},
+		{"-cpuprofile", *cpuprofile},
+		{"-memprofile", *memprofile},
+	} {
+		if err := ensureParentDir(o.flag, o.path); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if *blackboxDir != "" {
+		if err := os.MkdirAll(*blackboxDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "campaign: -blackbox-dir: %v\n", err)
+			return 1
+		}
+	}
+
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -250,14 +293,64 @@ func run() int {
 		cases = plan.Run
 	}
 	fmt.Printf("campaign: %s: %d cases to run, seed %d\n", s, len(cases), s.Seed)
+	hdr := resultsHeader(s, runner)
+
+	// Span tracer: one campaign root, the runner fills in the stage /
+	// prefix / batch / case tree. Cache hits from -resume become closed
+	// cache-hit case spans so the span count still matches the results.
+	var (
+		tracer    *obs.Tracer
+		traceRoot obs.SpanID
+	)
+	if *traceOut != "" {
+		tracer = obs.NewTracer(clock, 2*(len(cases)+len(reused))+64)
+		traceRoot = tracer.Start("campaign", 0,
+			obs.StrAttr("spec", hdr.SpecHash),
+			obs.StrAttr("rng", hdr.RNGPolicy),
+			obs.StrAttr("mode", hdr.RunnerMode),
+			obs.NumAttr("batch_width", float64(hdr.BatchWidth)),
+			obs.NumAttr("cases", float64(len(cases)+len(reused))))
+		core.MarkCachedCases(tracer, traceRoot, reused)
+		runner.Trace = tracer
+		runner.TraceRoot = traceRoot
+	}
+
+	// Live status endpoint: snapshot + SSE over the same registry the
+	// runner updates, plus /metrics and pprof. Binds (and fails) now.
+	if *statusAddr != "" {
+		effWorkers := *workers
+		if effWorkers <= 0 {
+			effWorkers = runtime.GOMAXPROCS(0)
+		}
+		src := core.NewStatusSource(reg, core.StatusConfig{
+			Total:      len(cases) + len(reused),
+			SpecHash:   hdr.SpecHash,
+			RNGPolicy:  hdr.RNGPolicy,
+			RunnerMode: hdr.RunnerMode,
+			BatchWidth: hdr.BatchWidth,
+			Workers:    effWorkers,
+			Clock:      clock,
+		})
+		src.AddCached(len(reused))
+		closeStatus, err := serveStatus(*statusAddr, reg, src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer closeStatus()
+	}
 
 	// Stream results to disk as cases finish: the runner strips the heavy
 	// per-case payloads from its retained slice once the writer owns them,
 	// bounding resident memory at the in-flight cases. On resume the
 	// reused results are re-written first so the file stays complete.
+	// The black-box dumper shares the same OnResult hook — it needs the
+	// full Diagnostics block, which only exists before the strip.
 	var (
 		stream    *core.ResultsFileWriter
 		streamErr error
+		bboxErr   error
+		bboxCount int
 	)
 	if *out != "" {
 		stream, err = core.NewResultsFileWriter(*out)
@@ -265,7 +358,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "campaign: opening results stream: %v\n", err)
 			return 1
 		}
-		if err := stream.WriteHeader(resultsHeader(s, runner)); err != nil && streamErr == nil {
+		if err := stream.WriteHeader(hdr); err != nil && streamErr == nil {
 			streamErr = err
 		}
 		for _, cr := range reused {
@@ -273,9 +366,22 @@ func run() int {
 				streamErr = err
 			}
 		}
+	}
+	if stream != nil || *blackboxDir != "" {
 		runner.OnResult = func(res core.CaseResult) {
-			if err := stream.Write(res); err != nil && streamErr == nil {
-				streamErr = err
+			if *blackboxDir != "" && blackbox.ShouldDump(res) {
+				if _, err := blackbox.Write(*blackboxDir, blackbox.FromCase(res, hdr.SpecHash)); err != nil {
+					if bboxErr == nil {
+						bboxErr = err
+					}
+				} else {
+					bboxCount++
+				}
+			}
+			if stream != nil {
+				if err := stream.Write(res); err != nil && streamErr == nil {
+					streamErr = err
+				}
 			}
 		}
 	}
@@ -324,6 +430,30 @@ func run() int {
 		}
 		fmt.Printf("results written to %s\n", *out)
 	}
+	if *blackboxDir != "" {
+		if bboxErr != nil {
+			fmt.Fprintf(os.Stderr, "campaign: writing black boxes: %v\n", bboxErr)
+			return 1
+		}
+		fmt.Printf("%d black box(es) written to %s\n", bboxCount, *blackboxDir)
+	}
+	if tracer != nil {
+		tracer.End(traceRoot)
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			return 1
+		}
+		werr := tracer.WriteTraceEvents(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "campaign: writing trace: %v\n", werr)
+			return 1
+		}
+		fmt.Printf("trace written to %s (%d spans, %d dropped)\n", *traceOut, tracer.Len(), tracer.Dropped())
+	}
 	if *metricsOut != "" {
 		f, err := os.Create(*metricsOut)
 		if err != nil {
@@ -360,6 +490,23 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// ensureParentDir creates the parent directory of an output path so a
+// campaign fails on an unwritable destination before it runs, not when
+// it tries to save results hours later.
+func ensureParentDir(flagName, path string) error {
+	if path == "" {
+		return nil
+	}
+	dir := filepath.Dir(path)
+	if dir == "." || dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("campaign: %s: creating parent directory: %w", flagName, err)
+	}
+	return nil
 }
 
 // resultsHeader captures how this run was configured — the metadata the

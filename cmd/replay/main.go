@@ -1,12 +1,14 @@
 // Command replay reads a binary flight log written by cmd/uavsim (or the
 // library's flightlog package), prints a summary, and optionally exports
 // CSV or an SVG figure — offline analysis of recorded flights, the same
-// role the paper's platform's log review plays.
+// role the paper's platform's log review plays. It also loads the
+// black-box dumps cmd/campaign writes for crash/violation cases.
 //
 // Usage:
 //
 //	replay -in flight.bin
 //	replay -in flight.bin -csv flight.csv -svg flight.svg
+//	replay -blackbox out/blackbox/m01-zeros-accel-s1.blackbox.json
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"math"
 	"os"
 
+	"uavres/internal/blackbox"
 	"uavres/internal/flightlog"
 	"uavres/internal/plot"
 )
@@ -25,13 +28,17 @@ func main() {
 
 func run() int {
 	var (
-		in      = flag.String("in", "", "binary flight log path (required)")
-		csvPath = flag.String("csv", "", "export records as CSV")
-		svgPath = flag.String("svg", "", "export altitude/deviation figure as SVG")
+		in       = flag.String("in", "", "binary flight log path")
+		bboxPath = flag.String("blackbox", "", "black-box dump path (from campaign -blackbox-dir)")
+		csvPath  = flag.String("csv", "", "export records as CSV")
+		svgPath  = flag.String("svg", "", "export altitude/deviation figure as SVG")
 	)
 	flag.Parse()
+	if *bboxPath != "" {
+		return runBlackBox(*bboxPath, *svgPath)
+	}
 	if *in == "" {
-		fmt.Fprintln(os.Stderr, "replay: -in is required")
+		fmt.Fprintln(os.Stderr, "replay: -in or -blackbox is required")
 		flag.Usage()
 		return 1
 	}
@@ -138,6 +145,103 @@ func run() int {
 			return 1
 		}
 		fmt.Printf("figure written to %s\n", *svgPath)
+	}
+	return 0
+}
+
+// runBlackBox loads a campaign black-box dump and prints the failure
+// story: case identity, outcome, EKF aiding statistics, the event
+// timeline, and the trajectory tail. An optional SVG plots the tail.
+func runBlackBox(path, svgPath string) int {
+	d, err := blackbox.Load(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "replay:", err)
+		return 1
+	}
+	fmt.Printf("black box: case %s (mission %d, seed %d)\n", d.CaseID, d.MissionID, d.Seed)
+	if d.SpecHash != "" {
+		fmt.Printf("  spec:             %s\n", d.SpecHash)
+	}
+	if d.Injection != nil {
+		fmt.Printf("  injection:        %s at t=%s for %s\n",
+			d.Injection.Label(), d.Injection.Start, d.Injection.Duration)
+	}
+	fmt.Printf("  outcome:          %s\n", d.Outcome)
+	if d.CrashReason != "" {
+		fmt.Printf("  crash reason:     %s\n", d.CrashReason)
+	}
+	if d.FailsafeCause != "" {
+		fmt.Printf("  failsafe cause:   %s\n", d.FailsafeCause)
+	}
+	fmt.Printf("  flight duration:  %.1f s\n", d.FlightDurationSec)
+	fmt.Printf("  distance:         %.3f km\n", d.DistanceKm)
+	fmt.Printf("  violations:       inner=%d outer=%d\n", d.InnerViolations, d.OuterViolations)
+	fmt.Printf("  waypoints:        %d\n", d.WaypointsReached)
+
+	diag := d.Diagnostics
+	if diag == nil {
+		fmt.Println("  (no diagnostics block)")
+		return 0
+	}
+	fmt.Printf("  ekf:              gps %d fused / %d rejected (max ratio %.2f), baro %d fused / %d rejected (max ratio %.2f), %d resets\n",
+		diag.GPSFusions, diag.GPSGateRejects, diag.MaxGPSRatio,
+		diag.BaroFusions, diag.BaroGateRejects, diag.MaxBaroRatio, diag.EKFResets)
+	fmt.Printf("  redundancy:       %d sensor switches, %d mitigation engagements\n",
+		diag.SensorSwitches, diag.MitigationEngagements)
+	if diag.TraceDropped > 0 {
+		fmt.Printf("  trace:            %d events retained, %d dropped from ring\n",
+			len(diag.Trace), diag.TraceDropped)
+	}
+	for _, e := range diag.Trace {
+		line := fmt.Sprintf("  t=%8.2f  %s", e.T, e.Kind)
+		if e.Detail != "" {
+			line += " " + e.Detail
+		}
+		if e.Value > 0 {
+			line += fmt.Sprintf(" (%.2f)", e.Value)
+		}
+		fmt.Println(line)
+	}
+	tail := diag.TrajectoryTail
+	fmt.Printf("  trajectory tail:  %d points\n", len(tail))
+	for _, p := range tail {
+		fmt.Printf("  t=%8.2f  true=(%.1f, %.1f, %.1f)  est=(%.1f, %.1f, %.1f)  tilt=%.1f deg\n",
+			p.T, p.TruePos.X, p.TruePos.Y, p.TruePos.Z,
+			p.EstPos.X, p.EstPos.Y, p.EstPos.Z, p.TiltDeg)
+	}
+
+	if svgPath != "" && len(tail) > 0 {
+		times := make([]float64, len(tail))
+		alts := make([]float64, len(tail))
+		errs := make([]float64, len(tail))
+		for i, p := range tail {
+			times[i] = p.T
+			alts[i] = -p.TruePos.Z
+			errs[i] = p.TruePos.Dist(p.EstPos)
+		}
+		chart := plot.Chart{
+			Title:  fmt.Sprintf("black box — %s (%s)", d.CaseID, d.Outcome),
+			XLabel: "time (s)",
+			YLabel: "meters",
+			Series: []plot.Series{
+				{Name: "altitude (m)", X: times, Y: alts},
+				{Name: "estimation error (m)", X: times, Y: errs},
+			},
+		}
+		out, err := os.Create(svgPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "replay:", err)
+			return 1
+		}
+		err = chart.WriteSVG(out)
+		if cerr := out.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "replay:", err)
+			return 1
+		}
+		fmt.Printf("figure written to %s\n", svgPath)
 	}
 	return 0
 }

@@ -21,7 +21,6 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -31,23 +30,6 @@ import (
 	"uavres/internal/telemetry"
 	"uavres/internal/uspace"
 )
-
-// newMetricsMux builds the observability endpoint: Prometheus-text
-// metrics plus the pprof handlers, on a private mux (nothing else in the
-// process can accidentally extend the default mux into this listener).
-func newMetricsMux(reg *obs.Registry) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = reg.WritePrometheus(w)
-	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
-}
 
 func main() {
 	os.Exit(run())
@@ -85,7 +67,7 @@ func run() int {
 			return 1
 		}
 		defer ln.Close()
-		srv := &http.Server{Handler: newMetricsMux(reg)}
+		srv := &http.Server{Handler: obs.MetricsMux(reg)}
 		go func() { _ = srv.Serve(ln) }()
 		fmt.Printf("trackerd: metrics on http://%s/metrics, profiles on /debug/pprof/\n", ln.Addr())
 	}

@@ -1,0 +1,141 @@
+// Package blackbox archives failed campaign cases as standalone
+// flight-recorder files. A dump is the per-case evidence that the
+// aggregate outcome tables flatten away — the last seconds of trajectory,
+// the EKF innovation/gate-reject statistics, and the drained trace ring —
+// written as one JSON file per crash/violation case so a failing paper
+// case is an inspectable artifact, not just a row in campaign_results.
+package blackbox
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"uavres/internal/core"
+	"uavres/internal/faultinject"
+	"uavres/internal/sim"
+)
+
+// Version is the dump format version; Load rejects files from the future.
+const Version = 1
+
+// Dump is one case's black-box record. It embeds the full Diagnostics
+// block (trajectory tail, trace events, EKF health statistics) plus
+// enough case identity to re-run the exact flight.
+type Dump struct {
+	Version   int    `json:"version"`
+	CaseID    string `json:"case_id"`
+	MissionID int    `json:"mission_id"`
+	Seed      int64  `json:"seed"`
+	SpecHash  string `json:"spec_hash,omitempty"`
+
+	Injection *faultinject.Injection `json:"injection,omitempty"`
+
+	Outcome           string  `json:"outcome"`
+	CrashReason       string  `json:"crash_reason,omitempty"`
+	FailsafeCause     string  `json:"failsafe_cause,omitempty"`
+	FlightDurationSec float64 `json:"flight_duration_sec"`
+	DistanceKm        float64 `json:"distance_km"`
+	InnerViolations   int     `json:"inner_violations"`
+	OuterViolations   int     `json:"outer_violations"`
+	WaypointsReached  int     `json:"waypoints_reached"`
+
+	Diagnostics *sim.Diagnostics `json:"diagnostics,omitempty"`
+}
+
+// ShouldDump reports whether a finished case warrants a black-box file:
+// a crash outcome, or any outer-bubble (containment) violation. Infra
+// errors carry no flight to record; completed, contained flights are not
+// failures.
+func ShouldDump(res core.CaseResult) bool {
+	if res.Err != "" {
+		return false
+	}
+	return res.Result.Outcome == sim.OutcomeCrash || res.Result.OuterViolations > 0
+}
+
+// FromCase builds the dump for a finished case. Call it from
+// Runner.OnResult, which still sees the full result — the runner strips
+// Diagnostics from what it retains afterwards.
+func FromCase(res core.CaseResult, specHash string) Dump {
+	r := res.Result
+	return Dump{
+		Version:   Version,
+		CaseID:    res.Case.ID,
+		MissionID: res.Case.MissionID,
+		Seed:      res.Case.Seed,
+		SpecHash:  specHash,
+
+		Injection: res.Case.Injection,
+
+		Outcome:           r.Outcome.String(),
+		CrashReason:       r.CrashReason,
+		FailsafeCause:     r.FailsafeCause,
+		FlightDurationSec: r.FlightDurationSec,
+		DistanceKm:        r.DistanceKm,
+		InnerViolations:   r.InnerViolations,
+		OuterViolations:   r.OuterViolations,
+		WaypointsReached:  r.WaypointsReached,
+
+		Diagnostics: r.Diagnostics,
+	}
+}
+
+// Filename is the dump's file name within its directory: the case ID
+// (already a filesystem-safe slug) plus the black-box extension.
+func (d Dump) Filename() string {
+	id := d.CaseID
+	if id == "" {
+		id = "case"
+	}
+	// Case IDs are slugs by construction; scrub separators anyway so a
+	// hostile results file cannot escape the dump directory.
+	id = strings.Map(func(r rune) rune {
+		if r == '/' || r == '\\' || r == ':' {
+			return '_'
+		}
+		return r
+	}, id)
+	return id + ".blackbox.json"
+}
+
+// Write persists the dump under dir (created if missing) and returns the
+// file path.
+func Write(dir string, d Dump) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("blackbox: %w", err)
+	}
+	data, err := json.MarshalIndent(d, "", " ")
+	if err != nil {
+		return "", fmt.Errorf("blackbox: marshal %s: %w", d.CaseID, err)
+	}
+	path := filepath.Join(dir, d.Filename())
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("blackbox: %w", err)
+	}
+	return path, nil
+}
+
+// Load reads and validates one dump file.
+func Load(path string) (Dump, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Dump{}, fmt.Errorf("blackbox: %w", err)
+	}
+	var d Dump
+	if err := json.Unmarshal(data, &d); err != nil {
+		return Dump{}, fmt.Errorf("blackbox: parse %s: %w", path, err)
+	}
+	if d.Version < 1 || d.Version > Version {
+		return Dump{}, fmt.Errorf("blackbox: %s: unsupported version %d", path, d.Version)
+	}
+	if d.CaseID == "" {
+		return Dump{}, fmt.Errorf("blackbox: %s: missing case_id", path)
+	}
+	if d.Outcome == "" {
+		return Dump{}, fmt.Errorf("blackbox: %s: missing outcome", path)
+	}
+	return d, nil
+}

@@ -1,0 +1,119 @@
+package blackbox
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"uavres/internal/core"
+	"uavres/internal/faultinject"
+	"uavres/internal/mathx"
+	"uavres/internal/sim"
+)
+
+func crashResult() core.CaseResult {
+	return core.CaseResult{
+		Case: core.Case{
+			ID: "m01-zeros-accel-s1", MissionID: 1, Seed: 42,
+			Injection: &faultinject.Injection{
+				Primitive: faultinject.Zeros, Target: faultinject.TargetAccel,
+				Start: 90 * time.Second, Duration: 5 * time.Second,
+			},
+		},
+		Result: sim.Result{
+			MissionID: 1, Outcome: sim.OutcomeCrash, CrashReason: "ground impact",
+			FlightDurationSec: 97.5, DistanceKm: 0.31, OuterViolations: 3,
+			Diagnostics: &sim.Diagnostics{
+				FirstOuterViolationSec: 93, GPSFusions: 480, GPSGateRejects: 12,
+				TrajectoryTail: []sim.TrajPoint{
+					{T: 95, TruePos: mathx.V3(1, 2, -15), EstPos: mathx.V3(1, 2, -14), TiltDeg: 12},
+					{T: 96, TruePos: mathx.V3(1, 3, -9), EstPos: mathx.V3(5, 3, -13), TiltDeg: 48},
+				},
+			},
+		},
+	}
+}
+
+func TestShouldDump(t *testing.T) {
+	crash := crashResult()
+	if !ShouldDump(crash) {
+		t.Error("crash case not dumped")
+	}
+	violated := core.CaseResult{Result: sim.Result{Outcome: sim.OutcomeCompleted, OuterViolations: 1}}
+	if !ShouldDump(violated) {
+		t.Error("outer-violation case not dumped")
+	}
+	clean := core.CaseResult{Result: sim.Result{Outcome: sim.OutcomeCompleted}}
+	if ShouldDump(clean) {
+		t.Error("clean completion dumped")
+	}
+	infra := core.CaseResult{Err: "unknown mission", Result: sim.Result{Outcome: sim.OutcomeCrash}}
+	if ShouldDump(infra) {
+		t.Error("infra error dumped")
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "blackbox")
+	res := crashResult()
+	d := FromCase(res, "deadbeef")
+	path, err := Write(dir, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "m01-zeros-accel-s1.blackbox.json" {
+		t.Errorf("unexpected filename %s", path)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, d) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, d)
+	}
+	if got.Outcome != "crash" || got.SpecHash != "deadbeef" || got.Seed != 42 {
+		t.Errorf("fields lost: %+v", got)
+	}
+	if len(got.Diagnostics.TrajectoryTail) != 2 {
+		t.Errorf("tail lost: %+v", got.Diagnostics)
+	}
+}
+
+func TestFilenameScrubsSeparators(t *testing.T) {
+	d := Dump{CaseID: "../evil/case:1"}
+	name := d.Filename()
+	if filepath.Base(name) != name {
+		t.Errorf("filename %q escapes its directory", name)
+	}
+	if name != ".._evil_case_1.blackbox.json" {
+		t.Errorf("scrubbed name = %q", name)
+	}
+}
+
+func TestLoadRejects(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := map[string]string{
+		"garbage.json":    "{not json",
+		"no-case.json":    `{"version":1,"outcome":"crash"}`,
+		"no-outcome.json": `{"version":1,"case_id":"x"}`,
+		"future.json":     `{"version":99,"case_id":"x","outcome":"crash"}`,
+		"zero-ver.json":   `{"case_id":"x","outcome":"crash"}`,
+	}
+	for name, content := range cases {
+		if _, err := Load(write(name, content)); err == nil {
+			t.Errorf("%s loaded without error", name)
+		}
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file loaded")
+	}
+}

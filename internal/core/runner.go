@@ -63,6 +63,33 @@ type Runner struct {
 	// means obs.Stopped(): timing metrics stay zero and the library never
 	// reads the wall clock itself (cmd layers inject the real clock).
 	Clock obs.Clock
+	// Trace, if non-nil, receives the campaign span tree: one span per
+	// stage, shared prefix, lockstep batch, and case, parented under
+	// TraceRoot. A nil tracer (the default) records nothing and costs
+	// nothing — every tracer method is a nil-safe no-op.
+	Trace *obs.Tracer
+	// TraceRoot is the parent span for everything the runner records
+	// (typically the "campaign" span cmd/campaign opens); 0 makes the
+	// stage and prefix spans roots.
+	TraceRoot obs.SpanID
+}
+
+// traceCtx bundles the tracer state one RunAll threads through its
+// workers: the tracer, the campaign root, and the prefix-key → span map
+// built during the checkpoint stage so batches parent under their prefix.
+type traceCtx struct {
+	tr     *obs.Tracer
+	root   obs.SpanID
+	prefix map[prefixKey]obs.SpanID
+}
+
+// prefixSpan returns the span of k's shared prefix, or the root when the
+// prefix was never built (gold runs, singletons, failed builds).
+func (tc traceCtx) prefixSpan(k prefixKey) obs.SpanID {
+	if id, ok := tc.prefix[k]; ok {
+		return id
+	}
+	return tc.root
 }
 
 // now reads the injected clock (0 when none is wired).
@@ -92,9 +119,19 @@ type runnerMetrics struct {
 	failsafed *obs.Counter
 	timedOut  *obs.Counter
 
+	// traceDropped accumulates per-case event-ring evictions
+	// (Diagnostics.TraceDropped), surfacing what was silent truncation.
+	traceDropped *obs.Counter
+
 	caseSeconds       *obs.Histogram
 	checkpointSeconds *obs.Gauge
 	runSeconds        *obs.Gauge
+
+	// activeWorkers/activeBatches are live concurrency levels for the
+	// status endpoint: workers currently executing a unit, and units
+	// currently inside a lockstep batch run.
+	activeWorkers *obs.Gauge
+	activeBatches *obs.Gauge
 }
 
 func newRunnerMetrics(reg *obs.Registry) *runnerMetrics {
@@ -111,9 +148,14 @@ func newRunnerMetrics(reg *obs.Registry) *runnerMetrics {
 		failsafed: reg.Counter("campaign_outcome_failsafe_total"),
 		timedOut:  reg.Counter("campaign_outcome_timeout_total"),
 
+		traceDropped: reg.Counter("campaign_trace_dropped_total"),
+
 		caseSeconds:       reg.Histogram("campaign_case_seconds", caseSecondsBounds),
 		checkpointSeconds: reg.Gauge("campaign_checkpoint_stage_seconds"),
 		runSeconds:        reg.Gauge("campaign_run_stage_seconds"),
+
+		activeWorkers: reg.Gauge("campaign_active_workers"),
+		activeBatches: reg.Gauge("campaign_active_batches"),
 	}
 }
 
@@ -132,6 +174,9 @@ func (m *runnerMetrics) observeCase(res CaseResult, forked bool, seconds float64
 	if res.Err != "" {
 		m.errors.Inc()
 		return
+	}
+	if res.Result.Diagnostics != nil {
+		m.traceDropped.Add(res.Result.Diagnostics.TraceDropped)
 	}
 	switch res.Result.Outcome {
 	case sim.OutcomeCompleted:
@@ -189,10 +234,14 @@ func (r *Runner) RunAll(ctx context.Context, cases []Case) []CaseResult {
 		metrics = newRunnerMetrics(r.Obs)
 	}
 
+	tc := traceCtx{tr: r.Trace, root: r.TraceRoot}
+
 	var checkpoints map[prefixKey]*sim.Checkpoint
 	if r.Checkpoint {
 		stageStart := r.now()
-		checkpoints = r.prepareCheckpoints(ctx, cases, workers, metrics)
+		cpSpan := tc.tr.Start("stage:checkpoint", tc.root)
+		checkpoints, tc.prefix = r.prepareCheckpoints(ctx, cases, workers, metrics, tc)
+		tc.tr.End(cpSpan)
 		if metrics != nil {
 			metrics.checkpointSeconds.Set(r.now() - stageStart)
 		}
@@ -203,6 +252,7 @@ func (r *Runner) RunAll(ctx context.Context, cases []Case) []CaseResult {
 	unitCh := make(chan []int)
 
 	runStart := r.now()
+	runSpan := tc.tr.Start("stage:run", tc.root)
 	var (
 		wg       sync.WaitGroup
 		doneMu   sync.Mutex
@@ -215,8 +265,11 @@ func (r *Runner) RunAll(ctx context.Context, cases []Case) []CaseResult {
 		go func() {
 			defer wg.Done()
 			for unit := range unitCh {
+				if metrics != nil {
+					metrics.activeWorkers.Add(1)
+				}
 				unitStart := r.now()
-				unitResults, forked, batched := r.runUnit(cases, unit, checkpoints)
+				unitResults, forked, batched := r.runUnit(cases, unit, checkpoints, tc, metrics)
 				// Per-case wall time: the batch steps its forks
 				// interleaved, so the chunk's time is split evenly.
 				perCase := (r.now() - unitStart) / float64(len(unit))
@@ -245,6 +298,9 @@ func (r *Runner) RunAll(ctx context.Context, cases []Case) []CaseResult {
 					}
 					results[idx] = res
 				}
+				if metrics != nil {
+					metrics.activeWorkers.Add(-1)
+				}
 			}
 		}()
 	}
@@ -259,6 +315,7 @@ feed:
 	}
 	close(unitCh)
 	wg.Wait()
+	tc.tr.End(runSpan)
 	if metrics != nil {
 		metrics.runSeconds.Set(r.now() - runStart)
 	}
@@ -317,8 +374,10 @@ func sortPrefixKeys(keys []prefixKey) {
 
 // prepareCheckpoints simulates one shared prefix per group of two or more
 // forkable cases, in parallel. Groups whose prefix fails to build are
-// simply absent from the map; their cases run straight through.
-func (r *Runner) prepareCheckpoints(ctx context.Context, cases []Case, workers int, metrics *runnerMetrics) map[prefixKey]*sim.Checkpoint {
+// simply absent from the map; their cases run straight through. The
+// second return maps each built prefix to its trace span, so batches and
+// forked cases later parent under the prefix that spawned them.
+func (r *Runner) prepareCheckpoints(ctx context.Context, cases []Case, workers int, metrics *runnerMetrics, tc traceCtx) (map[prefixKey]*sim.Checkpoint, map[prefixKey]obs.SpanID) {
 	groups := map[prefixKey][]int{}
 	for i, c := range cases {
 		k := casePrefixKey(c)
@@ -342,10 +401,11 @@ func (r *Runner) prepareCheckpoints(ctx context.Context, cases []Case, workers i
 	}
 	keys = shared
 	if len(keys) == 0 {
-		return nil
+		return nil, nil
 	}
 
 	checkpoints := make(map[prefixKey]*sim.Checkpoint, len(keys))
+	prefixSpans := make(map[prefixKey]obs.SpanID, len(keys))
 	var mu sync.Mutex
 	keyCh := make(chan prefixKey)
 	var wg sync.WaitGroup
@@ -357,24 +417,36 @@ func (r *Runner) prepareCheckpoints(ctx context.Context, cases []Case, workers i
 		go func() {
 			defer wg.Done()
 			for k := range keyCh {
+				span := tc.tr.Start("prefix", tc.root,
+					obs.NumAttr("mission", float64(k.missionID)),
+					obs.NumAttr("seed", float64(k.seed)),
+					obs.StrAttr("scope", k.scope.String()),
+					obs.NumAttr("start_sec", k.start.Seconds()),
+					obs.NumAttr("cases", float64(len(groups[k]))))
 				// The group's first case stands in for its siblings: before
 				// the shared injection start, any same-scope injector is
 				// behaviourally inert.
 				rep := cases[groups[k][0]]
 				m, err := r.missionByID(rep.MissionID)
 				if err != nil {
+					tc.tr.Annotate(span, obs.BoolAttr("error", true))
+					tc.tr.End(span)
 					continue
 				}
 				cfg := r.Config
 				cfg.Seed = rep.Seed
 				v, err := sim.NewVehicle(cfg, m, rep.Injection, nil)
 				if err != nil {
+					tc.tr.Annotate(span, obs.BoolAttr("error", true))
+					tc.tr.End(span)
 					continue
 				}
 				v.RunUntil(k.start.Seconds())
 				cp := v.Snapshot()
+				tc.tr.End(span)
 				mu.Lock()
 				checkpoints[k] = cp
+				prefixSpans[k] = span
 				mu.Unlock()
 				if metrics != nil {
 					metrics.prefixes.Inc()
@@ -392,7 +464,7 @@ func (r *Runner) prepareCheckpoints(ctx context.Context, cases []Case, workers i
 	}
 	close(keyCh)
 	wg.Wait()
-	return checkpoints
+	return checkpoints, prefixSpans
 }
 
 // workUnits partitions the case indices into work units: singleton units
@@ -443,24 +515,80 @@ func (r *Runner) workUnits(cases []Case, checkpoints map[prefixKey]*sim.Checkpoi
 // forked/batched flags (index-aligned with unit). Multi-case units try the
 // lockstep batch first and fall back to per-case scalar execution if the
 // batch cannot be built.
-func (r *Runner) runUnit(cases []Case, unit []int, checkpoints map[prefixKey]*sim.Checkpoint) (results []CaseResult, forked, batched []bool) {
+func (r *Runner) runUnit(cases []Case, unit []int, checkpoints map[prefixKey]*sim.Checkpoint, tc traceCtx, metrics *runnerMetrics) (results []CaseResult, forked, batched []bool) {
 	if len(unit) > 1 {
-		cp := checkpoints[casePrefixKey(cases[unit[0]])]
-		if out, ok := r.runBatchChunk(cases, unit, cp); ok {
+		k := casePrefixKey(cases[unit[0]])
+		cp := checkpoints[k]
+		span := tc.tr.Start("batch", tc.prefixSpan(k),
+			obs.StrAttr("first", cases[unit[0]].ID),
+			obs.NumAttr("cases", float64(len(unit))))
+		if metrics != nil {
+			metrics.activeBatches.Add(1)
+		}
+		out, ok := r.runBatchChunk(cases, unit, cp)
+		if metrics != nil {
+			metrics.activeBatches.Add(-1)
+		}
+		if ok {
+			// The batch steps its forks interleaved, so per-case duration is
+			// not individually observable: case spans carry identity and
+			// outcome, the batch span carries the wall time.
+			for j := range out {
+				cs := tc.tr.Start("case", span,
+					obs.StrAttr("id", out[j].Case.ID),
+					obs.NumAttr("seed", float64(out[j].Case.Seed)),
+					obs.BoolAttr("batched", true))
+				annotateCaseOutcome(tc.tr, cs, out[j])
+				tc.tr.End(cs)
+			}
+			tc.tr.End(span)
 			flags := make([]bool, len(unit))
 			for j := range flags {
 				flags[j] = true
 			}
 			return out, flags, flags
 		}
+		tc.tr.Annotate(span, obs.BoolAttr("fallback", true))
+		tc.tr.End(span)
 	}
 	results = make([]CaseResult, len(unit))
 	forked = make([]bool, len(unit))
 	batched = make([]bool, len(unit))
 	for j, idx := range unit {
-		results[j], forked[j] = r.runCase(cases[idx], checkpoints[casePrefixKey(cases[idx])])
+		results[j], forked[j] = r.runCaseTraced(cases[idx], checkpoints[casePrefixKey(cases[idx])], tc)
 	}
 	return results, forked, batched
+}
+
+// runCaseTraced wraps runCase in a case span: parented under the case's
+// prefix when a shared checkpoint exists, under the root otherwise, with
+// the outcome and fork/fallback markers annotated after the run.
+func (r *Runner) runCaseTraced(c Case, cp *sim.Checkpoint, tc traceCtx) (CaseResult, bool) {
+	parent := tc.root
+	if cp != nil {
+		parent = tc.prefixSpan(casePrefixKey(c))
+	}
+	span := tc.tr.Start("case", parent,
+		obs.StrAttr("id", c.ID),
+		obs.NumAttr("seed", float64(c.Seed)))
+	res, forked := r.runCase(c, cp)
+	if cp != nil && !forked {
+		// A checkpoint existed but the fork was rejected: the case ran
+		// straight through as a fallback.
+		tc.tr.Annotate(span, obs.BoolAttr("fallback", true))
+	}
+	annotateCaseOutcome(tc.tr, span, res)
+	tc.tr.End(span)
+	return res, forked
+}
+
+// annotateCaseOutcome records a finished case's classification on its span.
+func annotateCaseOutcome(tr *obs.Tracer, span obs.SpanID, res CaseResult) {
+	if res.Err != "" {
+		tr.Annotate(span, obs.StrAttr("outcome", "error"))
+		return
+	}
+	tr.Annotate(span, obs.StrAttr("outcome", res.Result.Outcome.String()))
 }
 
 // runBatchChunk forks every case in the chunk from the shared checkpoint

@@ -37,9 +37,22 @@ type recorder struct {
 	st recorderState
 }
 
+// BlackBoxTailSec is the black-box window: how many trailing seconds of
+// tracking observations the recorder retains for post-crash dumps. It is
+// a package constant, not a Config field, because spec.Fingerprint
+// hashes the full Config — a tunable here would invalidate every case
+// hash and resume cache in existence.
+const BlackBoxTailSec = 30
+
+// blackBoxTailCap sizes the tail ring: tracking runs at 1 Hz (the
+// u-space default), so the window plus one boundary observation.
+const blackBoxTailCap = BlackBoxTailSec + 1
+
 // recorderState is the recorder's scalar state: rising-edge latches (trace
 // events fire on streak starts, not every instant) and first-occurrence
-// timestamps (-1 until seen).
+// timestamps (-1 until seen). It also embeds the black-box tail ring as
+// plain value fields, so checkpoint snapshots copy it with the struct and
+// forks stay bit-identical to straight-through runs.
 type recorderState struct {
 	// steps/phaseSteps are plain ints, not registry counters: the vehicle
 	// is single-goroutine and these are the only instruments touched on
@@ -62,6 +75,11 @@ type recorderState struct {
 	firstInnerT     float64
 	firstOuterT     float64
 	distFirstOuterM float64
+
+	// Black-box tail ring (oldest at tailStart when full).
+	tail      [blackBoxTailCap]TrajPoint
+	tailStart int
+	tailN     int
 }
 
 // newRecorder builds the registry, registers every instrument once (the
@@ -204,6 +222,31 @@ func (r *recorder) onTrack(t float64, innerViolated, outerViolated bool, distM f
 	r.st.outerActive = outerViolated
 }
 
+// onTailPoint folds one tracking observation into the black-box ring,
+// evicting the oldest point once the window is full. Allocation-free: the
+// ring is a fixed array inside recorderState.
+func (r *recorder) onTailPoint(p TrajPoint) {
+	if r.st.tailN < blackBoxTailCap {
+		r.st.tail[(r.st.tailStart+r.st.tailN)%blackBoxTailCap] = p
+		r.st.tailN++
+		return
+	}
+	r.st.tail[r.st.tailStart] = p
+	r.st.tailStart = (r.st.tailStart + 1) % blackBoxTailCap
+}
+
+// tailPoints returns the retained tail oldest-first (nil when empty).
+func (r *recorder) tailPoints() []TrajPoint {
+	if r.st.tailN == 0 {
+		return nil
+	}
+	out := make([]TrajPoint, r.st.tailN)
+	for i := 0; i < r.st.tailN; i++ {
+		out[i] = r.st.tail[(r.st.tailStart+i)%blackBoxTailCap]
+	}
+	return out
+}
+
 // onOutcome records the terminal event. detail must be a pre-built string
 // (outcome paths run once, so this is off the hot path anyway).
 func (r *recorder) onOutcome(t float64, kind obs.EventKind, detail string) {
@@ -230,14 +273,15 @@ func (r *recorder) restore(s recorderSnapshot) error {
 }
 
 // diagnostics assembles the per-case diagnostics block from the recorder
-// and the filter's health report. It reads but never mutates state, so
-// finalize stays safe to call repeatedly.
-func (r *recorder) diagnostics(h ekf.Health) *Diagnostics {
+// and the filter's health report. withTail attaches the black-box
+// trajectory ring (crash/violation flights only — see finalize). It reads but
+// never mutates state, so finalize stays safe to call repeatedly.
+func (r *recorder) diagnostics(h ekf.Health, withTail bool) *Diagnostics {
 	distKm := -1.0
 	if r.st.distFirstOuterM >= 0 {
 		distKm = r.st.distFirstOuterM / 1000
 	}
-	return &Diagnostics{
+	d := &Diagnostics{
 		FirstInnerViolationSec: r.st.firstInnerT,
 		FirstOuterViolationSec: r.st.firstOuterT,
 		DistanceAtFirstOuterKm: distKm,
@@ -255,4 +299,8 @@ func (r *recorder) diagnostics(h ekf.Health) *Diagnostics {
 		TraceDropped:           r.trace.Dropped(),
 		TraceSummary:           r.trace.CountByKind(),
 	}
+	if withTail {
+		d.TrajectoryTail = r.tailPoints()
+	}
+	return d
 }

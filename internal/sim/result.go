@@ -115,6 +115,13 @@ type Diagnostics struct {
 	Trace        []obs.Event    `json:"trace,omitempty"`
 	TraceDropped int64          `json:"trace_dropped,omitempty"`
 	TraceSummary map[string]int `json:"trace_summary,omitempty"`
+	// TrajectoryTail is the black-box flight path: the last
+	// BlackBoxTailSec seconds of tracking observations before the flight
+	// ended, captured even when full trajectory recording is off.
+	// Populated only for the cases the black-box dumper archives —
+	// crashes and outer-bubble violations — to keep campaign results
+	// files lean and benign flights allocation-free.
+	TrajectoryTail []TrajPoint `json:"trajectory_tail,omitempty"`
 }
 
 // Label returns the injection label or "Gold Run".

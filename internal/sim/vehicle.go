@@ -274,7 +274,12 @@ func (v *Vehicle) finalize() Result {
 	res.InnerViolations = v.tracker.InnerViolations()
 	res.OuterViolations = v.tracker.OuterViolations()
 	res.WaypointsReached = v.guide.waypointsReached()
-	res.Diagnostics = v.rec.diagnostics(v.filter.Health())
+	// The black-box tail is attached only to the flights the black-box
+	// dumper archives — crashes and containment violations: campaign
+	// results stay lean (and benign timeouts allocation-free) while
+	// every dumped case carries the trajectory evidence.
+	withTail := res.Outcome == OutcomeCrash || res.OuterViolations > 0
+	res.Diagnostics = v.rec.diagnostics(v.filter.Health(), withTail)
 	return res
 }
 
@@ -550,11 +555,15 @@ func (v *Vehicle) stepEnv(env *envDraws) {
 			v.havePrevEst = true
 			v.rec.onTrack(t, s.InnerViolated, s.OuterViolated, v.distM)
 
+			point := TrajPoint{
+				T: t, TruePos: bst.Pos, EstPos: est.Pos,
+				TiltDeg: mathx.Rad2Deg(bst.Att.TiltAngle()),
+			}
+			// The black-box ring captures the tail unconditionally; the
+			// full trajectory only when the (figure-oriented) flag asks.
+			v.rec.onTailPoint(point)
 			if cfg.RecordTrajectory {
-				v.res.Trajectory = append(v.res.Trajectory, TrajPoint{
-					T: t, TruePos: bst.Pos, EstPos: est.Pos,
-					TiltDeg: mathx.Rad2Deg(bst.Att.TiltAngle()),
-				})
+				v.res.Trajectory = append(v.res.Trajectory, point)
 			}
 			if v.obs != nil {
 				v.obs(Telemetry{
