@@ -13,7 +13,7 @@
 set -eux
 
 tmpdir=$(mktemp -d)
-trap 'rm -rf "$tmpdir"' EXIT
+trap 'kill "${CAMPAIGND_PID:-}" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
 
 go build ./...
 go vet ./...
@@ -33,6 +33,8 @@ go test -run XXX -bench Micro -benchtime=1x -benchmem .
 # Example campaign specs stay loadable and compilable.
 go run ./cmd/campaign -validate-spec examples/specs/paper-850.json
 go run ./cmd/campaign -validate-spec examples/specs/redundancy-ablation.json
+go run ./cmd/campaign -validate-spec examples/specs/mini-grid.json
+go run ./cmd/campaign -validate-spec examples/specs/mini-grid-wide.json
 
 # Observability + resume smoke: run one mission's gyro cases with
 # metrics capture, validate the snapshot schema, then resume over the
@@ -63,6 +65,44 @@ go run ./cmd/replay -blackbox "$(ls "$tmpdir/obs/blackbox"/*.blackbox.json | hea
 # Live status endpoint: mid-run 200 with well-formed JSON plus the SSE
 # stream, driven by the package test against the real handler stack.
 go test -run 'TestStatusEndpointMidRun' ./cmd/campaign/
+
+# campaignd + content-addressed store smoke: start the daemon on a free
+# port, submit the mini grid twice — the second run must be >=95% cache
+# hits (here: 100%, zero misses) and its merged results file must
+# bit-compare equal to a direct cmd/campaign run of the same spec — then
+# submit the overlapping wider grid, which may simulate only the two new
+# duration cells.
+go build -o "$tmpdir/campaignd" ./cmd/campaignd
+"$tmpdir/campaignd" -addr 127.0.0.1:0 -addr-file "$tmpdir/campaignd.addr" \
+	-store "$tmpdir/store" -out-dir "$tmpdir/campaignd-out" -worker-procs 2 -q &
+CAMPAIGND_PID=$!
+for _ in $(seq 1 100); do
+	[ -s "$tmpdir/campaignd.addr" ] && break
+	sleep 0.1
+done
+CAMPAIGND_ADDR=$(cat "$tmpdir/campaignd.addr")
+"$tmpdir/campaignd" -submit examples/specs/mini-grid.json -addr "$CAMPAIGND_ADDR" | tee "$tmpdir/run1.json"
+"$tmpdir/campaignd" -submit examples/specs/mini-grid.json -addr "$CAMPAIGND_ADDR" | tee "$tmpdir/run2.json"
+grep -q '"cache_misses": 0' "$tmpdir/run2.json"
+grep -q '"cache_hit_ratio": 1' "$tmpdir/run2.json"
+warm_results=$(grep -o '"results_path": *"[^"]*"' "$tmpdir/run2.json" | cut -d'"' -f4)
+go run ./cmd/campaign -spec examples/specs/mini-grid.json -q -out "$tmpdir/direct.json"
+go run ./cmd/campaign -compare-results "$warm_results,$tmpdir/direct.json"
+"$tmpdir/campaignd" -submit examples/specs/mini-grid-wide.json -addr "$CAMPAIGND_ADDR" | tee "$tmpdir/run3.json"
+grep -q '"cache_hits": 5' "$tmpdir/run3.json"
+grep -q '"cache_misses": 2' "$tmpdir/run3.json"
+kill "$CAMPAIGND_PID"
+CAMPAIGND_PID=
+
+# The same store serves cmd/campaign directly: a -store run over the
+# warmed cache must simulate nothing new for the overlapping cells.
+go run ./cmd/campaign -spec examples/specs/mini-grid.json -q \
+	-out "$tmpdir/store_direct.json" -store "$tmpdir/store" \
+	-metrics-out "$tmpdir/store_metrics.json" | tee "$tmpdir/store_run.log"
+grep -q 'store .*: 5 hits, 0 misses' "$tmpdir/store_run.log"
+grep -q 'campaign_cache_hits_total' "$tmpdir/store_metrics.json"
+grep -q 'store_objects' "$tmpdir/store_metrics.json"
+go run ./cmd/campaign -compare-results "$tmpdir/store_direct.json,$tmpdir/direct.json"
 
 # Perf-regression gate against the committed bench report: measure a
 # fresh one and fail on >10% ns/op or any allocs/op regression (see

@@ -4,9 +4,11 @@
 // four ways — straight through ("cold"), checkpoint-and-fork with scalar
 // forks ("checkpointed"), with lockstep fork batches
 // ("checkpointed-batch", the default campaign path and the headline
-// speedup), and batched with covariance decimation disabled
-// ("checkpointed-k1") — to report the end-to-end speedup prefix sharing
-// and batching buy.
+// speedup), batched with covariance decimation disabled
+// ("checkpointed-k1"), and against a fresh content-addressed result
+// store, once populating it ("store-cold") and once replaying every
+// case from it ("store-warm") — to report the end-to-end speedup prefix
+// sharing, batching, and result caching buy.
 //
 // Usage:
 //
@@ -38,6 +40,7 @@ import (
 	"uavres/internal/sensors"
 	"uavres/internal/sim"
 	"uavres/internal/spec"
+	"uavres/internal/store"
 )
 
 // MicroResult is one micro-benchmark's outcome.
@@ -437,6 +440,51 @@ func campaignSlice(missions, workers int) (CampaignResult, error) {
 		return CampaignResult{}, err
 	}
 
+	// Store-backed modes: the same batched execution over a fingerprinted
+	// copy of the plan against a fresh content-addressed store. The cold
+	// pass pays the Put cost on every case; the warm pass replays every
+	// case from disk without simulating — the wall-clock floor for an
+	// overlapping grid.
+	storeCases := make([]core.Case, len(cases))
+	copy(storeCases, cases)
+	spec.AttachFingerprints(storeCases, sim.DefaultConfig())
+	storeTmp, err := os.MkdirTemp("", "bench-store-")
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	defer os.RemoveAll(storeTmp)
+	st, err := store.Open(storeTmp)
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	defer st.Close()
+	runStore := func() ([]core.CaseResult, float64, error) {
+		r := core.NewRunner()
+		r.Missions = scenario
+		r.Workers = workers
+		r.Cache = st
+		t0 := time.Now()
+		results := r.RunAll(context.Background(), storeCases)
+		elapsed := time.Since(t0).Seconds()
+		for _, cr := range results {
+			if cr.Err != "" {
+				return nil, 0, fmt.Errorf("case %s: %s", cr.Case.ID, cr.Err)
+			}
+		}
+		return results, elapsed, nil
+	}
+	_, storeColdSec, err := runStore()
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	warm, storeWarmSec, err := runStore()
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	if hits := st.Stats().Hits; hits != int64(len(cases)) {
+		return CampaignResult{}, fmt.Errorf("store-warm replayed %d/%d cases from the store", hits, len(cases))
+	}
+
 	// Both checkpointed modes — scalar forks and lockstep batches — must
 	// be BIT-identical to the straight-through runs.
 	bitIdentical := func(xs, ys []core.CaseResult) bool {
@@ -453,7 +501,8 @@ func campaignSlice(missions, workers int) (CampaignResult, error) {
 		}
 		return match
 	}
-	match := bitIdentical(cold, forked) && bitIdentical(cold, batched)
+	match := bitIdentical(cold, forked) && bitIdentical(cold, batched) &&
+		bitIdentical(cold, warm)
 
 	// Decimation is a numerical approximation, so only the VERDICT fields
 	// must agree with the exact path: outcome, bubble violations, and the
@@ -480,6 +529,8 @@ func campaignSlice(missions, workers int) (CampaignResult, error) {
 			{Mode: "checkpointed", Sec: cpSec},
 			{Mode: "checkpointed-batch", Sec: batchSec},
 			{Mode: "checkpointed-k1", Sec: exactSec},
+			{Mode: "store-cold", Sec: storeColdSec},
+			{Mode: "store-warm", Sec: storeWarmSec},
 		},
 		ColdSec:                 coldSec,
 		CheckpointSec:           batchSec,
@@ -517,6 +568,19 @@ func compareReports(oldPath, newPath string) int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		return 2
+	}
+
+	// Reports from different host windows (CPU count or toolchain) time
+	// different machines, not different code: the micro gate still runs
+	// (minimum-of-reps is fairly robust), but every wall-clock delta
+	// below is suspect. Warn loudly rather than silently diffing.
+	if oldRep.NumCPU != newRep.NumCPU || oldRep.GoVersion != newRep.GoVersion {
+		fmt.Fprintf(os.Stderr,
+			"bench: WARNING: reports come from different host windows — wall-clock deltas are not comparable\n"+
+				"  old %s: num_cpu=%d go_version=%s\n"+
+				"  new %s: num_cpu=%d go_version=%s\n",
+			oldPath, oldRep.NumCPU, oldRep.GoVersion,
+			newPath, newRep.NumCPU, newRep.GoVersion)
 	}
 
 	oldBy := map[string]MicroResult{}

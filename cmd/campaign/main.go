@@ -13,6 +13,7 @@
 //	campaign -spec examples/specs/paper-850.json
 //	campaign -select mission=4,target=gyro -select "id=m07-*freeze*"
 //	campaign -resume -out results.json
+//	campaign -store out/store
 //	campaign -validate-spec examples/specs/paper-850.json
 //	campaign -print-spec
 //	campaign [-cov-decim K] [-cov-settle SEC] [-scope all|primary]
@@ -24,7 +25,10 @@
 //	campaign -validate-trace trace.json
 //	campaign -print-faultmodel
 //
-// The -subset flag remains as a deprecated alias for
+// With -store, fingerprint-stored cases replay from the shared
+// content-addressed result store (the same store campaignd serves)
+// instead of simulating; -resume is the results-file special case of
+// the same mechanism. The historical -subset alias was removed; use
 // -select "id=*SUBSTR*".
 package main
 
@@ -51,6 +55,7 @@ import (
 	"uavres/internal/paperdata"
 	"uavres/internal/sim"
 	"uavres/internal/spec"
+	"uavres/internal/store"
 )
 
 func main() {
@@ -63,7 +68,8 @@ func run() int {
 		seed       = flag.Int64("seed", 1, "campaign base seed (overrides the spec's seed when set explicitly)")
 		out        = flag.String("out", "campaign_results.json", "JSON results output path (empty = skip)")
 		specPath   = flag.String("spec", "", "campaign spec JSON path (empty = the built-in paper-850 spec)")
-		subset     = flag.String("subset", "", "DEPRECATED: alias for -select \"id=*SUBSTR*\"; use -select")
+		subset     = flag.String("subset", "", "REMOVED: use -select \"id=*SUBSTR*\"")
+		storeDir   = flag.String("store", "", "content-addressed result store directory: fingerprint-stored cases return as cache hits, fresh results are stored back (shared with campaignd)")
 		resume     = flag.Bool("resume", false, "load the -out results file and run only the missing, stale, or errored cases")
 		checkpoint = flag.Bool("checkpoint", true, "share pre-injection prefixes between cases (checkpoint-and-fork; false = simulate every case straight through)")
 		scope      = flag.String("scope", "all", "fault scope: all (paper assumption: every redundant IMU) | primary (unit 0 only — redundancy ablation)")
@@ -100,6 +106,17 @@ func run() int {
 
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	if *subset != "" || explicit["subset"] {
+		fmt.Fprintln(os.Stderr, "campaign: -subset was removed; use -select \"id=*SUBSTR*\"")
+		return 1
+	}
+	// -resume replays the -out file; with no file there is nothing to
+	// resume from. Fail before any compile or output prep happens.
+	if *resume && *out == "" {
+		fmt.Fprintln(os.Stderr, "campaign: -resume needs -out to name the results file")
+		return 1
+	}
 
 	if *faultmodel {
 		fmt.Print(core.RenderFaultModel())
@@ -201,10 +218,6 @@ func run() int {
 	if explicit["scope"] || s.Matrix.Scope == "" {
 		s.Matrix.Scope = *scope
 	}
-	if *subset != "" {
-		fmt.Fprintln(os.Stderr, "campaign: -subset is deprecated; use -select \"id=*"+*subset+"*\"")
-		selectors = append(selectors, spec.SubstringSelector(*subset))
-	}
 
 	if *printSpec {
 		s2 := s
@@ -267,16 +280,31 @@ func run() int {
 	}
 
 	// Every case is stamped with its content hash under the final
-	// effective config — the cache key -resume compares.
+	// effective config — the cache key -resume and -store compare.
 	spec.AttachFingerprints(cases, runner.Config)
 
-	// Resume: split the compiled plan against the prior results file.
-	var reused []core.CaseResult
-	if *resume {
-		if *out == "" {
-			fmt.Fprintln(os.Stderr, "campaign: -resume needs -out to name the results file")
+	// Content-addressed result store: fingerprint-stored cases return as
+	// cache hits without simulating; fresh results are stored back. The
+	// store's gauges land in the same registry, so -metrics-out snapshots
+	// carry object/byte counts alongside the hit/miss counters.
+	var resultStore *store.Store
+	if *storeDir != "" {
+		var err error
+		resultStore, err = store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
 			return 1
 		}
+		defer resultStore.Close()
+		resultStore.RegisterMetrics(reg)
+		runner.Cache = resultStore
+	}
+
+	// Resume: split the compiled plan against the prior results file.
+	// (The -resume/-out combination was validated right after flag
+	// parsing, before any compile work.)
+	var reused []core.CaseResult
+	if *resume {
 		prior, truncated, err := core.LoadPartialResultsFile(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "campaign:", err)
@@ -408,6 +436,17 @@ func run() int {
 		if r.Err != "" {
 			failures++
 			fmt.Fprintf(os.Stderr, "campaign: case %s failed: %s\n", r.Case.ID, r.Err)
+		}
+	}
+
+	if resultStore != nil {
+		st := resultStore.Stats()
+		fmt.Printf("campaign: store %s: %d hits, %d misses, %d stored (%d objects, %d bytes)\n",
+			*storeDir, st.Hits, st.Misses, st.Puts, st.Objects, st.Bytes)
+		if err := resultStore.Err(); err != nil {
+			// Lost puts only cost future cache hits; the campaign's own
+			// results are intact, so report without failing the run.
+			fmt.Fprintf(os.Stderr, "campaign: store persistence degraded: %v\n", err)
 		}
 	}
 

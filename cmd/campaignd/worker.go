@@ -1,0 +1,111 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"uavres/internal/core"
+	"uavres/internal/sim"
+)
+
+// The worker protocol is newline-delimited JSON over stdin/stdout: the
+// coordinator sends one init message, the worker answers ready, then
+// each work unit is answered with its results before the next unit is
+// read. One message in flight per worker keeps the protocol trivially
+// ordered; parallelism comes from the worker pool, not pipelining.
+//
+//	→ {"init":{"config":{...},"workers":N,...}}
+//	← {"ready":true}
+//	→ {"unit":{"seq":0,"cases":[...]}}
+//	← {"seq":0,"results":[...]}
+//	→ EOF (stdin closes)   — the worker exits 0
+//
+// Results carry the FULL per-case payloads (Diagnostics, Trajectory):
+// the coordinator owns stripping, storage, and streaming, and the JSON
+// round trip is exact (shortest round-trip floats), so a merged results
+// file is bit-identical to one produced in-process by cmd/campaign.
+
+// workerInit configures the worker's runner once per process. The
+// config is the campaign's final effective sim.Config, so fingerprints
+// computed by the coordinator stay valid for the results the worker
+// produces.
+type workerInit struct {
+	Config     sim.Config `json:"config"`
+	Workers    int        `json:"workers"`
+	Checkpoint bool       `json:"checkpoint"`
+	Batch      bool       `json:"batch"`
+	BatchWidth int        `json:"batch_width,omitempty"`
+}
+
+// workerUnit is one prefix-coherent slice of the miss-set: every case
+// of a checkpoint group travels together (core.ShardCases), so the
+// worker's checkpoint-and-fork and lockstep batching engage exactly as
+// they would in-process.
+type workerUnit struct {
+	Seq   int         `json:"seq"`
+	Cases []core.Case `json:"cases"`
+}
+
+// workerRequest is one coordinator→worker message: init or unit.
+type workerRequest struct {
+	Init *workerInit `json:"init,omitempty"`
+	Unit *workerUnit `json:"unit,omitempty"`
+}
+
+// workerResponse is one worker→coordinator message: the ready ack or a
+// finished unit. Err reports a unit-level failure (the coordinator
+// converts it into per-case errors rather than failing the campaign).
+type workerResponse struct {
+	Ready   bool              `json:"ready,omitempty"`
+	Seq     int               `json:"seq"`
+	Results []core.CaseResult `json:"results,omitempty"`
+	Err     string            `json:"err,omitempty"`
+}
+
+// workerMain runs the worker side of the protocol until its input
+// closes. It is io-parameterized so tests drive it through pipes; the
+// -worker subprocess wires stdin/stdout.
+func workerMain(ctx context.Context, in io.Reader, out io.Writer) error {
+	dec := json.NewDecoder(in)
+	enc := json.NewEncoder(out)
+
+	var first workerRequest
+	if err := dec.Decode(&first); err != nil {
+		return fmt.Errorf("campaignd worker: reading init: %w", err)
+	}
+	if first.Init == nil {
+		return fmt.Errorf("campaignd worker: first message must be init")
+	}
+	runner := core.NewRunner()
+	runner.Config = first.Init.Config
+	runner.Workers = first.Init.Workers
+	runner.Checkpoint = first.Init.Checkpoint
+	runner.Batch = first.Init.Batch
+	runner.BatchWidth = first.Init.BatchWidth
+	if err := enc.Encode(workerResponse{Ready: true}); err != nil {
+		return fmt.Errorf("campaignd worker: writing ready: %w", err)
+	}
+
+	for {
+		var req workerRequest
+		if err := dec.Decode(&req); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("campaignd worker: reading unit: %w", err)
+		}
+		resp := workerResponse{}
+		switch {
+		case req.Unit == nil:
+			resp.Err = "campaignd worker: expected a unit message"
+		default:
+			resp.Seq = req.Unit.Seq
+			resp.Results = runner.RunAll(ctx, req.Unit.Cases)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return fmt.Errorf("campaignd worker: writing results: %w", err)
+		}
+	}
+}

@@ -211,6 +211,71 @@ func TestLoadPartialResultsTruncated(t *testing.T) {
 	}
 }
 
+// TestLoadPartialResultsHeaderOnly: a campaign interrupted before (or
+// right after) its first case leaves just the run-metadata element.
+// That is the zero-progress resume — no prior results, no error —
+// whether the array was closed cleanly or cut off.
+func TestLoadPartialResultsHeaderOnly(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		closed    bool
+		wantTrunc bool
+	}{
+		{"closed", true, false},
+		{"truncated", false, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			w := NewResultsWriter(&buf)
+			if err := w.WriteHeader(ResultsHeader{RunnerMode: "batch", BatchWidth: 32}); err != nil {
+				t.Fatal(err)
+			}
+			if tc.closed {
+				if err := w.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, truncated, err := LoadPartialResults(strings.NewReader(buf.String()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 0 {
+				t.Errorf("header-only file yielded %d results: %+v", len(got), got)
+			}
+			if truncated != tc.wantTrunc {
+				t.Errorf("truncated = %v, want %v", truncated, tc.wantTrunc)
+			}
+		})
+	}
+}
+
+// TestLoadPartialResultsCorruptHeader: a garbled header line is a real
+// error naming its line — resume must refuse the file, not silently
+// treat it as zero progress and overwrite it.
+func TestLoadPartialResultsCorruptHeader(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewResultsWriter(&buf)
+	if err := w.WriteHeader(ResultsHeader{RunnerMode: "batch"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range resumeResults() {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	text := strings.Replace(buf.String(), `"header"`, `"header" ###`, 1)
+	_, _, err := LoadPartialResults(strings.NewReader(text))
+	if err == nil {
+		t.Fatal("corrupt header accepted")
+	}
+	if !strings.Contains(err.Error(), "line") {
+		t.Errorf("error does not name a line: %v", err)
+	}
+}
+
 // TestLoadPartialResultsCorrupt: corruption inside the file is a real
 // error and it names the line, not a panic and not a silent partial.
 func TestLoadPartialResultsCorrupt(t *testing.T) {

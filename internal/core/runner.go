@@ -72,6 +72,15 @@ type Runner struct {
 	// (typically the "campaign" span cmd/campaign opens); 0 makes the
 	// stage and prefix spans roots.
 	TraceRoot obs.SpanID
+	// Cache, if non-nil, is consulted before any case is scheduled: a
+	// case whose fingerprint (Case.Hash) resolves to a stored result is
+	// returned as a cache hit — counted in campaign_cache_hits_total and
+	// marked with a cache-hit case span — and every freshly simulated
+	// result is offered back via Store. Like OnResult, the cache is a
+	// streaming consumer: when it is set the runner strips the bulky
+	// per-case payloads from the results slice it retains (the cache and
+	// any OnResult consumer own the full payloads).
+	Cache ResultCache
 }
 
 // traceCtx bundles the tracer state one RunAll threads through its
@@ -217,7 +226,95 @@ func (r *Runner) missionByID(id int) (mission.Mission, error) {
 // RunAll executes every case and returns results in the input order.
 // Individual case failures are recorded in CaseResult.Err rather than
 // aborting the campaign; ctx cancellation stops scheduling new cases.
+// With a Cache wired, cases whose fingerprints are already stored are
+// returned as cache hits without simulating; only the misses run.
 func (r *Runner) RunAll(ctx context.Context, cases []Case) []CaseResult {
+	if r.Cache != nil {
+		return r.runAllCached(ctx, cases)
+	}
+	return r.runAll(ctx, cases)
+}
+
+// runAllCached partitions the cases against the cache, replays the hits
+// through the usual streaming/progress/trace surfaces, and delegates the
+// misses to the plain path with a Store hook on every fresh result.
+func (r *Runner) runAllCached(ctx context.Context, cases []Case) []CaseResult {
+	results := make([]CaseResult, len(cases))
+	var (
+		hitIdx  []int
+		miss    []Case
+		missIdx []int
+	)
+	for i, c := range cases {
+		if c.Hash != "" {
+			if res, ok := r.Cache.Lookup(c.Hash); ok &&
+				res.Case.ID == c.ID && res.Case.Hash == c.Hash && res.Err == "" {
+				results[i] = res
+				hitIdx = append(hitIdx, i)
+				continue
+			}
+		}
+		miss = append(miss, c)
+		missIdx = append(missIdx, i)
+	}
+	if r.Obs != nil {
+		r.Obs.Counter("campaign_cache_hits_total").Add(int64(len(hitIdx)))
+		r.Obs.Counter("campaign_cache_misses_total").Add(int64(len(miss)))
+		// Cache hits are finished cases that never ran: the status
+		// endpoint's done count folds them in through the same counter
+		// -resume replay uses.
+		r.Obs.Counter("campaign_cases_cached_total").Add(int64(len(hitIdx)))
+	}
+	if r.Trace != nil && len(hitIdx) > 0 {
+		hits := make([]CaseResult, len(hitIdx))
+		for j, i := range hitIdx {
+			hits[j] = results[i]
+		}
+		MarkCachedCases(r.Trace, r.TraceRoot, hits)
+	}
+	// Hits flow through the streaming consumer and the progress callback
+	// first — in input order — so a results file stays complete and the
+	// done/total contract covers the whole campaign.
+	done := 0
+	for _, i := range hitIdx {
+		if r.OnResult != nil {
+			r.OnResult(results[i])
+		}
+		done++
+		if r.Progress != nil {
+			r.Progress(done, len(cases))
+		}
+		// The cache (and any OnResult consumer) owns the heavy payloads;
+		// the retained slice keeps only the flat outcome fields, exactly
+		// like the fresh-result path below.
+		results[i].Result.Trajectory = nil
+		results[i].Result.Diagnostics = nil
+	}
+
+	sub := *r
+	sub.Cache = nil
+	if r.Progress != nil {
+		base, total := done, len(cases)
+		sub.Progress = func(d, _ int) { r.Progress(base+d, total) }
+	}
+	orig := r.OnResult
+	sub.OnResult = func(res CaseResult) {
+		if res.Err == "" && res.Case.Hash != "" {
+			r.Cache.Store(res)
+		}
+		if orig != nil {
+			orig(res)
+		}
+	}
+	subResults := sub.runAll(ctx, miss)
+	for j, i := range missIdx {
+		results[i] = subResults[j]
+	}
+	return results
+}
+
+// runAll is the cache-free execution path.
+func (r *Runner) runAll(ctx context.Context, cases []Case) []CaseResult {
 	workers := r.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -358,18 +455,23 @@ func casePrefixKey(c Case) prefixKey {
 // iteration order.
 func sortPrefixKeys(keys []prefixKey) {
 	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.missionID != b.missionID {
-			return a.missionID < b.missionID
-		}
-		if a.seed != b.seed {
-			return a.seed < b.seed
-		}
-		if a.scope != b.scope {
-			return a.scope < b.scope
-		}
-		return a.start < b.start
+		return lessPrefixKey(keys[i], keys[j])
 	})
+}
+
+// lessPrefixKey is the (mission, seed, scope, start) total order shared
+// by prefix scheduling and shard assignment.
+func lessPrefixKey(a, b prefixKey) bool {
+	if a.missionID != b.missionID {
+		return a.missionID < b.missionID
+	}
+	if a.seed != b.seed {
+		return a.seed < b.seed
+	}
+	if a.scope != b.scope {
+		return a.scope < b.scope
+	}
+	return a.start < b.start
 }
 
 // prepareCheckpoints simulates one shared prefix per group of two or more

@@ -1,0 +1,90 @@
+package core
+
+import "sort"
+
+// ShardCases partitions cases into at most n shards for distribution
+// across worker processes, never splitting a prefix group: every set of
+// cases that could share one simulated checkpoint prefix (same mission,
+// environment seed, injection scope, and start — see casePrefixKey)
+// lands in one shard, so checkpoint-and-fork and lockstep batching
+// still apply inside each worker exactly as they do in-process. Cases
+// that cannot fork (gold runs, immediate injections) travel as
+// singleton groups.
+//
+// Assignment is deterministic: groups are ordered largest-first (ties
+// by prefix key, then by first case index) and greedily placed on the
+// least-loaded shard (ties to the lowest shard index) — the classic LPT
+// balance, reproducible for a given campaign. Each shard's cases keep
+// their input order; empty shards are dropped.
+func ShardCases(cases []Case, n int) [][]Case {
+	if len(cases) == 0 {
+		return nil
+	}
+	if n < 1 {
+		n = 1
+	}
+
+	// Group indices by prefix key; zero-key cases each form their own
+	// singleton group.
+	type group struct {
+		key  prefixKey
+		idxs []int
+	}
+	byKey := map[prefixKey]int{}
+	var groups []group
+	for i, c := range cases {
+		k := casePrefixKey(c)
+		if k == (prefixKey{}) {
+			groups = append(groups, group{idxs: []int{i}})
+			continue
+		}
+		gi, ok := byKey[k]
+		if !ok {
+			gi = len(groups)
+			byKey[k] = gi
+			groups = append(groups, group{key: k})
+		}
+		groups[gi].idxs = append(groups[gi].idxs, i)
+	}
+
+	// Largest-first, deterministic tiebreak: prefix-key order is the
+	// total order sortPrefixKeys defines; singletons (zero key) tie-break
+	// on their first case index.
+	sort.SliceStable(groups, func(a, b int) bool {
+		ga, gb := groups[a], groups[b]
+		if len(ga.idxs) != len(gb.idxs) {
+			return len(ga.idxs) > len(gb.idxs)
+		}
+		if ga.key != gb.key {
+			return lessPrefixKey(ga.key, gb.key)
+		}
+		return ga.idxs[0] < gb.idxs[0]
+	})
+
+	shardIdxs := make([][]int, n)
+	loads := make([]int, n)
+	for _, g := range groups {
+		best := 0
+		for s := 1; s < n; s++ {
+			if loads[s] < loads[best] {
+				best = s
+			}
+		}
+		shardIdxs[best] = append(shardIdxs[best], g.idxs...)
+		loads[best] += len(g.idxs)
+	}
+
+	out := make([][]Case, 0, n)
+	for _, idxs := range shardIdxs {
+		if len(idxs) == 0 {
+			continue
+		}
+		sort.Ints(idxs)
+		shard := make([]Case, len(idxs))
+		for j, i := range idxs {
+			shard[j] = cases[i]
+		}
+		out = append(out, shard)
+	}
+	return out
+}

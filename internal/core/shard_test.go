@@ -1,0 +1,139 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"uavres/internal/faultinject"
+	"uavres/internal/mission"
+)
+
+// planForShards builds the paper-shaped 850-case plan: per mission, one
+// gold run plus 84 faulty cases sharing a single 90-second prefix.
+func planForShards() []Case {
+	return Plan(mission.Valencia(), 7)
+}
+
+func TestShardCasesCoversEveryCaseOnce(t *testing.T) {
+	cases := planForShards()
+	shards := ShardCases(cases, 4)
+	seen := map[string]int{}
+	total := 0
+	for _, sh := range shards {
+		total += len(sh)
+		for _, c := range sh {
+			seen[c.ID]++
+		}
+	}
+	if total != len(cases) {
+		t.Fatalf("shards hold %d cases, plan has %d", total, len(cases))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("case %s assigned %d times", id, n)
+		}
+	}
+}
+
+func TestShardCasesNeverSplitsPrefixGroups(t *testing.T) {
+	cases := planForShards()
+	shards := ShardCases(cases, 8)
+	owner := map[prefixKey]int{}
+	for si, sh := range shards {
+		for _, c := range sh {
+			k := casePrefixKey(c)
+			if k == (prefixKey{}) {
+				continue // gold runs and immediate injections travel solo
+			}
+			if prev, ok := owner[k]; ok && prev != si {
+				t.Fatalf("prefix group %+v split across shards %d and %d", k, prev, si)
+			}
+			owner[k] = si
+		}
+	}
+	// The Valencia plan has one forkable prefix per mission; with more
+	// shards than missions the group count bounds the spread.
+	if len(owner) != 10 {
+		t.Errorf("found %d prefix groups, want 10", len(owner))
+	}
+}
+
+func TestShardCasesDeterministicAndBalanced(t *testing.T) {
+	cases := planForShards()
+	a := ShardCases(cases, 5)
+	b := ShardCases(cases, 5)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("sharding is not deterministic")
+	}
+	// 10 missions x 85 cases over 5 shards: LPT lands exactly two
+	// prefix groups (plus their gold singletons) per shard.
+	for si, sh := range a {
+		if len(sh) != 170 {
+			t.Errorf("shard %d holds %d cases, want 170", si, len(sh))
+		}
+	}
+}
+
+func TestShardCasesPreservesInputOrderWithinShard(t *testing.T) {
+	cases := planForShards()
+	pos := map[string]int{}
+	for i, c := range cases {
+		pos[c.ID] = i
+	}
+	for si, sh := range ShardCases(cases, 3) {
+		prev := -1
+		for _, c := range sh {
+			if pos[c.ID] < prev {
+				t.Fatalf("shard %d reorders cases (%s)", si, c.ID)
+			}
+			prev = pos[c.ID]
+		}
+	}
+}
+
+func TestShardCasesEdgeCounts(t *testing.T) {
+	if got := ShardCases(nil, 4); got != nil {
+		t.Errorf("empty input: %v", got)
+	}
+	one := []Case{{ID: "solo", MissionID: 1, Seed: 3}}
+	if got := ShardCases(one, 8); len(got) != 1 || len(got[0]) != 1 {
+		t.Errorf("single case: %v", got)
+	}
+	// n<1 clamps to one shard holding everything.
+	cases := []Case{
+		{ID: "a", MissionID: 1, Seed: 3},
+		{ID: "b", MissionID: 2, Seed: 4},
+	}
+	if got := ShardCases(cases, 0); len(got) != 1 || len(got[0]) != 2 {
+		t.Errorf("n=0: %v", got)
+	}
+}
+
+// TestShardCasesSingletonSpread: cases that cannot fork (distinct
+// prefixes) still spread across shards rather than pile on one.
+func TestShardCasesSingletonSpread(t *testing.T) {
+	var cases []Case
+	for i := 0; i < 12; i++ {
+		cases = append(cases, Case{
+			ID:        string(rune('a' + i)),
+			MissionID: i + 1,
+			Seed:      int64(i + 1),
+			Injection: &faultinject.Injection{
+				Primitive: faultinject.Freeze,
+				Target:    faultinject.TargetGyro,
+				Start:     90 * time.Second,
+				Duration:  time.Second,
+			},
+		})
+	}
+	shards := ShardCases(cases, 4)
+	if len(shards) != 4 {
+		t.Fatalf("got %d shards, want 4", len(shards))
+	}
+	for si, sh := range shards {
+		if len(sh) != 3 {
+			t.Errorf("shard %d holds %d cases, want 3", si, len(sh))
+		}
+	}
+}

@@ -18,6 +18,12 @@ type Status struct {
 	CasesDone   int64 `json:"cases_done"`
 	CasesCached int64 `json:"cases_cached"`
 
+	// CacheHits/CacheMisses count result-store lookups (Runner.Cache);
+	// CacheHitRatio is hits/(hits+misses), 0 until the first lookup.
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+
 	Completed int64 `json:"completed"`
 	Crashed   int64 `json:"crashed"`
 	Failsafed int64 `json:"failsafed"`
@@ -61,6 +67,9 @@ type StatusSource struct {
 	errors  *obs.Counter
 	dropped *obs.Counter
 
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+
 	completed *obs.Counter
 	crashed   *obs.Counter
 	failsafed *obs.Counter
@@ -88,6 +97,9 @@ func NewStatusSource(reg *obs.Registry, cfg StatusConfig) *StatusSource {
 		cached:  reg.Counter("campaign_cases_cached_total"),
 		errors:  reg.Counter("campaign_case_errors_total"),
 		dropped: reg.Counter("campaign_trace_dropped_total"),
+
+		cacheHits:   reg.Counter("campaign_cache_hits_total"),
+		cacheMisses: reg.Counter("campaign_cache_misses_total"),
 
 		completed: reg.Counter("campaign_outcome_completed_total"),
 		crashed:   reg.Counter("campaign_outcome_crash_total"),
@@ -130,6 +142,9 @@ func (s *StatusSource) Snapshot() Status {
 		TimedOut:  s.timedOut.Value(),
 		Errors:    s.errors.Value(),
 
+		CacheHits:   s.cacheHits.Value(),
+		CacheMisses: s.cacheMisses.Value(),
+
 		ActiveWorkers: int(s.activeWorkers.Value()),
 		ActiveBatches: int(s.activeBatches.Value()),
 		TraceDropped:  s.dropped.Value(),
@@ -139,6 +154,9 @@ func (s *StatusSource) Snapshot() Status {
 	}
 	if n := s.caseSeconds.Count(); n > 0 {
 		st.MeanCaseSeconds = s.caseSeconds.Sum() / float64(n)
+	}
+	if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
+		st.CacheHitRatio = float64(st.CacheHits) / float64(lookups)
 	}
 	if remaining := int64(s.cfg.Total) - done; remaining > 0 && st.MeanCaseSeconds > 0 {
 		st.ETASeconds = float64(remaining) * st.MeanCaseSeconds / float64(s.cfg.Workers)

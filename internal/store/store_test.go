@@ -1,0 +1,276 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"uavres/internal/core"
+	"uavres/internal/faultinject"
+	"uavres/internal/obs"
+	"uavres/internal/sim"
+)
+
+// result fabricates one stored-shape case result: a fingerprinted case
+// with the heavy diagnostics payload a real campaign writes.
+func result(id string, hash string, outcome sim.Outcome) core.CaseResult {
+	return core.CaseResult{
+		Case: core.Case{
+			ID:        id,
+			MissionID: 1,
+			Seed:      31,
+			Hash:      hash,
+			Injection: &faultinject.Injection{
+				Primitive: faultinject.Freeze,
+				Target:    faultinject.TargetGyro,
+				Start:     90 * time.Second,
+				Duration:  5 * time.Second,
+				Seed:      7,
+			},
+		},
+		Result: sim.Result{
+			MissionID:         1,
+			Outcome:           outcome,
+			FlightDurationSec: 123.456789012345,
+			DistanceKm:        1.0625,
+			InnerViolations:   2,
+			Diagnostics: &sim.Diagnostics{
+				FirstInnerViolationSec: 91.25,
+				FirstOuterViolationSec: -1,
+				DistanceAtFirstOuterKm: -1,
+				MaxTiltDeg:             44.5,
+				GPSFusions:             1200,
+				TraceSummary:           map[string]int{"phase": 4, "violation": 2},
+			},
+		},
+	}
+}
+
+func mustOpen(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	want := result("m01-gyro-freeze-5s", "00deadbeef00dead", sim.OutcomeFailsafe)
+	if err := s.Put(want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(want.Case.Hash)
+	if err != nil || !ok {
+		t.Fatalf("get: ok=%v err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip differs:\n got %+v\nwant %+v", got, want)
+	}
+	// Duplicate puts are no-ops, not errors.
+	if err := s.Put(want); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Objects != 1 || st.Puts != 1 || st.Hits != 1 || st.Shards != 1 {
+		t.Fatalf("stats after one put + one hit: %+v", st)
+	}
+}
+
+func TestRejectsHashlessAndErroredResults(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	hashless := result("m01-gold", "", sim.OutcomeCompleted)
+	if err := s.Put(hashless); err == nil {
+		t.Error("hashless result stored")
+	}
+	errored := result("m01-gold", "00deadbeef00dead", sim.OutcomeCompleted)
+	errored.Err = "cancelled"
+	if err := s.Put(errored); err == nil {
+		t.Error("errored result stored")
+	}
+	// Path traversal can never reach the filesystem.
+	if _, ok, _ := s.Get("../../etc/passwd"); ok {
+		t.Error("invalid hash reported a hit")
+	}
+}
+
+func TestReopenLoadsIndex(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	a := result("a", "aa11223344556677", sim.OutcomeCompleted)
+	b := result("b", "bb11223344556677", sim.OutcomeCrash)
+	for _, r := range []core.CaseResult{a, b} {
+		if err := s.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir)
+	if st := s2.Stats(); st.Objects != 2 || st.Shards != 2 {
+		t.Fatalf("reopened stats: %+v", st)
+	}
+	got, ok, _ := s2.Get("bb11223344556677")
+	if !ok || got.Case.ID != "b" {
+		t.Fatalf("reopened get: ok=%v got=%+v", ok, got)
+	}
+}
+
+func TestRebuildsMissingOrCorruptIndex(t *testing.T) {
+	for name, garble := range map[string]func(path string){
+		"missing":  func(p string) { os.Remove(p) },
+		"mid-file": func(p string) { os.WriteFile(p, []byte("v1 not hex garbage\nv1 aa11223344556677 10 a\n"), 0o644) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := mustOpen(t, dir)
+			if err := s.Put(result("a", "aa11223344556677", sim.OutcomeCompleted)); err != nil {
+				t.Fatal(err)
+			}
+			s.Close()
+			garble(filepath.Join(dir, "index.log"))
+			s2 := mustOpen(t, dir)
+			if got, ok, _ := s2.Get("aa11223344556677"); !ok || got.Case.ID != "a" {
+				t.Fatalf("%s index: object lost (ok=%v)", name, ok)
+			}
+		})
+	}
+}
+
+// TestTornIndexTailDropped: a crash mid-append leaves a half-written
+// final line; the store drops it and keeps the clean prefix, exactly
+// like core.LoadPartialResults does for results files.
+func TestTornIndexTailDropped(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if err := s.Put(result("a", "aa11223344556677", sim.OutcomeCompleted)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	idx := filepath.Join(dir, "index.log")
+	f, err := os.OpenFile(idx, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("v1 bb112233445566") // torn: no size, no newline
+	f.Close()
+
+	s2 := mustOpen(t, dir)
+	if st := s2.Stats(); st.Objects != 1 {
+		t.Fatalf("torn tail not dropped: %+v", st)
+	}
+}
+
+// TestCorruptObjectIsAMiss: a garbled object file must cost a re-run,
+// never an error — and the poisoned object is dropped so the slot heals.
+func TestCorruptObjectIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	r := result("a", "aa11223344556677", sim.OutcomeCompleted)
+	if err := s.Put(r); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "objects", "aa", "aa11223344556677.json")
+	if err := os.WriteFile(path, []byte(`{"case": {"id": "a", "hash": "tru`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(r.Case.Hash); ok || err != nil {
+		t.Fatalf("corrupt object: ok=%v err=%v", ok, err)
+	}
+	if st := s.Stats(); st.Corrupt != 1 || st.Objects != 0 {
+		t.Fatalf("corrupt object not dropped: %+v", st)
+	}
+	// A swapped object (valid JSON, wrong fingerprint inside) is dropped
+	// the same way: content addressing is verified, not trusted.
+	if err := s.Put(r); err != nil {
+		t.Fatal(err)
+	}
+	swapped := result("b", "bb11223344556677", sim.OutcomeCrash)
+	data := strings.ReplaceAll(`{"case":{"id":"b","mission_id":1,"seed":31,"hash":"HB"},"result":{"mission_id":1,"outcome":2,"flight_duration_sec":1,"distance_km":0,"inner_violations":0,"outer_violations":0,"waypoints_reached":0}}`, "HB", swapped.Case.Hash)
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get(r.Case.Hash); ok {
+		t.Fatal("object carrying a foreign fingerprint reported as a hit")
+	}
+}
+
+func TestPruneEvictsOldestFirst(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	old := result("old", "aa11223344556677", sim.OutcomeCompleted)
+	recent := result("new", "bb11223344556677", sim.OutcomeCompleted)
+	if err := s.Put(old); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(recent); err != nil {
+		t.Fatal(err)
+	}
+	// Make the eviction order unambiguous on coarse-mtime filesystems.
+	past := time.Unix(1_000_000, 0)
+	if err := os.Chtimes(filepath.Join(dir, "objects", "aa", "aa11223344556677.json"), past, past); err != nil {
+		t.Fatal(err)
+	}
+	perObject := s.Stats().Bytes / 2
+	removed, err := s.Prune(perObject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("removed %d objects, want 1", removed)
+	}
+	if _, ok, _ := s.Get(old.Case.Hash); ok {
+		t.Error("oldest object survived prune")
+	}
+	if _, ok, _ := s.Get(recent.Case.Hash); !ok {
+		t.Error("newest object evicted")
+	}
+	// The rewritten index and reopened append handle stay consistent:
+	// a post-prune put must survive reopen.
+	c := result("c", "cc11223344556677", sim.OutcomeCompleted)
+	if err := s.Put(c); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2 := mustOpen(t, dir)
+	if _, ok, _ := s2.Get(c.Case.Hash); !ok {
+		t.Error("post-prune put lost across reopen")
+	}
+}
+
+func TestResultCacheSurface(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	var cache core.ResultCache = s
+	r := result("a", "aa11223344556677", sim.OutcomeCompleted)
+	cache.Store(r)
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := cache.Lookup(r.Case.Hash)
+	if !ok || got.Case.ID != "a" {
+		t.Fatalf("lookup: ok=%v got=%+v", ok, got)
+	}
+	if _, ok := cache.Lookup("ee11223344556677"); ok {
+		t.Error("phantom hit")
+	}
+
+	reg := obs.NewRegistry()
+	s.RegisterMetrics(reg)
+	snap := reg.Snapshot()
+	found := false
+	for _, g := range snap.Gauges {
+		if g.Name == "store_objects" && g.Value == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("store_objects gauge missing or wrong: %+v", snap.Gauges)
+	}
+}

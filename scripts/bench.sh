@@ -12,7 +12,10 @@
 # report records the campaign spec hash (spec_hash) plus the execution
 # mode (runner_mode, batch_width, workers, cov_decimation), so campaign
 # wall clock is only compared across identical experiment plans run the
-# same way — mode mismatches are noted explicitly, never diffed.
+# same way — mode mismatches are noted explicitly, never diffed. Reports
+# also record the host window (num_cpu, go_version); comparing across
+# differing hosts prints a loud WARNING since wall-clock deltas then
+# measure the machine, not the code.
 set -eu
 
 case "${1:-}" in
