@@ -459,7 +459,7 @@ func BenchmarkMicroPhysicsStep(b *testing.B) {
 		b.Fatal(err)
 	}
 	hover := physics.DefaultParams().HoverThrustFraction()
-	body.SetMotorCommands([4]float64{hover, hover, hover, hover})
+	body.SetMotorCommands(physics.Rotors{hover, hover, hover, hover})
 	st := body.State()
 	st.Pos.Z = -20
 	body.SetState(st)

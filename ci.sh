@@ -35,6 +35,15 @@ go run ./cmd/campaign -validate-spec examples/specs/paper-850.json
 go run ./cmd/campaign -validate-spec examples/specs/redundancy-ablation.json
 go run ./cmd/campaign -validate-spec examples/specs/mini-grid.json
 go run ./cmd/campaign -validate-spec examples/specs/mini-grid-wide.json
+go run ./cmd/campaign -validate-spec examples/specs/redundancy-matrix.json
+go run ./cmd/campaign -validate-spec examples/specs/mini-hexa-actuator.json
+
+# Airframe + actuator smoke: the hexa actuator mini-spec (rotor FDI and
+# allocation reconfig enabled) must run through both the lockstep batch
+# path and scalar forks with bit-identical results.
+go run ./cmd/campaign -spec examples/specs/mini-hexa-actuator.json -q -out "$tmpdir/hexa.json"
+go run ./cmd/campaign -spec examples/specs/mini-hexa-actuator.json -q -out "$tmpdir/hexa_scalar.json" -batch=false
+go run ./cmd/campaign -compare-results "$tmpdir/hexa.json,$tmpdir/hexa_scalar.json"
 
 # Observability + resume smoke: run one mission's gyro cases with
 # metrics capture, validate the snapshot schema, then resume over the

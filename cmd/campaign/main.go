@@ -94,7 +94,7 @@ func run() int {
 		blackboxDir     = flag.String("blackbox-dir", "", "write a black-box dump per crash/violation case into this directory (load with replay -blackbox)")
 	)
 	var selectors []spec.Selector
-	flag.Func("select", "case selector (repeatable, OR across flags): key=value terms ANDed within one flag — id (exact or glob), mission, target, primitive, duration, start, gold", func(expr string) error {
+	flag.Func("select", "case selector (repeatable, OR across flags): key=value terms ANDed within one flag — id (exact or glob), mission, target, primitive, duration, start, gold, airframe", func(expr string) error {
 		sel, err := spec.ParseSelector(expr)
 		if err != nil {
 			return err
@@ -454,6 +454,9 @@ func run() int {
 	fmt.Println(core.RenderTableII(results))
 	fmt.Println(core.RenderTableIII(results))
 	fmt.Println(core.RenderTableIV(results))
+	if multiAirframe(results) {
+		fmt.Println(core.RenderAirframeTable(results))
+	}
 	if *specPath == "" && len(selectors) == 0 && !ablation {
 		// Shape comparison is only meaningful on the paper's full setup.
 		fmt.Println(paperdata.Render(paperdata.Compare(results)))
@@ -633,4 +636,14 @@ func compareResultsFiles(pair string) int {
 	}
 	fmt.Printf("campaign: %d cases bit-identical\n", len(ra))
 	return 0
+}
+
+// multiAirframe reports whether the results span more than one rotor
+// layout — only then is the redundancy table worth printing unasked.
+func multiAirframe(results []core.CaseResult) bool {
+	seen := map[string]bool{}
+	for _, cr := range results {
+		seen[cr.Case.Airframe] = true
+	}
+	return len(seen) > 1
 }

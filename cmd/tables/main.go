@@ -23,7 +23,7 @@ func main() {
 func run() int {
 	var (
 		in      = flag.String("in", "campaign_results.json", "campaign results JSON")
-		table   = flag.Int("table", 0, "render only this table (1-4); 0 = all")
+		table   = flag.Int("table", 0, "render only this table (1-5, 5 = airframe redundancy); 0 = all")
 		compare = flag.Bool("compare", false, "append the paper-vs-measured shape comparison")
 	)
 	flag.Parse()
@@ -47,12 +47,17 @@ func run() int {
 		fmt.Println(core.RenderTableII(results))
 		fmt.Println(core.RenderTableIII(results))
 		fmt.Println(core.RenderTableIV(results))
+		if multiAirframe(results) {
+			fmt.Println(core.RenderAirframeTable(results))
+		}
 	case 2:
 		fmt.Println(core.RenderTableII(results))
 	case 3:
 		fmt.Println(core.RenderTableIII(results))
 	case 4:
 		fmt.Println(core.RenderTableIV(results))
+	case 5:
+		fmt.Println(core.RenderAirframeTable(results))
 	default:
 		fmt.Fprintf(os.Stderr, "tables: unknown table %d\n", *table)
 		return 1
@@ -67,4 +72,14 @@ func run() int {
 		fmt.Println(paperdata.SideBySide(paperdata.TableIII(), measured))
 	}
 	return 0
+}
+
+// multiAirframe reports whether the results span more than one rotor
+// layout — only then is the redundancy table worth printing unasked.
+func multiAirframe(results []core.CaseResult) bool {
+	seen := map[string]bool{}
+	for _, cr := range results {
+		seen[cr.Case.Airframe] = true
+	}
+	return len(seen) > 1
 }

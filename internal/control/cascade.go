@@ -91,6 +91,12 @@ type Controller struct {
 	velPID  *PID3
 	ratePID *PID3
 
+	// alloc, when non-nil, replaces the healthy mixer's allocation with a
+	// reconfigured (condemned-rotor) pseudo-inverse. Derived state: the
+	// vehicle re-installs it from the rotor monitor after any restore.
+	//lint:allow snapshotcomplete derived from the rotor monitor's condemned set; vehicle reapplies on restore
+	alloc *physics.Allocator
+
 	// Cached sin/cos of the yaw setpoint, keyed on the exact input. The
 	// guidance yaw is piecewise constant per mission leg, so the trig
 	// pair is computed once per leg instead of at every control step.
@@ -121,6 +127,10 @@ func New(gains Gains, params physics.Params, dt float64) *Controller {
 	}
 }
 
+// SetAllocator installs (or, with nil, removes) a reconfigured allocation
+// that overrides the healthy mixer when distributing the wrench.
+func (c *Controller) SetAllocator(a *physics.Allocator) { c.alloc = a }
+
 // Reset clears all integrators (rearm / mode change).
 func (c *Controller) Reset() {
 	c.velPID.Reset()
@@ -148,7 +158,7 @@ func (c *Controller) Restore(s ControllerSnapshot) {
 // Update runs one full cascade cycle and returns normalized motor
 // commands. est comes from the EKF; gyroRaw is the raw (possibly
 // fault-corrupted) gyro stream feeding the innermost loop.
-func (c *Controller) Update(dt float64, est Estimate, gyroRaw mathx.Vec3, sp Setpoint) ([4]float64, Diag) {
+func (c *Controller) Update(dt float64, est Estimate, gyroRaw mathx.Vec3, sp Setpoint) (physics.Rotors, Diag) {
 	var d Diag
 
 	// --- Position loop: position error -> velocity setpoint.
@@ -199,7 +209,7 @@ func (c *Controller) Update(dt float64, est Estimate, gyroRaw mathx.Vec3, sp Set
 	// point "up" (negative NED Z), so the projection is positive.
 	bodyUp := est.Att.Rotate(mathx.V3(0, 0, -1))
 	thrustN := c.params.MassKg * math.Max(0.5, fSp.Dot(bodyUp))
-	maxThrust := 4 * c.params.MaxThrustPerRotorN * 0.95
+	maxThrust := c.mixer.MaxTotalThrustN() * 0.95
 	thrustN = mathx.Clamp(thrustN, 0.05*maxThrust, maxThrust)
 	d.ThrustN = thrustN
 
@@ -217,6 +227,9 @@ func (c *Controller) Update(dt float64, est Estimate, gyroRaw mathx.Vec3, sp Set
 	torque := alphaSp.Hadamard(c.params.Inertia)
 	d.TorqueNm = torque
 
+	if c.alloc != nil {
+		return c.alloc.Allocate(thrustN, torque), d
+	}
 	return c.mixer.Allocate(thrustN, torque), d
 }
 

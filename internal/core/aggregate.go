@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"uavres/internal/faultinject"
+	"uavres/internal/physics"
 	"uavres/internal/sim"
 )
 
@@ -133,7 +134,7 @@ func ByFault(results []CaseResult) []GroupStats {
 	}
 	sort.Strings(labels)
 	var out []GroupStats
-	for _, target := range faultinject.Targets() {
+	for _, target := range reportTargets() {
 		var rows []GroupStats
 		for _, label := range labels {
 			if strings.HasPrefix(label, target.String()+" ") {
@@ -160,13 +161,59 @@ func ByComponent(results []CaseResult) []GroupStats {
 		tg := cr.Case.Injection.Target
 		groups[tg] = append(groups[tg], cr.Result)
 	}
-	out := make([]GroupStats, 0, 3)
-	for _, tg := range faultinject.Targets() {
+	out := make([]GroupStats, 0, 4)
+	for _, tg := range reportTargets() {
 		if runs, exists := groups[tg]; exists {
 			out = append(out, aggregate(tg.String(), runs))
 		}
 	}
 	return out
+}
+
+// reportTargets is the table row order: the paper's three sensor targets
+// followed by the actuator extension.
+func reportTargets() []faultinject.Target {
+	return append(faultinject.Targets(), faultinject.TargetRotor)
+}
+
+// ByAirframe groups ALL runs (gold and faulty) by the case's airframe —
+// the redundancy comparison: identical fault matrices flown on quad-x,
+// hexa-x, and octo-x layouts. An empty Case.Airframe reports as quad-x.
+func ByAirframe(results []CaseResult) []GroupStats {
+	gold, faulty := ok(results)
+	groups := map[string][]sim.Result{}
+	for _, cr := range append(gold, faulty...) {
+		label := cr.Case.Airframe
+		if label == "" {
+			label = physics.QuadX.String()
+		}
+		groups[label] = append(groups[label], cr.Result)
+	}
+	labels := make([]string, 0, len(groups))
+	for label := range groups {
+		labels = append(labels, label)
+	}
+	// Order by rotor count (quad, hexa, octo), unknown labels last.
+	sort.Slice(labels, func(i, j int) bool {
+		ri, rj := airframeRank(labels[i]), airframeRank(labels[j])
+		if ri != rj {
+			return ri < rj
+		}
+		return labels[i] < labels[j]
+	})
+	out := make([]GroupStats, 0, len(labels))
+	for _, label := range labels {
+		out = append(out, aggregate(label, groups[label]))
+	}
+	return out
+}
+
+func airframeRank(label string) int {
+	frame, err := physics.ParseAirframe(label)
+	if err != nil {
+		return physics.MaxRotors + 1
+	}
+	return frame.Rotors()
 }
 
 // Find returns the stats row with the given label, if present.

@@ -33,6 +33,10 @@ type Case struct {
 	Injection *faultinject.Injection `json:"injection,omitempty"`
 	// Seed drives the run's environment randomness.
 	Seed int64 `json:"seed"`
+	// Airframe names the rotor layout the case flies ("hexa-x", "octo-x");
+	// empty means the default quad-x, so pre-airframe plans and stored
+	// results keep their fingerprints.
+	Airframe string `json:"airframe,omitempty"`
 	// Hash is the case's content fingerprint: a stable digest of the
 	// experiment description plus the code-relevant simulation config
 	// (see internal/spec.Fingerprint). Cases planned outside the spec

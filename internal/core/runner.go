@@ -11,6 +11,7 @@ import (
 	"uavres/internal/faultinject"
 	"uavres/internal/mission"
 	"uavres/internal/obs"
+	"uavres/internal/physics"
 	"uavres/internal/sim"
 )
 
@@ -427,11 +428,17 @@ feed:
 }
 
 // prefixKey identifies the cases that can share one simulated prefix:
-// identical mission, environment seed, injection scope, and injection
-// start mean identical vehicle state up to the injection point.
+// identical mission, environment seed, airframe, injection family,
+// injection scope, and injection start mean identical vehicle state up to
+// the injection point. The family matters because a sensor injector
+// overwrites affected units with the primary's sample even before its
+// window opens, while an actuator injector leaves the sensor stream
+// alone (see sim.Checkpoint.ForkWithInjection).
 type prefixKey struct {
 	missionID int
 	seed      int64
+	airframe  string
+	actuator  bool
 	scope     faultinject.Scope
 	start     time.Duration
 }
@@ -445,28 +452,35 @@ func casePrefixKey(c Case) prefixKey {
 	return prefixKey{
 		missionID: c.MissionID,
 		seed:      c.Seed,
+		airframe:  c.Airframe,
+		actuator:  !c.Injection.SensorTarget(),
 		scope:     c.Injection.Scope,
 		start:     c.Injection.Start,
 	}
 }
 
-// sortPrefixKeys orders prefix keys by (mission, seed, scope, start) —
-// the total order that makes prefix scheduling independent of map
-// iteration order.
+// sortPrefixKeys orders prefix keys by the lessPrefixKey total order that
+// makes prefix scheduling independent of map iteration order.
 func sortPrefixKeys(keys []prefixKey) {
 	sort.Slice(keys, func(i, j int) bool {
 		return lessPrefixKey(keys[i], keys[j])
 	})
 }
 
-// lessPrefixKey is the (mission, seed, scope, start) total order shared
-// by prefix scheduling and shard assignment.
+// lessPrefixKey is the (mission, seed, airframe, family, scope, start)
+// total order shared by prefix scheduling and shard assignment.
 func lessPrefixKey(a, b prefixKey) bool {
 	if a.missionID != b.missionID {
 		return a.missionID < b.missionID
 	}
 	if a.seed != b.seed {
 		return a.seed < b.seed
+	}
+	if a.airframe != b.airframe {
+		return a.airframe < b.airframe
+	}
+	if a.actuator != b.actuator {
+		return !a.actuator // sensor prefixes before actuator prefixes
 	}
 	if a.scope != b.scope {
 		return a.scope < b.scope
@@ -535,8 +549,12 @@ func (r *Runner) prepareCheckpoints(ctx context.Context, cases []Case, workers i
 					tc.tr.End(span)
 					continue
 				}
-				cfg := r.Config
-				cfg.Seed = rep.Seed
+				cfg, err := r.caseConfig(rep)
+				if err != nil {
+					tc.tr.Annotate(span, obs.BoolAttr("error", true))
+					tc.tr.End(span)
+					continue
+				}
 				v, err := sim.NewVehicle(cfg, m, rep.Injection, nil)
 				if err != nil {
 					tc.tr.Annotate(span, obs.BoolAttr("error", true))
@@ -734,13 +752,32 @@ func (r *Runner) runCase(c Case, cp *sim.Checkpoint) (CaseResult, bool) {
 	if err != nil {
 		return CaseResult{Case: c, Err: err.Error()}, false
 	}
-	cfg := r.Config
-	cfg.Seed = c.Seed
+	cfg, err := r.caseConfig(c)
+	if err != nil {
+		return CaseResult{Case: c, Err: err.Error()}, false
+	}
 	res, err := sim.Run(cfg, m, c.Injection, nil)
 	if err != nil {
 		return CaseResult{Case: c, Err: err.Error()}, false
 	}
 	return CaseResult{Case: c, Result: res}, false
+}
+
+// caseConfig derives the simulation config for one case from the runner's
+// base config: the seed always comes from the case, and a non-empty
+// Airframe overrides the rotor layout. An empty Airframe keeps the base
+// config byte-for-byte, so legacy quad campaigns stay bit-identical.
+func (r *Runner) caseConfig(c Case) (sim.Config, error) {
+	cfg := r.Config
+	cfg.Seed = c.Seed
+	if c.Airframe != "" {
+		frame, err := physics.ParseAirframe(c.Airframe)
+		if err != nil {
+			return cfg, fmt.Errorf("core: case %s: %w", c.ID, err)
+		}
+		cfg.Airframe.Layout = frame
+	}
+	return cfg, nil
 }
 
 // SortByID orders results by case ID (stable presentation for reports).

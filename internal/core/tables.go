@@ -51,6 +51,26 @@ func RenderTableIV(results []CaseResult) string {
 	return b.String()
 }
 
+// RenderAirframeTable renders the redundancy comparison: the same fault
+// matrix flown on each airframe in the plan, with the metric summary and
+// the crash/failsafe split side by side. Single-airframe result sets
+// render a one-row table (legacy quad-only campaigns).
+func RenderAirframeTable(results []CaseResult) string {
+	var b strings.Builder
+	b.WriteString("REDUNDANCY: Average summary of all missions and faults, grouped by airframe.\n")
+	rows := ByAirframe(results)
+	writeMetricHeader(&b, "Airframe")
+	for _, row := range rows {
+		writeMetricRow(&b, row)
+	}
+	fmt.Fprintf(&b, "%-20s %26s %10s %13s\n",
+		"Airframe", "Total Missions Failed (%)", "Crash (%)", "Failsafe (%)")
+	for _, row := range rows {
+		writeFailureRow(&b, row)
+	}
+	return b.String()
+}
+
 func writeMetricHeader(b *strings.Builder, keyCol string) {
 	fmt.Fprintf(b, "%-20s %10s %10s %15s %15s %14s\n",
 		keyCol, "Inner (#)", "Outer (#)", "Completed (%)", "Duration (sec)", "Distance (km)")

@@ -8,6 +8,12 @@
 // whole IMU) inside a time window [Start, Start+Duration). The registry in
 // registry.go maps the fourteen surveyed real-world fault classes to these
 // primitives.
+//
+// Beyond the paper's sensor rows, the injector also models actuator faults
+// addressing individual rotors — loss-of-effectiveness, stuck, and float
+// primitives on TargetRotor — following fdcl-ftc's actuator fault set, so
+// redundancy campaigns can contrast IMU and rotor failures on the same
+// harness.
 package faultinject
 
 import (
@@ -16,6 +22,7 @@ import (
 	"time"
 
 	"uavres/internal/mathx"
+	"uavres/internal/physics"
 	"uavres/internal/sensors"
 )
 
@@ -39,11 +46,35 @@ const (
 	MaxValue
 	// Noise adds a "not so drastic" random perturbation to the true value.
 	Noise
+
+	// Actuator primitives follow the sensor rows; they apply only to
+	// TargetRotor and corrupt motor commands instead of sensor samples.
+
+	// LossOfEffectiveness scales one rotor's command by Injection.Factor
+	// (partial prop damage / thrust loss).
+	LossOfEffectiveness
+	// StuckRotor holds one rotor at its last pre-window command (ESC
+	// desync / controller lockup).
+	StuckRotor
+	// FloatRotor drives one rotor to zero thrust (motor/ESC burnout; the
+	// rotor free-wheels).
+	FloatRotor
 )
 
-// Primitives lists all seven injection primitives.
+// Primitives lists the paper's seven sensor injection primitives.
 func Primitives() []Primitive {
 	return []Primitive{FixedValue, Zeros, Freeze, Random, MinValue, MaxValue, Noise}
+}
+
+// ActuatorPrimitives lists the rotor fault primitives.
+func ActuatorPrimitives() []Primitive {
+	return []Primitive{LossOfEffectiveness, StuckRotor, FloatRotor}
+}
+
+// Actuator reports whether p corrupts motor commands rather than sensor
+// samples.
+func (p Primitive) Actuator() bool {
+	return p == LossOfEffectiveness || p == StuckRotor || p == FloatRotor
 }
 
 // String implements fmt.Stringer with the paper's table labels.
@@ -63,6 +94,12 @@ func (p Primitive) String() string {
 		return "Max"
 	case Noise:
 		return "Noise"
+	case LossOfEffectiveness:
+		return "LoE"
+	case StuckRotor:
+		return "Stuck"
+	case FloatRotor:
+		return "Float"
 	default:
 		return fmt.Sprintf("Primitive(%d)", int(p))
 	}
@@ -86,6 +123,12 @@ func ParsePrimitive(s string) (Primitive, error) {
 		return MaxValue, nil
 	case "noise":
 		return Noise, nil
+	case "loe", "loss-of-effectiveness", "lossofeffectiveness":
+		return LossOfEffectiveness, nil
+	case "stuck":
+		return StuckRotor, nil
+	case "float":
+		return FloatRotor, nil
 	default:
 		return 0, fmt.Errorf("faultinject: unknown primitive %q", s)
 	}
@@ -102,9 +145,15 @@ const (
 	TargetGyro
 	// TargetIMU corrupts both (the paper's "entire IMU" case).
 	TargetIMU
+	// TargetRotor corrupts the motor command of the rotor selected by
+	// Injection.Rotor (actuator primitives only).
+	TargetRotor
 )
 
-// Targets lists the three injection targets.
+// Targets lists the paper's three sensor injection targets. TargetRotor is
+// deliberately excluded: callers enumerating IMU fault axes (spec matrix
+// targets, per-fault aggregation of sensor rows) must not silently grow an
+// actuator row.
 func Targets() []Target { return []Target{TargetAccel, TargetGyro, TargetIMU} }
 
 // String implements fmt.Stringer with the paper's labels.
@@ -116,6 +165,8 @@ func (t Target) String() string {
 		return "Gyro"
 	case TargetIMU:
 		return "IMU"
+	case TargetRotor:
+		return "Rotor"
 	default:
 		return fmt.Sprintf("Target(%d)", int(t))
 	}
@@ -130,6 +181,8 @@ func ParseTarget(s string) (Target, error) {
 		return TargetGyro, nil
 	case "imu", "both":
 		return TargetIMU, nil
+	case "rotor", "actuator", "motor":
+		return TargetRotor, nil
 	default:
 		return 0, fmt.Errorf("faultinject: unknown target %q", s)
 	}
@@ -191,6 +244,29 @@ type Injection struct {
 	// Seed drives the primitive's randomness (Fixed draw, Random stream,
 	// Noise stream) independently of the environment randomness.
 	Seed int64 `json:"seed"`
+	// Rotor selects which rotor an actuator injection strikes
+	// (TargetRotor only; must be a valid index for the flown airframe).
+	Rotor int `json:"rotor,omitempty"`
+	// Factor is the LossOfEffectiveness thrust multiplier in [0, 1);
+	// zero means DefaultLoEFactor.
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// DefaultLoEFactor is the LossOfEffectiveness multiplier used when an
+// injection leaves Factor zero: the damaged rotor keeps 30% of its
+// commanded thrust.
+const DefaultLoEFactor = 0.3
+
+// SensorTarget reports whether the injection corrupts the IMU sample
+// stream (as opposed to motor commands).
+func (in Injection) SensorTarget() bool { return in.Target != TargetRotor }
+
+// LoEFactor returns the effective LossOfEffectiveness multiplier.
+func (in Injection) LoEFactor() float64 {
+	if in.Factor > 0 {
+		return in.Factor
+	}
+	return DefaultLoEFactor
 }
 
 // AffectsUnit reports whether the fault strikes IMU unit i.
@@ -206,14 +282,35 @@ func (in Injection) Label() string {
 // Validate reports whether the injection is well-formed.
 func (in Injection) Validate() error {
 	switch in.Primitive {
-	case FixedValue, Zeros, Freeze, Random, MinValue, MaxValue, Noise:
+	case FixedValue, Zeros, Freeze, Random, MinValue, MaxValue, Noise,
+		LossOfEffectiveness, StuckRotor, FloatRotor:
 	default:
 		return fmt.Errorf("faultinject: invalid primitive %d", int(in.Primitive))
 	}
 	switch in.Target {
-	case TargetAccel, TargetGyro, TargetIMU:
+	case TargetAccel, TargetGyro, TargetIMU, TargetRotor:
 	default:
 		return fmt.Errorf("faultinject: invalid target %d", int(in.Target))
+	}
+	if in.Primitive.Actuator() != (in.Target == TargetRotor) {
+		return fmt.Errorf("faultinject: primitive %s requires %s target",
+			in.Primitive, map[bool]string{true: "a rotor", false: "a sensor"}[in.Primitive.Actuator()])
+	}
+	if in.Target == TargetRotor {
+		if in.Rotor < 0 || in.Rotor >= physics.MaxRotors {
+			return fmt.Errorf("faultinject: rotor index %d outside [0, %d)", in.Rotor, physics.MaxRotors)
+		}
+		if in.Scope != ScopeAllUnits {
+			return fmt.Errorf("faultinject: IMU scope %s is meaningless for a rotor fault", in.Scope)
+		}
+	} else if in.Rotor != 0 {
+		return fmt.Errorf("faultinject: rotor index set on sensor target %s", in.Target)
+	}
+	if in.Factor != 0 && in.Primitive != LossOfEffectiveness { //lint:allow floatcmp zero is the explicit "use default" sentinel
+		return fmt.Errorf("faultinject: factor is only valid for LoE, not %s", in.Primitive)
+	}
+	if in.Factor < 0 || in.Factor >= 1 {
+		return fmt.Errorf("faultinject: LoE factor %v outside [0, 1)", in.Factor)
 	}
 	if in.Start < 0 {
 		return fmt.Errorf("faultinject: negative start %v", in.Start)
@@ -248,6 +345,7 @@ type Injector struct {
 	frozen        sensors.IMUSample
 	fixedAccel    mathx.Vec3
 	fixedGyro     mathx.Vec3
+	frozenCmd     physics.Rotors // last pre-window motor commands (StuckRotor)
 
 	applied int // number of corrupted samples
 }
@@ -272,6 +370,7 @@ type InjectorSnapshot struct {
 	frozen        sensors.IMUSample
 	fixedAccel    mathx.Vec3
 	fixedGyro     mathx.Vec3
+	frozenCmd     physics.Rotors
 	applied       int
 }
 
@@ -284,6 +383,7 @@ func (j *Injector) Snapshot() InjectorSnapshot {
 		frozen:        j.frozen,
 		fixedAccel:    j.fixedAccel,
 		fixedGyro:     j.fixedGyro,
+		frozenCmd:     j.frozenCmd,
 		applied:       j.applied,
 	}
 }
@@ -297,6 +397,7 @@ func (j *Injector) Restore(s InjectorSnapshot) {
 	j.frozen = s.frozen
 	j.fixedAccel = s.fixedAccel
 	j.fixedGyro = s.fixedGyro
+	j.frozenCmd = s.frozenCmd
 	j.applied = s.applied
 }
 
@@ -305,6 +406,12 @@ func (j *Injector) Restore(s InjectorSnapshot) {
 // checkpoint taken before this injector's window uses it so the Freeze
 // primitive replays the exact value a straight-through run would capture.
 func (j *Injector) SeedFreeze(s sensors.IMUSample) { j.frozen = s }
+
+// SeedStuck installs the last pre-window motor commands, the actuator
+// analogue of SeedFreeze: a run forked from a checkpoint taken before this
+// injector's window uses it so StuckRotor holds the exact command a
+// straight-through run would capture.
+func (j *Injector) SeedStuck(cmd physics.Rotors) { j.frozenCmd = cmd }
 
 // Injection returns the experiment description.
 func (j *Injector) Injection() Injection { return j.inj }
@@ -343,6 +450,30 @@ func (j *Injector) Apply(s sensors.IMUSample) sensors.IMUSample {
 		s.Gyro = j.corrupt(s.Gyro, j.frozen.Gyro, j.fixedGyro, sensors.GyroRange)
 	}
 	return s
+}
+
+// ApplyActuator corrupts the motor command vector if control-cycle time t
+// falls inside the fault window; outside the window commands pass through
+// untouched. The pre-window command stream is observed so StuckRotor can
+// hold the last healthy command.
+func (j *Injector) ApplyActuator(t float64, cmd physics.Rotors) physics.Rotors {
+	if !j.Active(t) {
+		if t < j.startSec {
+			j.frozenCmd = cmd // remember the most recent pre-fault commands
+		}
+		return cmd
+	}
+	j.applied++
+	r := j.inj.Rotor
+	switch j.inj.Primitive {
+	case LossOfEffectiveness:
+		cmd[r] *= j.inj.LoEFactor()
+	case StuckRotor:
+		cmd[r] = j.frozenCmd[r]
+	case FloatRotor:
+		cmd[r] = 0
+	}
+	return cmd
 }
 
 func (j *Injector) corrupt(value, frozen, fixed mathx.Vec3, rangeLimit float64) mathx.Vec3 {

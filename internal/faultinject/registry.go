@@ -120,6 +120,31 @@ func Registry() []FaultClass {
 			Targets:     all,
 			References:  []string{"[42]"},
 		},
+
+		// Actuator fault classes, beyond the paper's Table I: the rotor
+		// failure modes the redundancy campaign contrasts with IMU faults
+		// (fmdtools' per-rotor fault modes; fdcl-ftc's actuator fault set).
+		{
+			Name:        "Prop damage",
+			Description: "Chipped or delaminated propeller losing part of its thrust",
+			Primitives:  []Primitive{LossOfEffectiveness},
+			Targets:     []Target{TargetRotor},
+			References:  []string{"fmdtools", "fdcl-ftc"},
+		},
+		{
+			Name:        "ESC desync",
+			Description: "ESC commutation lockup holding the rotor at its last command",
+			Primitives:  []Primitive{StuckRotor},
+			Targets:     []Target{TargetRotor},
+			References:  []string{"fmdtools"},
+		},
+		{
+			Name:        "Motor burnout",
+			Description: "Winding or ESC burnout leaving the rotor free-wheeling at zero thrust",
+			Primitives:  []Primitive{FloatRotor},
+			Targets:     []Target{TargetRotor},
+			References:  []string{"fdcl-ftc"},
+		},
 	}
 }
 

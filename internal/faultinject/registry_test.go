@@ -3,12 +3,13 @@ package faultinject
 import "testing"
 
 // TestFaultRegistryCoversTableI checks the registry reproduces the paper's
-// Table I: all fourteen surveyed fault classes are present and each maps to
-// valid primitives and targets with citations.
+// Table I — all fourteen surveyed IMU fault classes, each mapping to valid
+// primitives and targets with citations — plus the three actuator classes
+// the rotor extension adds.
 func TestFaultRegistryCoversTableI(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 14 {
-		t.Fatalf("registry has %d classes, Table I lists 14", len(reg))
+	if len(reg) != 17 {
+		t.Fatalf("registry has %d classes, want Table I's 14 plus 3 actuator classes", len(reg))
 	}
 	wantNames := map[string]Primitive{
 		"Instability":          Random,
@@ -25,6 +26,9 @@ func TestFaultRegistryCoversTableI(t *testing.T) {
 		"Hardware trojan":      FixedValue,
 		"Malicious software":   Zeros,
 		"OS system attack":     MinValue,
+		"Prop damage":          LossOfEffectiveness,
+		"ESC desync":           StuckRotor,
+		"Motor burnout":        FloatRotor,
 	}
 	seen := map[string]bool{}
 	for _, fc := range reg {

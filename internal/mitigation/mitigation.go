@@ -45,6 +45,58 @@ type Config struct {
 	// SampleRateHz is the IMU stream rate the low-pass is designed for
 	// (default 250 when zero).
 	SampleRateHz float64
+
+	// The rotor-FDI fields below are opt-in (spec override rotor_reconfig)
+	// and carry `json:",omitempty"`: Config is part of the spec
+	// fingerprint, so their zero values must mean "disabled, legacy
+	// behavior" or every stored result key changes.
+
+	// RotorFDIWindow enables the per-rotor FDI monitor when >= 1: that
+	// many consecutive control cycles with the measured rotor state
+	// outside RotorFDITol of the expected motor-lag model condemn the
+	// rotor.
+	RotorFDIWindow int `json:",omitempty"`
+	// RotorFDITol is the normalized rotor-state residual tolerance
+	// (default DefaultRotorFDITol when zero). The healthy residual is
+	// ~1e-16 — the monitor replays the body's exact lag integration — so
+	// the tolerance only has to stay below the fault signatures.
+	RotorFDITol float64 `json:",omitempty"`
+	// ReconfigAllocation, with the monitor enabled, re-solves the control
+	// allocation (condemned-rotor zeroing + damped pseudo-inverse) when a
+	// rotor is condemned.
+	ReconfigAllocation bool `json:",omitempty"`
+	// OppositeDerate is the allocation weight assigned to a condemned
+	// rotor's diametric partner, in [0, 1]. The zero value shuts the
+	// partner down entirely — full pair condemnation, the classic
+	// coplanar-multirotor strategy: removing an opposite pair restores
+	// the zero-sum column symmetry the allocation needs for balanced
+	// bidirectional torque authority (on a one-out hexa the minimum-norm
+	// solve parks the partner at zero thrust anyway, so condemning it
+	// costs nothing and removes a rotor the solver can only command
+	// negatively). Set to 1 to leave the partner untouched.
+	OppositeDerate float64 `json:",omitempty"`
+}
+
+// Rotor-FDI defaults installed by the spec-level rotor_reconfig override.
+const (
+	// DefaultRotorFDIWindow condemns after 5 consecutive anomalous
+	// control cycles (20 ms at 250 Hz).
+	DefaultRotorFDIWindow = 5
+	// DefaultRotorFDITol is the normalized rotor-state residual that
+	// counts as anomalous.
+	DefaultRotorFDITol = 0.15
+)
+
+// RotorFDIEnabled reports whether the per-rotor FDI monitor is active.
+func (c Config) RotorFDIEnabled() bool { return c.RotorFDIWindow >= 1 }
+
+// RotorDefaults returns c with the rotor-FDI stack enabled at its default
+// tuning (what the spec-level rotor_reconfig override installs).
+func (c Config) RotorDefaults() Config {
+	c.RotorFDIWindow = DefaultRotorFDIWindow
+	c.RotorFDITol = DefaultRotorFDITol
+	c.ReconfigAllocation = true
+	return c
 }
 
 // DefaultConfig returns the evaluated mitigation stack.
@@ -77,6 +129,18 @@ func (c Config) Validate() error {
 	}
 	if c.SampleRateHz < 0 {
 		return fmt.Errorf("mitigation: negative sample rate %v", c.SampleRateHz)
+	}
+	if c.RotorFDIWindow < 0 || c.RotorFDIWindow > 10000 {
+		return fmt.Errorf("mitigation: rotor FDI window %d outside [0, 10000]", c.RotorFDIWindow)
+	}
+	if c.RotorFDITol < 0 || c.RotorFDITol >= 1 {
+		return fmt.Errorf("mitigation: rotor FDI tolerance %v outside [0, 1)", c.RotorFDITol)
+	}
+	if c.ReconfigAllocation && !c.RotorFDIEnabled() {
+		return fmt.Errorf("mitigation: reconfig allocation requires the rotor FDI monitor (RotorFDIWindow >= 1)")
+	}
+	if c.OppositeDerate < 0 || c.OppositeDerate > 1 {
+		return fmt.Errorf("mitigation: opposite derate %v outside [0, 1]", c.OppositeDerate)
 	}
 	return nil
 }

@@ -1,0 +1,339 @@
+package physics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"uavres/internal/mathx"
+)
+
+// TestParseAirframeRoundTrip checks every airframe parses back from both
+// its canonical name and its slug, case-insensitively.
+func TestParseAirframeRoundTrip(t *testing.T) {
+	for _, f := range Airframes() {
+		for _, name := range []string{f.String(), f.Slug(), strings.ToUpper(f.String()), strings.Title(f.Slug())} {
+			got, err := ParseAirframe(name)
+			if err != nil {
+				t.Errorf("ParseAirframe(%q): %v", name, err)
+				continue
+			}
+			if got != f {
+				t.Errorf("ParseAirframe(%q) = %v, want %v", name, got, f)
+			}
+		}
+	}
+}
+
+// TestParseAirframeErrorListsValid checks an unknown name fails loudly and
+// names every valid layout, so a typoed spec is self-diagnosing.
+func TestParseAirframeErrorListsValid(t *testing.T) {
+	_, err := ParseAirframe("tri")
+	if err == nil {
+		t.Fatal("ParseAirframe(\"tri\") succeeded, want error")
+	}
+	for _, f := range Airframes() {
+		if !strings.Contains(err.Error(), f.String()) {
+			t.Errorf("error %q does not name valid layout %s", err, f)
+		}
+	}
+}
+
+// TestDescriptorInvariants checks every layout's geometry is physically
+// balanced: positions sum to zero (hover produces no net torque), spin
+// directions cancel (no net yaw at rest), and the diametric-opposite map
+// is a proper involution onto the geometrically opposed rotor.
+func TestDescriptorInvariants(t *testing.T) {
+	p := DefaultParams()
+	for _, f := range Airframes() {
+		d := f.Descriptor(p)
+		if d.N != f.Rotors() {
+			t.Errorf("%s: descriptor N = %d, want %d", f, d.N, f.Rotors())
+		}
+		var sx, sy, dir float64
+		for i := 0; i < d.N; i++ {
+			sx += d.CosX[i]
+			sy += d.CosY[i]
+			dir += d.Dir[i]
+			if d.Dir[i] != 1 && d.Dir[i] != -1 {
+				t.Errorf("%s rotor %d: spin direction %v not ±1", f, i, d.Dir[i])
+			}
+			// CosX/CosY are stored pre-divided by ScaleM (quad keeps exact
+			// ±1 signs over armD); the physical arm length must come back.
+			if r := math.Hypot(d.CosX[i], d.CosY[i]) * d.ScaleM; math.Abs(r-p.ArmLengthM) > 1e-12 {
+				t.Errorf("%s rotor %d: arm radius %v, want %v", f, i, r, p.ArmLengthM)
+			}
+		}
+		if math.Abs(sx) > 1e-12 || math.Abs(sy) > 1e-12 {
+			t.Errorf("%s: rotor positions sum to (%v, %v), want origin", f, sx, sy)
+		}
+		if dir != 0 {
+			t.Errorf("%s: spin directions sum to %v, want 0", f, dir)
+		}
+		for i := 0; i < d.N; i++ {
+			opp := f.Opposite(i)
+			if back := f.Opposite(opp); back != i {
+				t.Errorf("%s: Opposite is not an involution: %d -> %d -> %d", f, i, opp, back)
+			}
+			if math.Abs(d.CosX[i]+d.CosX[opp]) > 1e-12 || math.Abs(d.CosY[i]+d.CosY[opp]) > 1e-12 {
+				t.Errorf("%s: rotor %d's opposite %d is not diametric", f, i, opp)
+			}
+		}
+	}
+}
+
+// legacyQuadAllocate is a verbatim copy of the pre-airframe X-quad mixer
+// (fixed rotorGeom table, scalar divisions). The generalized Mixer must
+// reproduce it BIT-identically on the quad: every recorded campaign
+// fingerprint depends on it.
+func legacyQuadAllocate(armD, kTau, tMax, thrustN float64, torque mathx.Vec3) [4]float64 {
+	geom := [4]struct{ sx, sy, yaw float64 }{
+		{+1, +1, -1}, {-1, -1, -1}, {+1, -1, +1}, {-1, +1, +1},
+	}
+	var t [4]float64
+	for i, g := range geom {
+		t[i] = thrustN/4 +
+			(-g.sy)*torque.X/(4*armD) +
+			g.sx*torque.Y/(4*armD) +
+			g.yaw*torque.Z/(4*kTau)
+	}
+	minT, maxT := t[0], t[0]
+	for _, ti := range t[1:] {
+		minT = math.Min(minT, ti)
+		maxT = math.Max(maxT, ti)
+	}
+	if minT < 0 {
+		shift := math.Min(-minT, tMax*4)
+		for i := range t {
+			t[i] += shift
+		}
+	}
+	if maxT > tMax {
+		for i := range t {
+			if t[i] > tMax {
+				t[i] = tMax
+			}
+			if t[i] < 0 {
+				t[i] = 0
+			}
+		}
+	}
+	var cmd [4]float64
+	for i := range t {
+		cmd[i] = mathx.Clamp(t[i]/tMax, 0, 1)
+	}
+	return cmd
+}
+
+func legacyQuadForward(armD, kTau float64, t [4]float64) (thrust float64, torque mathx.Vec3) {
+	geom := [4]struct{ sx, sy, yaw float64 }{
+		{+1, +1, -1}, {-1, -1, -1}, {+1, -1, +1}, {-1, +1, +1},
+	}
+	for i, g := range geom {
+		thrust += t[i]
+		torque.X += -g.sy * armD * t[i]
+		torque.Y += g.sx * armD * t[i]
+		torque.Z += g.yaw * kTau * t[i]
+	}
+	return thrust, torque
+}
+
+// TestQuadMixerBitIdenticalToLegacy pins the generalized mixer to the
+// legacy fixed-table X-quad implementation, bit for bit, across nominal,
+// saturating, and negative wrenches. quick.Check fuzzes beyond the grid.
+func TestQuadMixerBitIdenticalToLegacy(t *testing.T) {
+	p := DefaultParams()
+	m := NewMixer(p)
+	armD := p.ArmLengthM / math.Sqrt2
+	check := func(thrustN float64, torque mathx.Vec3) {
+		t.Helper()
+		want := legacyQuadAllocate(armD, p.TorqueCoeff, p.MaxThrustPerRotorN, thrustN, torque)
+		got := m.Allocate(thrustN, torque)
+		for i := 0; i < 4; i++ {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Errorf("Allocate(%v, %v)[%d] = %x, legacy %x",
+					thrustN, torque, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+			}
+		}
+		var rot [4]float64
+		copy(rot[:], got[:4])
+		for i := range rot {
+			rot[i] *= p.MaxThrustPerRotorN
+		}
+		wantT, wantTq := legacyQuadForward(armD, p.TorqueCoeff, rot)
+		var r Rotors
+		copy(r[:4], rot[:])
+		gotT, gotTq := m.Forward(r)
+		if math.Float64bits(gotT) != math.Float64bits(wantT) ||
+			math.Float64bits(gotTq.X) != math.Float64bits(wantTq.X) ||
+			math.Float64bits(gotTq.Y) != math.Float64bits(wantTq.Y) ||
+			math.Float64bits(gotTq.Z) != math.Float64bits(wantTq.Z) {
+			t.Errorf("Forward(%v) = (%v, %v), legacy (%v, %v)", rot, gotT, gotTq, wantT, wantTq)
+		}
+	}
+	hover := p.MassKg * Gravity
+	check(hover, mathx.Vec3{})
+	check(hover, mathx.V3(0.3, -0.2, 0.05))
+	check(0, mathx.Vec3{})
+	check(4*p.MaxThrustPerRotorN*2, mathx.V3(5, 5, 1)) // deep saturation
+	check(-hover, mathx.V3(-0.4, 0.1, -0.02))          // negative shift path
+	check(hover, mathx.V3(100, -100, 10))              // torque-dominated
+	if err := quick.Check(func(thrustN, tx, ty, tz float64) bool {
+		thrustN = math.Mod(thrustN, 200)
+		torque := mathx.V3(math.Mod(tx, 20), math.Mod(ty, 20), math.Mod(tz, 2))
+		want := legacyQuadAllocate(armD, p.TorqueCoeff, p.MaxThrustPerRotorN, thrustN, torque)
+		got := m.Allocate(thrustN, torque)
+		for i := 0; i < 4; i++ {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestForwardAllocateRoundTrip property-checks the mixer pair on every
+// airframe: an achievable wrench allocated to rotor commands and pushed
+// back through the forward model reproduces itself; an unachievable one
+// still yields commands inside [0, 1].
+func TestForwardAllocateRoundTrip(t *testing.T) {
+	p := DefaultParams()
+	for _, f := range Airframes() {
+		f := f
+		t.Run(f.String(), func(t *testing.T) {
+			p := p
+			p.Layout = f
+			m := NewMixer(p)
+			n := float64(m.N())
+			if err := quick.Check(func(ft, fx, fy, fz float64) bool {
+				// Map the fuzz inputs into the achievable envelope: mid
+				// thrust band, small torques.
+				frac := 0.3 + 0.4*math.Abs(math.Mod(ft, 1))
+				thrustN := frac * n * p.MaxThrustPerRotorN
+				torque := mathx.V3(
+					0.2*math.Mod(fx, 1),
+					0.2*math.Mod(fy, 1),
+					0.02*math.Mod(fz, 1))
+				cmd := m.Allocate(thrustN, torque)
+				var rot Rotors
+				for i := 0; i < m.N(); i++ {
+					if cmd[i] < 0 || cmd[i] > 1 {
+						return false
+					}
+					rot[i] = cmd[i] * p.MaxThrustPerRotorN
+				}
+				gotT, gotTq := m.Forward(rot)
+				tol := 1e-9 * n * p.MaxThrustPerRotorN
+				return math.Abs(gotT-thrustN) < tol &&
+					math.Abs(gotTq.X-torque.X) < tol &&
+					math.Abs(gotTq.Y-torque.Y) < tol &&
+					math.Abs(gotTq.Z-torque.Z) < tol
+			}, nil); err != nil {
+				t.Error(err)
+			}
+			// Saturating wrench: commands must stay normalized.
+			cmd := m.Allocate(10*n*p.MaxThrustPerRotorN, mathx.V3(50, -50, 5))
+			for i := 0; i < m.N(); i++ {
+				if cmd[i] < 0 || cmd[i] > 1 {
+					t.Errorf("saturated cmd[%d] = %v outside [0, 1]", i, cmd[i])
+				}
+			}
+		})
+	}
+}
+
+// TestReconfiguredAllocator checks the damped-pseudo-inverse fallback: an
+// all-healthy reconfiguration matches the mixer closely, a condemned rotor
+// receives exactly zero while the survivors still realize the wrench, and
+// under-actuated or malformed weight sets are rejected.
+func TestReconfiguredAllocator(t *testing.T) {
+	p := DefaultParams()
+	for _, f := range Airframes() {
+		f := f
+		t.Run(f.String(), func(t *testing.T) {
+			p := p
+			p.Layout = f
+			m := NewMixer(p)
+			n := m.N()
+			hover := p.MassKg * Gravity
+			torque := mathx.V3(0.2, -0.1, 0.01)
+
+			var healthy Rotors
+			for i := 0; i < n; i++ {
+				healthy[i] = 1
+			}
+			a, err := m.ReconfiguredAllocator(healthy)
+			if err != nil {
+				t.Fatalf("all-healthy: %v", err)
+			}
+			want := m.Allocate(hover, torque)
+			got := a.Allocate(hover, torque)
+			for i := 0; i < n; i++ {
+				// The Tikhonov damping (lambda ~ 1e-6 * trace) costs a few
+				// 1e-5 of relative accuracy — invisible next to the motor
+				// lag but never bit-identical to the undamped mixer.
+				if math.Abs(got[i]-want[i]) > 1e-4 {
+					t.Errorf("all-healthy cmd[%d] = %v, mixer %v", i, got[i], want[i])
+				}
+			}
+
+			if n > 4 {
+				weights := healthy
+				weights[0] = 0
+				a, err := m.ReconfiguredAllocator(weights)
+				if err != nil {
+					t.Fatalf("one-out: %v", err)
+				}
+				cmd := a.Allocate(hover, torque)
+				if cmd[0] != 0 {
+					t.Errorf("condemned rotor got command %v, want 0", cmd[0])
+				}
+				var rot Rotors
+				for i := 0; i < n; i++ {
+					rot[i] = cmd[i] * p.MaxThrustPerRotorN
+				}
+				gotT, gotTq := m.Forward(rot)
+				if math.Abs(gotT-hover) > 1e-3*hover {
+					t.Errorf("one-out thrust = %v, want %v", gotT, hover)
+				}
+				if math.Abs(gotTq.X-torque.X) > 1e-2 || math.Abs(gotTq.Y-torque.Y) > 1e-2 {
+					t.Errorf("one-out torque = %v, want %v", gotTq, torque)
+				}
+			}
+
+			// Fewer than four healthy rotors cannot span the wrench.
+			var under Rotors
+			for i := 0; i < 3 && i < n; i++ {
+				under[i] = 1
+			}
+			if _, err := m.ReconfiguredAllocator(under); err == nil {
+				t.Error("3-healthy reconfiguration succeeded, want error")
+			}
+			bad := healthy
+			bad[1] = 1.5
+			if _, err := m.ReconfiguredAllocator(bad); err == nil {
+				t.Error("weight > 1 accepted, want error")
+			}
+		})
+	}
+}
+
+// TestMixerTotals checks the rotor-count-derived limits.
+func TestMixerTotals(t *testing.T) {
+	p := DefaultParams()
+	for _, f := range Airframes() {
+		p := p
+		p.Layout = f
+		m := NewMixer(p)
+		if m.N() != f.Rotors() {
+			t.Errorf("%s: N = %d, want %d", f, m.N(), f.Rotors())
+		}
+		want := p.MaxThrustPerRotorN * float64(f.Rotors())
+		if m.MaxTotalThrustN() != want {
+			t.Errorf("%s: MaxTotalThrustN = %v, want %v", f, m.MaxTotalThrustN(), want)
+		}
+	}
+}

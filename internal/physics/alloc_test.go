@@ -15,7 +15,7 @@ func TestBodyStepAllocFree(t *testing.T) {
 		t.Fatal(err)
 	}
 	hover := DefaultParams().HoverThrustFraction()
-	body.SetMotorCommands([4]float64{hover, hover, hover, hover})
+	body.SetMotorCommands(Rotors{hover, hover, hover, hover})
 	st := body.State()
 	st.Pos.Z = -20
 	body.SetState(st)

@@ -26,7 +26,7 @@ func TestMotorsOffEnergyDecays(t *testing.T) {
 	s.Vel = mathx.V3(5, -3, 0)
 	s.Omega = mathx.V3(2, -1, 0.5)
 	b.SetState(s)
-	b.SetMotorCommands([4]float64{})
+	b.SetMotorCommands(physics.Rotors{})
 	p := b.Params()
 	energy := func(st physics.State) float64 {
 		kin := 0.5 * p.MassKg * st.Vel.NormSq()
@@ -53,7 +53,7 @@ func TestTerminalVelocity(t *testing.T) {
 	s := b.State()
 	s.Pos.Z = -5000
 	b.SetState(s)
-	b.SetMotorCommands([4]float64{})
+	b.SetMotorCommands(physics.Rotors{})
 	for i := 0; i < 10000; i++ { // 20 s
 		b.Step(0.002)
 	}

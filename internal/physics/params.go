@@ -1,8 +1,9 @@
-// Package physics implements the 6-DOF quadrotor rigid-body simulation that
-// replaces Gazebo in the paper's experimental stack: rotor/motor dynamics,
-// aerodynamic drag, a stochastic wind model, and ground contact. State is
-// expressed in a local NED world frame (Z down) with an FRD body frame,
-// matching PX4 conventions.
+// Package physics implements the 6-DOF multirotor rigid-body simulation
+// that replaces Gazebo in the paper's experimental stack: rotor/motor
+// dynamics, aerodynamic drag, a stochastic wind model, and ground contact.
+// The rotor layout is an Airframe descriptor (quad-x, hexa-x, octo-x);
+// state is expressed in a local NED world frame (Z down) with an FRD body
+// frame, matching PX4 conventions.
 package physics
 
 import (
@@ -16,10 +17,18 @@ import (
 // in the NED world frame.
 const Gravity = 9.80665
 
-// Params describes a quadrotor airframe. The defaults model a small
+// Params describes a multirotor airframe. The defaults model a small
 // X-configuration multirotor of the class flown in the paper's Valencia
 // scenario (1-2 kg delivery/survey quads).
+//
+// Params is part of the spec fingerprint (marshaled under Go field names),
+// so any field added here must carry `json:",omitempty"` with the zero
+// value meaning the legacy default — otherwise every stored result key
+// changes.
 type Params struct {
+	// Layout selects the rotor geometry. The zero value is the X-quad the
+	// paper flies.
+	Layout Airframe `json:",omitempty"`
 	// MassKg is the vehicle take-off mass.
 	MassKg float64
 	// Inertia is the diagonal body inertia (kg m^2) about X, Y, Z.
@@ -60,16 +69,19 @@ func DefaultParams() Params {
 
 // Validate reports whether the airframe parameters are physically sane.
 func (p Params) Validate() error {
+	rotors := float64(p.Layout.Rotors())
 	switch {
+	case !p.Layout.Valid():
+		return fmt.Errorf("physics: unknown airframe layout %d", int(p.Layout))
 	case p.MassKg <= 0:
 		return fmt.Errorf("physics: non-positive mass %v", p.MassKg)
 	case p.Inertia.X <= 0 || p.Inertia.Y <= 0 || p.Inertia.Z <= 0:
 		return fmt.Errorf("physics: non-positive inertia %v", p.Inertia)
 	case p.ArmLengthM <= 0:
 		return fmt.Errorf("physics: non-positive arm length %v", p.ArmLengthM)
-	case p.MaxThrustPerRotorN*4 <= p.MassKg*Gravity:
+	case p.MaxThrustPerRotorN*rotors <= p.MassKg*Gravity:
 		return fmt.Errorf("physics: max total thrust %.2f N cannot lift %.2f kg",
-			p.MaxThrustPerRotorN*4, p.MassKg)
+			p.MaxThrustPerRotorN*rotors, p.MassKg)
 	case p.MotorTau <= 0:
 		return fmt.Errorf("physics: non-positive motor time constant %v", p.MotorTau)
 	}
@@ -79,7 +91,7 @@ func (p Params) Validate() error {
 // HoverThrustFraction returns the per-rotor command fraction that balances
 // gravity — the controller's feed-forward operating point.
 func (p Params) HoverThrustFraction() float64 {
-	return p.MassKg * Gravity / (4 * p.MaxThrustPerRotorN)
+	return p.MassKg * Gravity / (float64(p.Layout.Rotors()) * p.MaxThrustPerRotorN)
 }
 
 // State is the full rigid-body state plus rotor speeds.
@@ -93,8 +105,9 @@ type State struct {
 	// Omega is the body angular rate (rad/s).
 	Omega mathx.Vec3
 	// Rotor holds normalized rotor thrust states in [0, 1] after the
-	// first-order motor lag.
-	Rotor [4]float64
+	// first-order motor lag; slots beyond the airframe's rotor count
+	// stay zero.
+	Rotor Rotors
 }
 
 // AltitudeM returns height above ground (positive up).

@@ -7,70 +7,99 @@ import (
 	"uavres/internal/mathx"
 )
 
-// rotorGeom encodes the X-configuration rotor layout in the FRD body frame:
-// position signs (scaled by ArmLengthM/sqrt(2)) and the sign of the yaw
-// reaction torque. Rotors 0/1 spin one way, 2/3 the other, PX4-style.
-var rotorGeom = [4]struct{ sx, sy, yaw float64 }{
-	{+1, +1, -1}, // front-right
-	{-1, -1, -1}, // back-left
-	{+1, -1, +1}, // front-left
-	{-1, +1, +1}, // back-right
-}
-
 // Mixer converts between the control wrench (total thrust + body torques)
-// and per-rotor thrusts for the X quad geometry. Both the simulator's
+// and per-rotor thrusts for an N-rotor airframe. Both the simulator's
 // forward model and the controller's allocation use this one type, so they
-// can never disagree about geometry.
+// can never disagree about geometry. The allocation side is the precomputed
+// pseudo-inverse of the forward model: for the symmetric airframes the
+// Gram matrix B*B' is diagonal, so each column reduces to a dimensionless
+// numerator over an exact axis divisor — for QuadX this reproduces the
+// legacy closed form bit for bit.
 type Mixer struct {
-	armD float64 // rotor moment arm projected on each axis: ArmLengthM/sqrt(2)
-	kTau float64 // thrust -> yaw reaction torque coefficient
+	n    int     // rotor count
 	tMax float64 // max thrust per rotor
+
+	// Forward-model torque coefficient of rotor i per newton of thrust.
+	rollK, pitchK, yawK Rotors
+
+	// Pseudo-inverse allocation:
+	//   t[i] = thrustN/divT + allocRoll[i]*tau.X/divRoll +
+	//          allocPitch[i]*tau.Y/divPitch + allocYaw[i]*tau.Z/divYaw
+	allocRoll, allocPitch, allocYaw Rotors
+	divT, divRoll, divPitch, divYaw float64
 }
 
 // NewMixer builds a mixer for the given airframe.
 func NewMixer(p Params) Mixer {
-	return Mixer{armD: p.ArmLengthM / math.Sqrt2, kTau: p.TorqueCoeff, tMax: p.MaxThrustPerRotorN}
+	d := p.Layout.Descriptor(p)
+	m := Mixer{n: d.N, tMax: d.MaxThrustN}
+	var sumRoll, sumPitch, sumYaw float64
+	for i := 0; i < d.N; i++ {
+		m.allocRoll[i] = -d.CosY[i]
+		m.allocPitch[i] = d.CosX[i]
+		m.allocYaw[i] = d.Dir[i]
+		m.rollK[i] = m.allocRoll[i] * d.ScaleM
+		m.pitchK[i] = m.allocPitch[i] * d.ScaleM
+		m.yawK[i] = d.Dir[i] * p.TorqueCoeff
+		sumRoll += m.allocRoll[i] * m.allocRoll[i]
+		sumPitch += m.allocPitch[i] * m.allocPitch[i]
+		sumYaw += d.Dir[i] * d.Dir[i]
+	}
+	m.divT = float64(d.N)
+	m.divRoll = sumRoll * d.ScaleM
+	m.divPitch = sumPitch * d.ScaleM
+	m.divYaw = sumYaw * p.TorqueCoeff
+	return m
 }
+
+// N returns the rotor count of the mixer's airframe.
+func (m Mixer) N() int { return m.n }
+
+// MaxThrustPerRotorN returns the per-rotor thrust ceiling (N).
+func (m Mixer) MaxThrustPerRotorN() float64 { return m.tMax }
+
+// MaxTotalThrustN returns the collective thrust ceiling across all rotors.
+func (m Mixer) MaxTotalThrustN() float64 { return m.tMax * float64(m.n) }
 
 // Forward computes total thrust (N, along body -Z) and body torque (N m)
 // from per-rotor thrusts (N).
-func (m Mixer) Forward(t [4]float64) (thrust float64, torque mathx.Vec3) {
-	for i, g := range rotorGeom {
+func (m Mixer) Forward(t Rotors) (thrust float64, torque mathx.Vec3) {
+	for i := 0; i < m.n; i++ {
 		thrust += t[i]
-		torque.X += -g.sy * m.armD * t[i]
-		torque.Y += g.sx * m.armD * t[i]
-		torque.Z += g.yaw * m.kTau * t[i]
+		torque.X += m.rollK[i] * t[i]
+		torque.Y += m.pitchK[i] * t[i]
+		torque.Z += m.yawK[i] * t[i]
 	}
 	return thrust, torque
 }
 
-// Allocate inverts Forward: it distributes a desired wrench across the four
+// Allocate inverts Forward: it distributes a desired wrench across the
 // rotors and returns normalized commands in [0, 1]. Saturation preserves
 // the thrust axis first (desaturation by uniform shift), matching how PX4's
 // mixer prioritizes attitude authority.
-func (m Mixer) Allocate(thrustN float64, torque mathx.Vec3) [4]float64 {
-	var t [4]float64
-	for i, g := range rotorGeom {
-		t[i] = thrustN/4 +
-			(-g.sy)*torque.X/(4*m.armD) +
-			g.sx*torque.Y/(4*m.armD) +
-			g.yaw*torque.Z/(4*m.kTau)
+func (m Mixer) Allocate(thrustN float64, torque mathx.Vec3) Rotors {
+	var t Rotors
+	for i := 0; i < m.n; i++ {
+		t[i] = thrustN/m.divT +
+			m.allocRoll[i]*torque.X/m.divRoll +
+			m.allocPitch[i]*torque.Y/m.divPitch +
+			m.allocYaw[i]*torque.Z/m.divYaw
 	}
 	// Uniform shift desaturation: keep differential (attitude) terms intact.
 	minT, maxT := t[0], t[0]
-	for _, ti := range t[1:] {
-		minT = math.Min(minT, ti)
-		maxT = math.Max(maxT, ti)
+	for i := 1; i < m.n; i++ {
+		minT = math.Min(minT, t[i])
+		maxT = math.Max(maxT, t[i])
 	}
 	if minT < 0 {
-		shift := math.Min(-minT, m.tMax*4) // bounded shift
-		for i := range t {
+		shift := math.Min(-minT, m.tMax*float64(m.n)) // bounded shift
+		for i := 0; i < m.n; i++ {
 			t[i] += shift
 		}
 	}
 	if maxT > m.tMax {
 		// Scale down around the mean only if still saturated.
-		for i := range t {
+		for i := 0; i < m.n; i++ {
 			if t[i] > m.tMax {
 				t[i] = m.tMax
 			}
@@ -79,14 +108,14 @@ func (m Mixer) Allocate(thrustN float64, torque mathx.Vec3) [4]float64 {
 			}
 		}
 	}
-	var cmd [4]float64
-	for i := range t {
+	var cmd Rotors
+	for i := 0; i < m.n; i++ {
 		cmd[i] = mathx.Clamp(t[i]/m.tMax, 0, 1)
 	}
 	return cmd
 }
 
-// Body simulates one quadrotor rigid body.
+// Body simulates one multirotor rigid body.
 type Body struct {
 	//lint:allow snapshotcomplete immutable after NewBody; Step takes its address for read-only access
 	params Params
@@ -94,7 +123,7 @@ type Body struct {
 	state  State
 	wind   *Wind
 
-	cmd [4]float64 // latest normalized rotor commands
+	cmd Rotors // latest normalized rotor commands
 
 	// Cached motor-lag coefficient 1-exp(-dt/tau), keyed on the exact
 	// inputs that produced it. The 500 Hz loop always passes the same dt,
@@ -146,7 +175,7 @@ func (b *Body) SetState(s State) { b.state = s }
 // the wind process it is coupled to (checkpointing).
 type BodySnapshot struct {
 	state             State
-	cmd               [4]float64
+	cmd               Rotors
 	lastSpecificForce mathx.Vec3
 	lastAirspeed      float64
 	touchdownSpeed    float64
@@ -184,11 +213,19 @@ func (b *Body) Restore(s BodySnapshot) error {
 
 // SetMotorCommands sets the normalized rotor commands in [0, 1]; values
 // outside the range are clamped.
-func (b *Body) SetMotorCommands(cmd [4]float64) {
+func (b *Body) SetMotorCommands(cmd Rotors) {
 	for i := range cmd {
 		b.cmd[i] = mathx.Clamp(cmd[i], 0, 1)
 	}
 }
+
+// MotorCommands returns the latest normalized rotor commands — the value
+// actuator fault forking seeds a stuck rotor from.
+func (b *Body) MotorCommands() Rotors { return b.cmd }
+
+// RotorStates returns the lagged normalized rotor thrust states, the
+// quantity a per-rotor FDI monitor compares against its expected model.
+func (b *Body) RotorStates() Rotors { return b.state.Rotor }
 
 // SpecificForce returns the body-frame specific force (m/s^2) from the last
 // step — the quantity an ideal accelerometer measures.
@@ -243,8 +280,8 @@ func (b *Body) StepWithWind(dt float64, windNED mathx.Vec3) {
 		b.lag = 1 - math.Exp(-dt/p.MotorTau)
 	}
 	lag := b.lag
-	var rotorThrust [4]float64
-	for i := range s.Rotor {
+	var rotorThrust Rotors
+	for i := 0; i < b.mixer.n; i++ {
 		s.Rotor[i] += (b.cmd[i] - s.Rotor[i]) * lag
 		rotorThrust[i] = s.Rotor[i] * p.MaxThrustPerRotorN
 	}

@@ -71,7 +71,7 @@ func TestHoverIsNearEquilibrium(t *testing.T) {
 		s.Rotor[i] = hover
 	}
 	b.SetState(s)
-	b.SetMotorCommands([4]float64{hover, hover, hover, hover})
+	b.SetMotorCommands(Rotors{hover, hover, hover, hover})
 	for i := 0; i < 2500; i++ { // 5 s at 2 ms
 		b.Step(0.002)
 	}
@@ -92,7 +92,7 @@ func TestFreeFallAcceleration(t *testing.T) {
 	s := b.State()
 	s.Pos.Z = -500
 	b.SetState(s)
-	b.SetMotorCommands([4]float64{}) // motors off
+	b.SetMotorCommands(Rotors{}) // motors off
 	const dt, steps = 0.002, 500     // 1 s
 	for i := 0; i < steps; i++ {
 		b.Step(dt)
@@ -116,7 +116,7 @@ func TestDifferentialThrustRolls(t *testing.T) {
 	b.SetState(s)
 	hover := b.Params().HoverThrustFraction()
 	// More thrust on the right side (+Y rotors 0 and 3) rolls negative X.
-	b.SetMotorCommands([4]float64{hover + 0.1, hover - 0.1, hover - 0.1, hover + 0.1})
+	b.SetMotorCommands(Rotors{hover + 0.1, hover - 0.1, hover - 0.1, hover + 0.1})
 	for i := 0; i < 100; i++ {
 		b.Step(0.002)
 	}
@@ -132,7 +132,7 @@ func TestYawTorqueFromRotorPairs(t *testing.T) {
 	b.SetState(s)
 	hover := b.Params().HoverThrustFraction()
 	// Speeding up the +yaw pair (rotors 2,3) must yaw positively.
-	b.SetMotorCommands([4]float64{hover - 0.05, hover - 0.05, hover + 0.05, hover + 0.05})
+	b.SetMotorCommands(Rotors{hover - 0.05, hover - 0.05, hover + 0.05, hover + 0.05})
 	for i := 0; i < 100; i++ {
 		b.Step(0.002)
 	}
@@ -143,7 +143,7 @@ func TestYawTorqueFromRotorPairs(t *testing.T) {
 
 func TestGroundSupportsRestingVehicle(t *testing.T) {
 	b := newTestBody(t)
-	b.SetMotorCommands([4]float64{})
+	b.SetMotorCommands(Rotors{})
 	for i := 0; i < 2000; i++ {
 		b.Step(0.002)
 	}
@@ -169,7 +169,7 @@ func TestTouchdownSpeedRecorded(t *testing.T) {
 	s := b.State()
 	s.Pos.Z = -10 // drop from 10 m
 	b.SetState(s)
-	b.SetMotorCommands([4]float64{})
+	b.SetMotorCommands(Rotors{})
 	for i := 0; i < 2000 && b.TouchdownSpeed() == 0; i++ {
 		b.Step(0.002)
 	}
@@ -185,7 +185,7 @@ func TestSpecificForceInFreeFallIsZero(t *testing.T) {
 	s := b.State()
 	s.Pos.Z = -1000
 	b.SetState(s)
-	b.SetMotorCommands([4]float64{})
+	b.SetMotorCommands(Rotors{})
 	b.Step(0.002)
 	// In free fall (ignoring drag at low speed) specific force ~ 0.
 	if f := b.SpecificForce().Norm(); f > 0.1 {
@@ -233,7 +233,7 @@ func TestMixerForwardAllocateRoundTrip(t *testing.T) {
 			math.Mod(bounded(tz), 0.01),
 		)
 		cmd := m.Allocate(thrust, torque)
-		var thrusts [4]float64
+		var thrusts Rotors
 		for i := range cmd {
 			if cmd[i] < 0 || cmd[i] > 1 {
 				return false

@@ -1,0 +1,48 @@
+package physics
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestNoRotorCountLiterals scans the physics and control sources for the
+// hard-coded quad assumptions the airframe refactor removed: the fixed
+// rotorGeom table, [4]float64 rotor vectors, and "4 * per-rotor" limit
+// arithmetic. Any reappearance silently re-pins the stack to four rotors,
+// so the ban is enforced at test time. (The allocator's [wrenchDims]
+// arrays are wrench-space, not rotor-space, and named accordingly.)
+func TestNoRotorCountLiterals(t *testing.T) {
+	banned := []*regexp.Regexp{
+		regexp.MustCompile(`rotorGeom`),
+		regexp.MustCompile(`\[4\]float64`),
+		regexp.MustCompile(`4\s*\*\s*\w*\.?MaxThrustPerRotorN`),
+		regexp.MustCompile(`MaxThrustPerRotorN\s*\*\s*4\b`),
+	}
+	for _, dir := range []string{".", "../control"} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, line := range strings.Split(string(data), "\n") {
+				for _, re := range banned {
+					if re.MatchString(line) {
+						t.Errorf("%s/%s:%d: rotor-count literal %q in: %s",
+							dir, name, i+1, re, strings.TrimSpace(line))
+					}
+				}
+			}
+		}
+	}
+}

@@ -42,6 +42,8 @@ type Checkpoint struct {
 	hasInjector bool
 	filter      ekf.FilterSnapshot
 	mitigate    mitigation.PipelineSnapshot
+	rotorMon    mitigation.RotorMonitorSnapshot
+	hasRotorMon bool
 	ctl         control.ControllerSnapshot
 	monitor     failsafe.MonitorSnapshot
 	crash       failsafe.CrashSnapshot
@@ -107,6 +109,10 @@ func (v *Vehicle) Snapshot() *Checkpoint {
 		c.injector = v.injector.Snapshot()
 		c.hasInjector = true
 	}
+	if v.rotorMon != nil {
+		c.rotorMon = v.rotorMon.Snapshot()
+		c.hasRotorMon = true
+	}
 	if v.res.Trajectory != nil {
 		c.res.Trajectory = make([]TrajPoint, len(v.res.Trajectory), cap(v.res.Trajectory))
 		copy(c.res.Trajectory, v.res.Trajectory)
@@ -135,13 +141,17 @@ func (c *Checkpoint) Fork(obs Observer) (*Vehicle, error) {
 // indistinguishable up to the checkpoint:
 //
 //   - the checkpoint precedes the new injection's window (no executed step
-//     observed a corrupted sample), and
-//   - the fork's injection scope matches the prefix injector's, because an
-//     installed injector overwrites every affected unit's sample with the
-//     primary's even before the window opens.
+//     observed a corrupted sample or command),
+//   - the fork's injection family (sensor vs actuator) matches the prefix
+//     injector's, because a sensor injector overwrites every affected
+//     unit's sample with the primary's even before the window opens while
+//     an actuator injector leaves the sample stream alone, and
+//   - within the sensor family, the fork's scope matches the prefix
+//     injector's, for the same pre-window overwrite reason.
 //
-// The fork's Freeze state is seeded from the checkpoint's last clean
-// sample, exactly what a straight-through injector would have captured.
+// A sensor fork's Freeze state is seeded from the checkpoint's last clean
+// sample, an actuator fork's Stuck state from the checkpoint's last motor
+// commands — exactly what a straight-through injector would have captured.
 func (c *Checkpoint) ForkWithInjection(inj *faultinject.Injection, obs Observer) (*Vehicle, error) {
 	if (inj == nil) != (c.inj == nil) {
 		return nil, fmt.Errorf("sim: fork injection presence differs from checkpoint prefix")
@@ -150,6 +160,10 @@ func (c *Checkpoint) ForkWithInjection(inj *faultinject.Injection, obs Observer)
 		if c.step > 0 && float64(c.step-1)*c.cfg.PhysicsDt >= inj.Start.Seconds() {
 			return nil, fmt.Errorf("sim: checkpoint at t=%.3fs is past injection start %v",
 				float64(c.step-1)*c.cfg.PhysicsDt, inj.Start)
+		}
+		if inj.SensorTarget() != c.inj.SensorTarget() {
+			return nil, fmt.Errorf("sim: fork injection family (%s) differs from checkpoint prefix (%s)",
+				injectionFamily(inj), injectionFamily(c.inj))
 		}
 		if inj.Scope != c.inj.Scope {
 			return nil, fmt.Errorf("sim: fork scope %v differs from checkpoint scope %v",
@@ -163,10 +177,24 @@ func (c *Checkpoint) ForkWithInjection(inj *faultinject.Injection, obs Observer)
 	if err := v.restoreFrom(c); err != nil {
 		return nil, err
 	}
-	if v.injector != nil && v.haveIMU {
-		v.injector.SeedFreeze(v.lastClean)
+	if v.injector != nil {
+		if v.inj.SensorTarget() {
+			if v.haveIMU {
+				v.injector.SeedFreeze(v.lastClean)
+			}
+		} else {
+			v.injector.SeedStuck(v.body.MotorCommands())
+		}
 	}
 	return v, nil
+}
+
+// injectionFamily names the side of the fault model an injection lives on.
+func injectionFamily(inj *faultinject.Injection) string {
+	if inj.SensorTarget() {
+		return "sensor"
+	}
+	return "actuator"
 }
 
 // restoreFrom reinstates every dynamic field from the checkpoint except
@@ -193,6 +221,14 @@ func (v *Vehicle) restoreFrom(c *Checkpoint) error {
 		return err
 	}
 	v.ctl.Restore(c.ctl)
+	if v.rotorMon != nil && c.hasRotorMon {
+		v.rotorMon.Restore(c.rotorMon)
+		// The controller's allocator override is derived state: rebuild it
+		// from the restored condemned set.
+		if v.cfg.Mitigation.ReconfigAllocation {
+			v.ctl.SetAllocator(v.reconfiguredAllocator())
+		}
+	}
 	v.monitor.Restore(c.monitor)
 	v.crash.Restore(c.crash)
 	g := c.guide

@@ -152,6 +152,14 @@ func (r *recorder) onMitigation(t float64, stuck bool) {
 	r.st.prevStuck = stuck
 }
 
+// onRotorReconfig records the rotor-FDI monitor condemning a rotor — an
+// actuator-side mitigation engagement, traced under the same counter and
+// event kind as the sensor pipeline's latches.
+func (r *recorder) onRotorReconfig(t float64) {
+	r.mitigations.Inc()
+	r.trace.Append(obs.Event{T: t, Kind: obs.EventMitigation, Detail: "rotor-reconfig"})
+}
+
 // onSensorSwitch records redundancy management switching the primary IMU.
 func (r *recorder) onSensorSwitch(t float64) {
 	r.switches.Inc()

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"strconv"
 
@@ -69,6 +70,7 @@ type Vehicle struct {
 	injector *faultinject.Injector
 	filter   *ekf.Filter
 	mitigate *mitigation.Pipeline
+	rotorMon *mitigation.RotorMonitor
 	ctl      *control.Controller
 	monitor  *failsafe.Monitor
 	crash    *failsafe.CrashDetector
@@ -162,6 +164,10 @@ func NewVehicle(cfg Config, m mission.Mission, inj *faultinject.Injection, obs O
 		if err != nil {
 			return nil, err
 		}
+		if !inj.SensorTarget() && inj.Rotor >= cfg.Airframe.Layout.Rotors() {
+			return nil, fmt.Errorf("sim: rotor fault on rotor %d but airframe %s has %d rotors",
+				inj.Rotor, cfg.Airframe.Layout, cfg.Airframe.Layout.Rotors())
+		}
 	}
 
 	filter := ekf.New(cfg.EKF)
@@ -224,6 +230,10 @@ func NewVehicle(cfg Config, m mission.Mission, inj *faultinject.Injection, obs O
 	}
 	if v.voteGyroTol <= 0 {
 		v.voteGyroTol = 0.3
+	}
+	if cfg.Mitigation.RotorFDIEnabled() {
+		v.rotorMon = mitigation.NewRotorMonitor(
+			cfg.Mitigation, cfg.Airframe.Layout.Rotors(), cfg.Airframe.MotorTau, v.imuDt)
 	}
 	if cfg.RecordTrajectory {
 		interval := cfg.TrackingInterval
@@ -361,12 +371,14 @@ func (v *Vehicle) stepEnv(env *envDraws) {
 		clean := all[v.imus.Primary()]
 		v.lastClean = clean
 		if v.injector != nil {
-			// The fault corrupts the sensor output stream: every
-			// affected unit reads the same corrupted values.
-			corrupted := v.injector.Apply(clean)
-			for i := range all {
-				if v.inj.AffectsUnit(i) {
-					all[i] = corrupted
+			if v.inj.SensorTarget() {
+				// The fault corrupts the sensor output stream: every
+				// affected unit reads the same corrupted values.
+				corrupted := v.injector.Apply(clean)
+				for i := range all {
+					if v.inj.AffectsUnit(i) {
+						all[i] = corrupted
+					}
 				}
 			}
 			v.rec.onInjection(t, v.injector.Active(t))
@@ -427,6 +439,17 @@ func (v *Vehicle) stepEnv(env *envDraws) {
 			rateFeedback = clean.Gyro // ablation: control path protected
 		}
 		cmd, _ := v.ctl.Update(v.imuDt, control.Estimate{Att: est.Att, Vel: est.Vel, Pos: est.Pos}, rateFeedback, v.sp)
+		if v.rotorMon != nil {
+			// FDI compares what the controller intends against what the
+			// rotors measurably did; the fault acts between the two.
+			if v.rotorMon.Observe(cmd, v.body.RotorStates()) {
+				v.onRotorCondemned(t)
+			}
+		}
+		if v.injector != nil && !v.inj.SensorTarget() {
+			// Actuator faults corrupt the command on its way to the ESC.
+			cmd = v.injector.ApplyActuator(t, cmd)
+		}
 		v.body.SetMotorCommands(cmd)
 	}
 
@@ -584,6 +607,32 @@ func (v *Vehicle) stepEnv(env *envDraws) {
 	}
 	v.rec.onStep(v.guide.phase)
 	v.step++
+}
+
+// onRotorCondemned reacts to the FDI monitor latching a new condemned
+// rotor: record the event and, when configured, re-solve the control
+// allocation around the condemned set.
+func (v *Vehicle) onRotorCondemned(t float64) {
+	v.rec.onRotorReconfig(t)
+	if v.cfg.Mitigation.ReconfigAllocation {
+		v.ctl.SetAllocator(v.reconfiguredAllocator())
+	}
+}
+
+// reconfiguredAllocator maps the monitor's current condemned set to a
+// weighted allocation, or nil when the airframe cannot be reconfigured
+// (nothing condemned, or too few healthy rotors — then the vehicle keeps
+// flying on the nominal allocation and the failsafe judges the outcome).
+func (v *Vehicle) reconfiguredAllocator() *physics.Allocator {
+	if v.rotorMon == nil || !v.rotorMon.AnyCondemned() {
+		return nil
+	}
+	w := v.rotorMon.Weights(v.cfg.Airframe.Layout, v.cfg.Mitigation.OppositeDerate)
+	a, err := v.body.Mixer().ReconfiguredAllocator(w)
+	if err != nil {
+		return nil
+	}
+	return a
 }
 
 // label formats the phase for telemetry without allocating on the common

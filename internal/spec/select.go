@@ -9,6 +9,7 @@ import (
 
 	"uavres/internal/core"
 	"uavres/internal/faultinject"
+	"uavres/internal/physics"
 )
 
 // Selector keeps a subset of compiled cases. Every set field must match
@@ -30,6 +31,9 @@ type Selector struct {
 	// Gold, when set, keeps only gold (true) or only faulty (false)
 	// cases.
 	Gold *bool `json:"gold,omitempty"`
+	// Airframe matches the case's rotor layout ("quad", "hexa-x", ...);
+	// an empty Case.Airframe counts as quad-x.
+	Airframe string `json:"airframe,omitempty"`
 }
 
 // Validate rejects unparseable field values and malformed globs.
@@ -46,6 +50,11 @@ func (s Selector) Validate() error {
 	}
 	if s.Primitive != "" {
 		if _, err := faultinject.ParsePrimitive(s.Primitive); err != nil {
+			return err
+		}
+	}
+	if s.Airframe != "" {
+		if _, err := physics.ParseAirframe(s.Airframe); err != nil {
 			return err
 		}
 	}
@@ -73,6 +82,21 @@ func (s Selector) Matches(c core.Case) bool {
 	}
 	if s.Gold != nil && *s.Gold != (c.Injection == nil) {
 		return false
+	}
+	if s.Airframe != "" {
+		want, err := physics.ParseAirframe(s.Airframe)
+		if err != nil {
+			return false
+		}
+		have := physics.QuadX
+		if c.Airframe != "" {
+			if have, err = physics.ParseAirframe(c.Airframe); err != nil {
+				return false
+			}
+		}
+		if have != want {
+			return false
+		}
 	}
 	//lint:allow floatcmp zero-value detection of an unset selector field, never a computed value
 	injectionFieldSet := s.Target != "" || s.Primitive != "" || s.DurationSec != 0 || s.StartSec != 0
@@ -169,8 +193,10 @@ func ParseSelector(expr string) (Selector, error) {
 				return s, fmt.Errorf("spec: bad gold %q: %w", value, err)
 			}
 			s.Gold = &b
+		case "airframe", "frame":
+			s.Airframe = value
 		default:
-			return s, fmt.Errorf("spec: unknown selector key %q (want id, mission, target, primitive, duration, start, gold)", key)
+			return s, fmt.Errorf("spec: unknown selector key %q (want id, mission, target, primitive, duration, start, gold, airframe)", key)
 		}
 	}
 	if err := s.Validate(); err != nil {

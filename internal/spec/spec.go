@@ -27,6 +27,7 @@ import (
 	"uavres/internal/faultinject"
 	"uavres/internal/mathx"
 	"uavres/internal/mission"
+	"uavres/internal/physics"
 	"uavres/internal/sim"
 )
 
@@ -49,6 +50,14 @@ type CampaignSpec struct {
 	Seed int64 `json:"seed,omitempty"`
 	// Missions lists scenario mission IDs; empty means every mission.
 	Missions []int `json:"missions,omitempty"`
+	// Airframes lists the rotor layouts the whole matrix flies on, parsed
+	// by physics.ParseAirframe ("quad-x", "hexa-x", "octo-x"); empty means
+	// the default quad-x. Quad-x cases keep their legacy IDs and an empty
+	// Case.Airframe (so pre-airframe fingerprints survive); other layouts
+	// suffix every case ID ("-hexa", "-octo") and stamp Case.Airframe.
+	// Every airframe shares the mission's environment seed: the redundancy
+	// comparison varies the VEHICLE between cases, not the weather.
+	Airframes []string `json:"airframes,omitempty"`
 	// Gold controls the one fault-free reference run per mission.
 	// Omitted (null) means true, matching the paper.
 	Gold *bool `json:"gold,omitempty"`
@@ -80,6 +89,18 @@ type Matrix struct {
 	// Scope is parsed by faultinject.ParseScope; empty means all-units,
 	// the paper's assumption.
 	Scope string `json:"scope,omitempty"`
+	// Actuators lists actuator fault primitives ("loe", "stuck", "float")
+	// expanded per rotor alongside the sensor grid; empty means no
+	// actuator cases. Actuator injections always use all-units scope (a
+	// rotor fault has no per-IMU addressing) and share the durations and
+	// starts axes.
+	Actuators []string `json:"actuators,omitempty"`
+	// ActuatorRotors lists the rotor indices actuator faults target;
+	// empty means {0}. Every index must exist on every listed airframe.
+	ActuatorRotors []int `json:"actuator_rotors,omitempty"`
+	// LoEFactor is the thrust multiplier "loe" cases apply to the faulted
+	// rotor; 0 means faultinject.DefaultLoEFactor.
+	LoEFactor float64 `json:"loe_factor,omitempty"`
 }
 
 // SeedPolicy selects the per-case seed derivation.
@@ -113,6 +134,11 @@ type Overrides struct {
 	// (default, bit-compatible with recorded campaigns) or "ziggurat"
 	// (see mathx.ParseNormPolicy).
 	RNGPolicy *string `json:"rng_policy,omitempty"`
+	// RotorReconfig, when true, arms the per-rotor FDI monitor and the
+	// reconfiguring control allocator (mitigation.RotorDefaults) — the
+	// mitigation actuator faults need. Omitted or false leaves the legacy
+	// sensor-only pipeline (and its fingerprints) untouched.
+	RotorReconfig *bool `json:"rotor_reconfig,omitempty"`
 }
 
 // Apply folds the overrides into a simulation config.
@@ -134,6 +160,9 @@ func (o Overrides) Apply(cfg *sim.Config) {
 	}
 	if o.RedundancyVoting != nil {
 		cfg.RedundancyVoting = *o.RedundancyVoting
+	}
+	if o.RotorReconfig != nil && *o.RotorReconfig {
+		cfg.Mitigation = cfg.Mitigation.RotorDefaults()
 	}
 }
 
@@ -178,6 +207,9 @@ func (s CampaignSpec) Validate() error {
 	if _, err := s.Matrix.parse(); err != nil {
 		return err
 	}
+	if _, err := parseAirframes(s.Airframes); err != nil {
+		return err
+	}
 	switch s.Seeds.Kind {
 	case "", "mixed", "affine":
 	default:
@@ -206,6 +238,9 @@ type parsedMatrix struct {
 	durations  []time.Duration
 	starts     []time.Duration
 	scope      faultinject.Scope
+	actuators  []faultinject.Primitive
+	rotors     []int
+	loe        float64
 }
 
 func (m Matrix) parse() (parsedMatrix, error) {
@@ -218,6 +253,9 @@ func (m Matrix) parse() (parsedMatrix, error) {
 			if err != nil {
 				return p, fmt.Errorf("spec: %w", err)
 			}
+			if t == faultinject.TargetRotor {
+				return p, fmt.Errorf("spec: target %q is the actuator side; list rotor faults under the actuators axis instead", s)
+			}
 			p.targets = append(p.targets, t)
 		}
 	}
@@ -229,9 +267,40 @@ func (m Matrix) parse() (parsedMatrix, error) {
 			if err != nil {
 				return p, fmt.Errorf("spec: %w", err)
 			}
+			if pr.Actuator() {
+				return p, fmt.Errorf("spec: primitive %q is an actuator fault; list it under the actuators axis instead", s)
+			}
 			p.primitives = append(p.primitives, pr)
 		}
 	}
+	for _, s := range m.Actuators {
+		pr, err := faultinject.ParsePrimitive(s)
+		if err != nil {
+			return p, fmt.Errorf("spec: %w", err)
+		}
+		if !pr.Actuator() {
+			return p, fmt.Errorf("spec: actuator %q is a sensor fault; list it under the primitives axis instead", s)
+		}
+		p.actuators = append(p.actuators, pr)
+	}
+	if len(p.actuators) > 0 {
+		p.rotors = m.ActuatorRotors
+		if len(p.rotors) == 0 {
+			p.rotors = []int{0}
+		}
+		for _, r := range p.rotors {
+			if r < 0 || r >= physics.MaxRotors {
+				return p, fmt.Errorf("spec: actuator rotor %d out of range [0, %d)", r, physics.MaxRotors)
+			}
+		}
+	} else if len(m.ActuatorRotors) > 0 {
+		return p, fmt.Errorf("spec: actuator_rotors set but the actuators axis is empty")
+	}
+	// 0 means "use the faultinject default" and skips the range check.
+	if m.LoEFactor < 0 || m.LoEFactor >= 1 {
+		return p, fmt.Errorf("spec: loe_factor %v outside (0, 1)", m.LoEFactor)
+	}
+	p.loe = m.LoEFactor
 	durs := m.DurationsSec
 	if len(durs) == 0 {
 		durs = []float64{2, 5, 10, 30}
@@ -287,35 +356,84 @@ func (s CampaignSpec) Compile(scenario []mission.Mission) ([]core.Case, error) {
 	}
 	gold := s.Gold == nil || *s.Gold
 
-	perMission := len(m.targets) * len(m.primitives) * len(m.durations) * len(m.starts)
-	cases := make([]core.Case, 0, len(missions)*(perMission+1))
+	frames, err := parseAirframes(s.Airframes)
+	if err != nil {
+		return nil, err
+	}
+
+	perFrame := (len(m.targets)*len(m.primitives) + len(m.actuators)*len(m.rotors)) *
+		len(m.durations) * len(m.starts)
+	cases := make([]core.Case, 0, len(missions)*len(frames)*(perFrame+1))
 	for _, ms := range missions {
+		// Every airframe of one mission shares the environment seed: the
+		// redundancy comparison varies the vehicle, not the weather.
 		envSeed := s.Seeds.envSeed(base, ms.ID)
-		if gold {
-			cases = append(cases, core.Case{
-				ID:        fmt.Sprintf("m%02d-gold", ms.ID),
-				MissionID: ms.ID,
-				Seed:      envSeed,
-			})
-		}
-		for _, target := range m.targets {
-			for _, prim := range m.primitives {
-				for _, dur := range m.durations {
-					for _, start := range m.starts {
-						inj := &faultinject.Injection{
-							Primitive: prim,
-							Target:    target,
-							Start:     start,
-							Duration:  dur,
-							Scope:     m.scope,
-							Seed:      s.Seeds.injSeed(base, ms.ID, target, prim, dur, start),
+		for _, frame := range frames {
+			suffix, airframe := "", ""
+			if frame != physics.QuadX {
+				suffix = "-" + frame.Slug()
+				airframe = frame.String()
+			}
+			if gold {
+				cases = append(cases, core.Case{
+					ID:        fmt.Sprintf("m%02d-gold%s", ms.ID, suffix),
+					MissionID: ms.ID,
+					Seed:      envSeed,
+					Airframe:  airframe,
+				})
+			}
+			for _, target := range m.targets {
+				for _, prim := range m.primitives {
+					for _, dur := range m.durations {
+						for _, start := range m.starts {
+							inj := &faultinject.Injection{
+								Primitive: prim,
+								Target:    target,
+								Start:     start,
+								Duration:  dur,
+								Scope:     m.scope,
+								Seed:      s.Seeds.injSeed(base, ms.ID, target, prim, dur, start),
+							}
+							cases = append(cases, core.Case{
+								ID:        caseID(ms.ID, target, prim, dur, start) + suffix,
+								MissionID: ms.ID,
+								Injection: inj,
+								Seed:      envSeed,
+								Airframe:  airframe,
+							})
 						}
-						cases = append(cases, core.Case{
-							ID:        caseID(ms.ID, target, prim, dur, start),
-							MissionID: ms.ID,
-							Injection: inj,
-							Seed:      envSeed,
-						})
+					}
+				}
+			}
+			for _, prim := range m.actuators {
+				for _, rotor := range m.rotors {
+					if rotor >= frame.Rotors() {
+						return nil, fmt.Errorf("spec: actuator rotor %d does not exist on %s (%d rotors)",
+							rotor, frame, frame.Rotors())
+					}
+					for _, dur := range m.durations {
+						for _, start := range m.starts {
+							inj := &faultinject.Injection{
+								Primitive: prim,
+								Target:    faultinject.TargetRotor,
+								Rotor:     rotor,
+								Start:     start,
+								Duration:  dur,
+								// Rotor faults have no per-IMU addressing.
+								Scope: faultinject.ScopeAllUnits,
+								Seed:  s.Seeds.actuatorSeed(base, ms.ID, prim, rotor, dur, start),
+							}
+							if prim == faultinject.LossOfEffectiveness {
+								inj.Factor = m.loe
+							}
+							cases = append(cases, core.Case{
+								ID:        actuatorCaseID(ms.ID, rotor, prim, dur, start) + suffix,
+								MissionID: ms.ID,
+								Injection: inj,
+								Seed:      envSeed,
+								Airframe:  airframe,
+							})
+						}
 					}
 				}
 			}
@@ -363,12 +481,40 @@ func selectMissions(scenario []mission.Mission, ids []int) ([]mission.Mission, e
 	return out, nil
 }
 
+// parseAirframes resolves the spec's airframe axis; empty means quad-x.
+func parseAirframes(names []string) ([]physics.Airframe, error) {
+	if len(names) == 0 {
+		return []physics.Airframe{physics.QuadX}, nil
+	}
+	out := make([]physics.Airframe, 0, len(names))
+	for _, s := range names {
+		f, err := physics.ParseAirframe(s)
+		if err != nil {
+			return nil, fmt.Errorf("spec: %w", err)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
 // caseID builds the stable case identifier. At the paper's canonical
 // start the format is the legacy one ("m04-gyro-freeze-10s"); other
 // starts append "-tNNs" so grid specs stay collision-free.
 func caseID(missionID int, target faultinject.Target, prim faultinject.Primitive, dur, start time.Duration) string {
 	id := fmt.Sprintf("m%02d-%s-%s-%ss", missionID,
 		core.Slug(target.String()), core.Slug(prim.String()), formatSec(dur.Seconds()))
+	if start != PaperStartSec*time.Second {
+		id += "-t" + formatSec(start.Seconds()) + "s"
+	}
+	return id
+}
+
+// actuatorCaseID names an actuator case by rotor and primitive
+// ("m04-r0-loe-10s"); off-canonical starts get the same "-tNNs" suffix
+// as sensor cases.
+func actuatorCaseID(missionID, rotor int, prim faultinject.Primitive, dur, start time.Duration) string {
+	id := fmt.Sprintf("m%02d-r%d-%s-%ss", missionID,
+		rotor, core.Slug(prim.String()), formatSec(dur.Seconds()))
 	if start != PaperStartSec*time.Second {
 		id += "-t" + formatSec(start.Seconds()) + "s"
 	}
@@ -427,6 +573,17 @@ func (p SeedPolicy) injSeed(base int64, missionID int, target faultinject.Target
 	}
 	if start != PaperStartSec*time.Second {
 		seed = foldSeed(seed, math.Float64bits(start.Seconds()))
+	}
+	return seed
+}
+
+// actuatorSeed derives an actuator case's injection seed the same way
+// injSeed does (TargetRotor stands in for the sensor target), folding a
+// nonzero rotor index so every rotor keeps an independent fault stream.
+func (p SeedPolicy) actuatorSeed(base int64, missionID int, prim faultinject.Primitive, rotor int, dur, start time.Duration) int64 {
+	seed := p.injSeed(base, missionID, faultinject.TargetRotor, prim, dur, start)
+	if rotor != 0 {
+		seed = foldSeed(seed, uint64(rotor))
 	}
 	return seed
 }

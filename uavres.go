@@ -39,6 +39,7 @@ import (
 	"uavres/internal/faultinject"
 	"uavres/internal/mission"
 	"uavres/internal/mitigation"
+	"uavres/internal/physics"
 	"uavres/internal/sim"
 	"uavres/internal/spec"
 )
@@ -95,6 +96,29 @@ const (
 	TargetGyro  = faultinject.TargetGyro
 	TargetIMU   = faultinject.TargetIMU
 )
+
+// The actuator fault extension (DESIGN.md §17): rotor faults addressed
+// to a single rotor via Injection.Rotor.
+const (
+	TargetRotor         = faultinject.TargetRotor
+	LossOfEffectiveness = faultinject.LossOfEffectiveness
+	StuckRotor          = faultinject.StuckRotor
+	FloatRotor          = faultinject.FloatRotor
+)
+
+// Airframe selects the rotor layout (Config.Airframe.Layout). Quad-x is
+// the paper's vehicle; hexa-x and octo-x fly the redundancy matrix.
+type Airframe = physics.Airframe
+
+const (
+	QuadX = physics.QuadX
+	HexaX = physics.HexaX
+	OctoX = physics.OctoX
+)
+
+// ParseAirframe resolves an airframe name ("quad-x", "hexa-x", "octo-x",
+// case-insensitive).
+func ParseAirframe(name string) (Airframe, error) { return physics.ParseAirframe(name) }
 
 // Injection scopes: the paper assumes every redundant IMU is struck
 // (ScopeAllUnits); ScopePrimaryUnit is the redundancy ablation.
@@ -261,6 +285,13 @@ func StatsByFault(results []CaseResult) []GroupStats { return core.ByFault(resul
 
 // StatsByComponent groups faulty runs by injection target.
 func StatsByComponent(results []CaseResult) []GroupStats { return core.ByComponent(results) }
+
+// StatsByAirframe groups all runs by rotor layout (the redundancy
+// comparison; empty Case.Airframe reports as quad-x).
+func StatsByAirframe(results []CaseResult) []GroupStats { return core.ByAirframe(results) }
+
+// ActuatorPrimitives lists the rotor-fault primitives.
+func ActuatorPrimitives() []Primitive { return faultinject.ActuatorPrimitives() }
 
 // SaveResults and LoadResults persist campaign results as JSON files.
 func SaveResults(path string, results []CaseResult) error {

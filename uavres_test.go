@@ -63,7 +63,8 @@ func TestScenarioAndFaultModelAccessors(t *testing.T) {
 	if got := len(ValenciaMissions()); got != 10 {
 		t.Errorf("missions = %d", got)
 	}
-	if got := len(FaultModel()); got != 14 {
+	// Table I's 14 sensor classes plus the three actuator classes.
+	if got := len(FaultModel()); got != 17 {
 		t.Errorf("fault classes = %d", got)
 	}
 	if got := len(Primitives()); got != 7 {
@@ -71,6 +72,12 @@ func TestScenarioAndFaultModelAccessors(t *testing.T) {
 	}
 	if got := len(Targets()); got != 3 {
 		t.Errorf("targets = %d", got)
+	}
+	if got := len(ActuatorPrimitives()); got != 3 {
+		t.Errorf("actuator primitives = %d", got)
+	}
+	if frame, err := ParseAirframe("octo-x"); err != nil || frame != OctoX {
+		t.Errorf("ParseAirframe(octo-x) = %v, %v", frame, err)
 	}
 }
 
